@@ -1,0 +1,389 @@
+// Repository benchmarks: one benchmark per table/figure of the paper's
+// evaluation (each iteration regenerates a scaled-down version of the
+// experiment; run cmd/drs-experiments for the paper-faithful durations),
+// plus the ablation benchmarks called out in DESIGN.md and micro-benchmarks
+// of the hot paths.
+package drs_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/drs-repro/drs/internal/apps/fpd"
+	"github.com/drs-repro/drs/internal/apps/vld"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/experiments"
+	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/queueing"
+	"github.com/drs-repro/drs/internal/sim"
+	"github.com/drs-repro/drs/internal/stats"
+	"github.com/drs-repro/drs/internal/topology"
+)
+
+// benchOpts shrinks experiment durations so one benchmark iteration stays
+// in the hundreds of milliseconds.
+var benchOpts = experiments.Options{Duration: 120, Warmup: 20, Seed: 1}
+
+func BenchmarkFig6VLD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure6(experiments.VLD, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig6FPD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure6(experiments.FPD, benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 {
+			b.Fatal("missing rows")
+		}
+	}
+}
+
+func BenchmarkFig7VLD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure7(experiments.VLD, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7FPD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure7(experiments.FPD, benchOpts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFigure8(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) != 6 {
+			b.Fatal("missing points")
+		}
+	}
+}
+
+func BenchmarkFig9VLD(b *testing.B) {
+	opts := experiments.Options{Duration: 360, Seed: 1} // controller run, halved enable point
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure9(experiments.VLD, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9FPD(b *testing.B) {
+	opts := experiments.Options{Duration: 360, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure9(experiments.FPD, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10ExpA(b *testing.B) {
+	opts := experiments.Options{Duration: 360, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure10(experiments.ExpA, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10ExpB(b *testing.B) {
+	opts := experiments.Options{Duration: 360, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFigure10(experiments.ExpB, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Scheduling is Table II's "Scheduling" row measured the
+// canonical Go way: ns/op of one full Algorithm 1 run per Kmax.
+func BenchmarkTable2Scheduling(b *testing.B) {
+	model, err := vld.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := model.Rates()
+	for _, kmax := range experiments.Table2Kmaxes() {
+		scale := float64(kmax) / 22.0
+		ops := make([]core.OpRates, len(base))
+		for i, op := range base {
+			ops[i] = core.OpRates{Name: op.Name, Lambda: op.Lambda * scale, Mu: op.Mu}
+		}
+		scaled, err := core.NewModel(model.Lambda0()*scale, ops)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(kmaxName(kmax), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := scaled.AssignProcessors(kmax); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2Measurement is Table II's "Measurement" row: processing
+// one measurement interval (aggregate, smooth, snapshot).
+func BenchmarkTable2Measurement(b *testing.B) {
+	meas, err := metrics.NewMeasurer(metrics.MeasurerConfig{
+		OperatorNames: vld.OperatorNames(),
+		Smoothing:     metrics.SmoothingSpec{Kind: "ewma", Alpha: 0.6},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := metrics.IntervalReport{
+		Duration:         5 * time.Second,
+		ExternalArrivals: 65,
+		Ops: []metrics.OpInterval{
+			{Arrivals: 65, Served: 65, Sampled: 65, BusyTime: 29 * time.Second},
+			{Arrivals: 65, Served: 65, Sampled: 65, BusyTime: 32 * time.Second},
+			{Arrivals: 65, Served: 65, Sampled: 65, BusyTime: time.Second},
+		},
+		SojournCount: 60,
+		SojournTotal: time.Minute,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := meas.AddInterval(rep); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := meas.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (DESIGN.md §5) ---
+
+// BenchmarkAblationGreedyVsBrute compares Algorithm 1 against exhaustive
+// enumeration on an instance small enough for both (the exactness itself is
+// asserted in core's tests; this shows the cost gap).
+func BenchmarkAblationGreedyVsBrute(b *testing.B) {
+	model, err := core.NewModel(5, []core.OpRates{
+		{Name: "a", Lambda: 5, Mu: 2},
+		{Name: "b", Lambda: 10, Mu: 4},
+		{Name: "c", Lambda: 3, Mu: 10},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const kmax = 24
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.AssignProcessors(kmax); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("brute-force", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.BruteForceAssign(model, kmax); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationHeapVsScan compares the heap-based greedy against the
+// paper's literal rescan formulation on a wide topology.
+func BenchmarkAblationHeapVsScan(b *testing.B) {
+	rng := stats.NewRNG(99)
+	const n = 64
+	ops := make([]core.OpRates, n)
+	for i := range ops {
+		ops[i] = core.OpRates{Lambda: 10 + rng.Float64()*200, Mu: 5 + rng.Float64()*40}
+	}
+	model, err := core.NewModel(50, ops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, minTotal, err := model.MinAllocation()
+	if err != nil {
+		b.Fatal(err)
+	}
+	kmax := minTotal + 256
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.AssignProcessors(kmax); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AssignProcessorsScan(model, kmax); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSmoothing measures the measurer pipeline under each of
+// Appendix B's smoothing options.
+func BenchmarkAblationSmoothing(b *testing.B) {
+	specs := map[string]metrics.SmoothingSpec{
+		"none":   {},
+		"ewma":   {Kind: "ewma", Alpha: 0.6},
+		"window": {Kind: "window", Window: 6},
+	}
+	rep := metrics.IntervalReport{
+		Duration:         time.Second,
+		ExternalArrivals: 100,
+		Ops: []metrics.OpInterval{
+			{Arrivals: 100, Served: 100, Sampled: 10, BusyTime: time.Second},
+			{Arrivals: 100, Served: 100, Sampled: 10, BusyTime: time.Second},
+			{Arrivals: 100, Served: 100, Sampled: 10, BusyTime: time.Second},
+		},
+		SojournCount: 50, SojournTotal: 30 * time.Second,
+	}
+	for name, spec := range specs {
+		meas, err := metrics.NewMeasurer(metrics.MeasurerConfig{
+			OperatorNames: []string{"a", "b", "c"},
+			Smoothing:     spec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := meas.AddInterval(rep); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := meas.Snapshot(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationModel compares the Erlang M/M/k evaluation against the
+// naive "one fast server" (M/M/1 with rate kµ) evaluation; the quality gap
+// is asserted in core's ablation test, this is the cost side.
+func BenchmarkAblationModel(b *testing.B) {
+	model, err := fpd.Model()
+	if err != nil {
+		b.Fatal(err)
+	}
+	alloc := fpd.RecommendedAllocation()
+	b.Run("erlang-mmk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := model.ExpectedSojourn(alloc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-mm1", func(b *testing.B) {
+		rates := model.Rates()
+		for i := 0; i < b.N; i++ {
+			total := 0.0
+			for j, op := range rates {
+				total += op.Lambda / (float64(alloc[j])*op.Mu - op.Lambda)
+			}
+			_ = total / model.Lambda0()
+		}
+	})
+}
+
+// --- Micro-benchmarks of the hot paths ---
+
+func BenchmarkErlangC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = queueing.ErlangC(22, 18.5)
+	}
+}
+
+func BenchmarkExpectedSojourn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = queueing.ExpectedSojourn(1347, 132, 13)
+	}
+}
+
+func BenchmarkTrafficEquations(b *testing.B) {
+	topo, err := topology.NewBuilder().
+		AddOperator("A", 50, 10).
+		AddOperator("B", 40, 0).
+		AddOperator("C", 60, 0).
+		AddOperator("D", 45, 4).
+		AddOperator("E", 55, 0).
+		Connect("A", "B", 0.6).
+		Connect("A", "C", 0.4).
+		Connect("C", "E", 1).
+		Connect("D", "E", 1).
+		Connect("E", "A", 0.5).
+		Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := topo.ArrivalRates(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimThroughput measures discrete-event simulation speed in
+// simulated tuple-completions per benchmark op (1000 simulated seconds of
+// the VLD pipeline).
+func BenchmarkSimThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg, err := vld.SimConfig(vld.RecommendedAllocation(), uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunUntil(1000)
+		if s.CompletedStats().Count() == 0 {
+			b.Fatal("no completions")
+		}
+	}
+}
+
+func kmaxName(k int) string {
+	const digits = "0123456789"
+	if k == 0 {
+		return "Kmax=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for k > 0 {
+		i--
+		buf[i] = digits[k%10]
+		k /= 10
+	}
+	return "Kmax=" + string(buf[i:])
+}
+
+// BenchmarkAblationBaseline compares full DRS-vs-threshold comparison runs
+// (scaled down) — the cost of the policy study itself.
+func BenchmarkAblationBaseline(b *testing.B) {
+	opts := experiments.Options{Duration: 240, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunBaseline(experiments.VLD, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Command drs-experiments regenerates the tables and figures of the DRS
+// paper's evaluation (§V) on the simulation substrate and prints the same
+// rows/series the paper plots.
+//
+// Usage:
+//
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|all>
+//
+// Flags:
+//
+//	-app vld|fpd|both   application for fig6/fig7/fig9 (default both)
+//	-seed N             simulation seed (default 1)
+//	-duration S         steady-state span in simulated seconds (default 600)
+//	-iters N            iterations per Table II cell (default 10000)
+//
+// Durations are simulated time: the full "all" sweep runs the paper's
+// 10-minute and 27-minute experiments in a few wall-clock minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/drs-repro/drs/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "drs-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("drs-experiments", flag.ContinueOnError)
+	app := fs.String("app", "both", "application for per-app figures: vld, fpd or both")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	duration := fs.Float64("duration", 600, "steady-state span in simulated seconds")
+	iters := fs.Int("iters", 10000, "iterations per Table II cell")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline all")
+	}
+	opts := experiments.Options{Seed: *seed, Duration: *duration}
+	apps, err := appsFor(*app)
+	if err != nil {
+		return err
+	}
+	switch fs.Arg(0) {
+	case "fig6":
+		return runFig6(apps, opts)
+	case "fig7":
+		return runFig7(apps, opts)
+	case "fig8":
+		return runFig8(opts)
+	case "fig9":
+		return runFig9(apps, opts)
+	case "fig10":
+		return runFig10(opts)
+	case "table2":
+		return runTable2(*iters)
+	case "baseline":
+		return runBaseline(apps, opts)
+	case "shedding":
+		return runShedding(opts)
+	case "all":
+		if err := runFig6(apps, opts); err != nil {
+			return err
+		}
+		if err := runFig7(apps, opts); err != nil {
+			return err
+		}
+		if err := runFig8(opts); err != nil {
+			return err
+		}
+		if err := runFig9(apps, opts); err != nil {
+			return err
+		}
+		if err := runFig10(opts); err != nil {
+			return err
+		}
+		if err := runBaseline(apps, opts); err != nil {
+			return err
+		}
+		if err := runShedding(opts); err != nil {
+			return err
+		}
+		return runTable2(*iters)
+	default:
+		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
+	}
+}
+
+func runShedding(opts experiments.Options) error {
+	r, err := experiments.RunShedding(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func runBaseline(apps []experiments.App, opts experiments.Options) error {
+	for _, app := range apps {
+		r, err := experiments.RunBaseline(app, opts)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+	}
+	return nil
+}
+
+func appsFor(flagVal string) ([]experiments.App, error) {
+	switch flagVal {
+	case "vld":
+		return []experiments.App{experiments.VLD}, nil
+	case "fpd":
+		return []experiments.App{experiments.FPD}, nil
+	case "both":
+		return []experiments.App{experiments.VLD, experiments.FPD}, nil
+	default:
+		return nil, fmt.Errorf("unknown app %q (want vld, fpd or both)", flagVal)
+	}
+}
+
+func runFig6(apps []experiments.App, opts experiments.Options) error {
+	for _, app := range apps {
+		r, err := experiments.RunFigure6(app, opts)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+	}
+	return nil
+}
+
+func runFig7(apps []experiments.App, opts experiments.Options) error {
+	for _, app := range apps {
+		r, err := experiments.RunFigure7(app, opts)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+	}
+	return nil
+}
+
+func runFig8(opts experiments.Options) error {
+	r, err := experiments.RunFigure8(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func runFig9(apps []experiments.App, opts experiments.Options) error {
+	for _, app := range apps {
+		r, err := experiments.RunFigure9(app, opts)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+	}
+	return nil
+}
+
+func runFig10(opts experiments.Options) error {
+	for _, exp := range []experiments.Fig10Experiment{experiments.ExpA, experiments.ExpB} {
+		r, err := experiments.RunFigure10(exp, opts)
+		if err != nil {
+			return err
+		}
+		r.Print(os.Stdout)
+	}
+	return nil
+}
+
+func runTable2(iters int) error {
+	r, err := experiments.RunTable2(iters)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}

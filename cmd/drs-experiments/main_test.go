@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/drs-repro/drs/internal/experiments"
+)
+
+func TestAppsFor(t *testing.T) {
+	both, err := appsFor("both")
+	if err != nil || len(both) != 2 {
+		t.Errorf("both = %v, %v", both, err)
+	}
+	one, err := appsFor("vld")
+	if err != nil || len(one) != 1 || one[0] != experiments.VLD {
+		t.Errorf("vld = %v, %v", one, err)
+	}
+	if _, err := appsFor("nope"); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no experiment should error")
+	}
+	if err := run([]string{"bogus"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+	if err := run([]string{"-app", "nope", "fig6"}); err == nil {
+		t.Error("unknown app should error")
+	}
+}
+
+func TestRunShortExperiments(t *testing.T) {
+	// Heavily scaled-down sanity runs through the real dispatch path.
+	if err := run([]string{"-app", "vld", "-duration", "60", "fig6"}); err != nil {
+		t.Errorf("fig6: %v", err)
+	}
+	if err := run([]string{"-duration", "60", "fig8"}); err != nil {
+		t.Errorf("fig8: %v", err)
+	}
+	if err := run([]string{"-iters", "50", "table2"}); err != nil {
+		t.Errorf("table2: %v", err)
+	}
+}

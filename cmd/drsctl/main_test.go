@@ -1,0 +1,107 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTopo(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "topo.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const validTopo = `{
+  "operators": [
+    {"name": "extract", "service_rate": 2.2222, "external_rate": 13},
+    {"name": "match", "service_rate": 2.0},
+    {"name": "aggregate", "service_rate": 100}
+  ],
+  "edges": [
+    {"from": "extract", "to": "match", "selectivity": 1.0},
+    {"from": "match", "to": "aggregate", "selectivity": 1.0}
+  ]
+}`
+
+func TestLoadTopology(t *testing.T) {
+	topo, tf, err := loadTopology(writeTopo(t, validTopo))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N() != 3 || len(tf.Edges) != 2 {
+		t.Errorf("loaded N=%d edges=%d", topo.N(), len(tf.Edges))
+	}
+	if _, _, err := loadTopology(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, _, err := loadTopology(writeTopo(t, "{bad json")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	if _, _, err := loadTopology(writeTopo(t, `{"operators": [], "edges": []}`)); err == nil {
+		t.Error("empty topology should error")
+	}
+}
+
+func TestParseAlloc(t *testing.T) {
+	got, err := parseAlloc("10, 11,1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 10 || got[1] != 11 || got[2] != 1 {
+		t.Errorf("parseAlloc = %v", got)
+	}
+	for _, bad := range []string{"", "1,2", "a,b,c", "1,2,3,4"} {
+		if _, err := parseAlloc(bad, 3); err == nil {
+			t.Errorf("parseAlloc(%q) should error", bad)
+		}
+	}
+}
+
+func TestRunSubcommands(t *testing.T) {
+	path := writeTopo(t, validTopo)
+	cases := [][]string{
+		{"-topology", path, "model", "-alloc", "10,11,1"},
+		{"-topology", path, "recommend", "-kmax", "22"},
+		{"-topology", path, "recommend", "-tmax-ms", "1200"},
+		{"-topology", path, "simulate", "-alloc", "10,11,1", "-duration", "30"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTopo(t, validTopo)
+	cases := [][]string{
+		{},                               // no topology
+		{"-topology", path},              // no subcommand
+		{"-topology", path, "bogus"},     // unknown subcommand
+		{"-topology", path, "recommend"}, // neither kmax nor tmax
+		{"-topology", path, "model"},     // missing alloc
+		{"-topology", path, "recommend", "-kmax", "22", "-tmax-ms", "1"}, // both
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should error", args)
+		}
+	}
+}
+
+func TestQuantileSubcommand(t *testing.T) {
+	path := writeTopo(t, validTopo)
+	if err := run([]string{"-topology", path, "quantile", "-q", "0.95", "-target-ms", "2500"}); err != nil {
+		t.Errorf("quantile: %v", err)
+	}
+	if err := run([]string{"-topology", path, "quantile"}); err == nil {
+		t.Error("missing target should error")
+	}
+	if err := run([]string{"-topology", path, "quantile", "-q", "2", "-target-ms", "100"}); err == nil {
+		t.Error("bad quantile should error")
+	}
+}

@@ -1,0 +1,179 @@
+// Package drs is a from-scratch Go reproduction of DRS — the dynamic
+// resource scheduler for real-time streaming analytics of Fu et al.,
+// "DRS: Dynamic Resource Scheduling for Real-Time Analytics over Fast
+// Streams" (ICDCS 2015).
+//
+// The package exposes the paper's contribution as a library:
+//
+//   - The performance model (§III-B): per-operator M/M/k sojourn estimates
+//     (Erlang's formulas, Equations 1-2) aggregated over a Jackson open
+//     queueing network (Equation 3), for arbitrary operator topologies with
+//     splits, joins and feedback loops.
+//   - The exactly-optimal greedy allocators (§III-C): AssignProcessors
+//     (Algorithm 1 / Program (4): best latency under a processor budget)
+//     and MinProcessors (Program (6): fewest processors under a latency
+//     target), both justified by the convexity of E[T_i](k_i) (Theorem 1).
+//   - The DRS control loop (§IV): a Measurer that aggregates sampled
+//     per-executor metrics to operator level with α-weighted or windowed
+//     smoothing, and a Controller that turns measurement snapshots into
+//     rebalance / scale-out / scale-in decisions, including the Appendix-B
+//     cost/benefit guard.
+//
+// A minimal session:
+//
+//	topo, err := drs.NewTopologyBuilder().
+//		AddOperator("extract", 1/0.45, 13). // µ = 2.22/s, external 13/s
+//		AddOperator("match", 2.0, 0).
+//		Connect("extract", "match", 1).
+//		Build()
+//	if err != nil { ... }
+//	model, err := drs.NewModelFromTopology(topo)
+//	if err != nil { ... }
+//	alloc, err := model.AssignProcessors(22) // Algorithm 1
+//	est, err := model.ExpectedSojourn(alloc)  // Equation (3)
+//
+// The repository also contains the substrates the paper's evaluation needs
+// (a Storm-like operator engine, a discrete-event queueing simulator, a
+// cluster/negotiator model and the two test applications); those live under
+// internal/ and are driven by the examples, the cmd/drs-experiments harness
+// and the repository benchmarks. See DESIGN.md for the full inventory.
+package drs
+
+import (
+	"github.com/drs-repro/drs/internal/config"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/topology"
+)
+
+// Model is the DRS performance model (paper §III-B). Build one per
+// measurement snapshot with NewModel or NewModelFromTopology; its methods
+// AssignProcessors, MinProcessors, ExpectedSojourn and LowerBound are the
+// paper's optimization toolkit.
+type Model = core.Model
+
+// OpRates carries one operator's measured mean arrival rate λ_i and mean
+// per-processor service rate µ_i.
+type OpRates = core.OpRates
+
+// NewModel builds a performance model directly from measured rates.
+// lambda0 is λ0, the external arrival rate into the whole application.
+func NewModel(lambda0 float64, ops []OpRates) (*Model, error) {
+	return core.NewModel(lambda0, ops)
+}
+
+// NewModelFromTopology derives the per-operator arrival rates by solving
+// the Jackson traffic equations over the topology (loops included) and
+// builds the model from them.
+func NewModelFromTopology(t *Topology) (*Model, error) {
+	return core.NewModelFromTopology(t)
+}
+
+// Topology describes an operator network: operators with service rates and
+// external arrivals, connected by edges with selectivities.
+type Topology = topology.Topology
+
+// TopologyBuilder accumulates operators and edges; Build validates and
+// solves the traffic equations once.
+type TopologyBuilder = topology.Builder
+
+// NewTopologyBuilder returns an empty topology builder.
+func NewTopologyBuilder() *TopologyBuilder { return topology.NewBuilder() }
+
+// Controller is the DRS decision loop: feed it measurement Snapshots, get
+// rebalance/scale Decisions (paper §III-C and §IV).
+type Controller = core.Controller
+
+// ControllerConfig tunes the controller (mode, Kmax/Tmax, churn guards,
+// pool geometry).
+type ControllerConfig = core.ControllerConfig
+
+// Snapshot is one round of smoothed measurements: λ̂0, per-operator λ̂_i and
+// µ̂_i, the measured mean sojourn E[T̂], the allocation in force and the
+// available processor budget.
+type Snapshot = core.Snapshot
+
+// Decision is the controller's verdict for one snapshot.
+type Decision = core.Decision
+
+// Mode selects which of the paper's two optimization problems the
+// controller solves each round.
+type Mode = core.Mode
+
+// Controller modes: Program (4) under a fixed budget, or Program (6) under
+// a latency target.
+const (
+	ModeMinLatency  = core.ModeMinLatency
+	ModeMinResource = core.ModeMinResource
+)
+
+// Action is what a Decision asks the CSP layer to do.
+type Action = core.Action
+
+// Possible decision actions.
+const (
+	ActionNone      = core.ActionNone
+	ActionRebalance = core.ActionRebalance
+	ActionScaleOut  = core.ActionScaleOut
+	ActionScaleIn   = core.ActionScaleIn
+)
+
+// NewController validates the config and returns a controller.
+func NewController(cfg ControllerConfig) (*Controller, error) {
+	return core.NewController(cfg)
+}
+
+// Stepper is any decision policy consuming Snapshots — *Controller or the
+// ThresholdController baseline.
+type Stepper = core.Stepper
+
+// ThresholdController is a utilization-threshold autoscaler baseline (the
+// reactive-policy family); it needs no queueing model and exists for
+// comparison against DRS (see experiments' baseline run).
+type ThresholdController = core.ThresholdController
+
+// HeteroAssignment maps operators to the processor speed factors they
+// received from Model.AssignHeterogeneous — the §III-A heterogeneous
+// processors extension.
+type HeteroAssignment = core.HeteroAssignment
+
+// Measurer implements the paper's measurer module: it aggregates
+// per-interval operator counters into smoothed rate estimates and produces
+// controller Snapshots.
+type Measurer = metrics.Measurer
+
+// MeasurerConfig parameterizes the measurer.
+type MeasurerConfig = metrics.MeasurerConfig
+
+// IntervalReport is one collection interval's raw counters.
+type IntervalReport = metrics.IntervalReport
+
+// OpInterval is one operator's counters within an interval.
+type OpInterval = metrics.OpInterval
+
+// ExecutorProbe instruments one executor with the paper's Nm-sampled
+// per-tuple measurement; safe for concurrent use and cheap on the fast path.
+type ExecutorProbe = metrics.ExecutorProbe
+
+// SmoothingSpec selects "none", "ewma" (α-weighted) or "window" averaging
+// for the measured series, as in Appendix B.
+type SmoothingSpec = metrics.SmoothingSpec
+
+// NewMeasurer validates the config and builds a measurer.
+func NewMeasurer(cfg MeasurerConfig) (*Measurer, error) {
+	return metrics.NewMeasurer(cfg)
+}
+
+// NewExecutorProbe builds a probe sampling every nm-th served tuple.
+func NewExecutorProbe(nm int) *ExecutorProbe { return metrics.NewExecutorProbe(nm) }
+
+// Config is the full DRS parameter set (the configuration-reader module),
+// with JSON load/save.
+type Config = config.Config
+
+// DefaultConfig returns the paper's experiment configuration where stated
+// and sensible values elsewhere.
+func DefaultConfig() Config { return config.Default() }
+
+// LoadConfig reads and validates a configuration file.
+func LoadConfig(path string) (Config, error) { return config.Load(path) }

@@ -1,0 +1,133 @@
+package drs_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	drs "github.com/drs-repro/drs"
+)
+
+// TestPublicAPIWorkflow walks the full user journey through the facade:
+// topology -> model -> allocation -> controller, plus the measurer path.
+func TestPublicAPIWorkflow(t *testing.T) {
+	topo, err := drs.NewTopologyBuilder().
+		AddOperator("extract", 1/0.45, 13).
+		AddOperator("match", 1/0.50, 0).
+		AddOperator("aggregate", 1/0.01, 0).
+		Connect("extract", "match", 1).
+		Connect("match", "aggregate", 1).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := drs.NewModelFromTopology(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := model.AssignProcessors(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc[0] != 10 || alloc[1] != 11 || alloc[2] != 1 {
+		t.Errorf("allocation = %v, want the paper's (10:11:1)", alloc)
+	}
+	est, err := model.ExpectedSojourn(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est <= model.LowerBound() || math.IsInf(est, 1) {
+		t.Errorf("estimate %g out of range", est)
+	}
+	minK, err := model.MinProcessors(est * 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := sum(minK), sum(alloc); got > want {
+		t.Errorf("MinProcessors(%g) = %d procs, more than the full budget %d", est*1.1, got, want)
+	}
+
+	ctrl, err := drs.NewController(drs.ControllerConfig{
+		Mode: drs.ModeMinLatency, Kmax: 22, MinGain: 0.02,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ctrl.Step(drs.Snapshot{
+		Lambda0: 13,
+		Ops: []drs.OpRates{
+			{Name: "extract", Lambda: 13, Mu: 1 / 0.45},
+			{Name: "match", Lambda: 13, Mu: 1 / 0.50},
+			{Name: "aggregate", Lambda: 13, Mu: 100},
+		},
+		MeasuredSojourn: 1.2,
+		Alloc:           []int{12, 9, 1},
+		Kmax:            22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != drs.ActionRebalance {
+		t.Errorf("action = %v (%s), want rebalance", d.Action, d.Reason)
+	}
+}
+
+func TestPublicMeasurerPath(t *testing.T) {
+	meas, err := drs.NewMeasurer(drs.MeasurerConfig{
+		OperatorNames: []string{"a"},
+		Smoothing:     drs.SmoothingSpec{Kind: "ewma", Alpha: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := drs.NewExecutorProbe(1)
+	for i := 0; i < 100; i++ {
+		probe.TupleArrived()
+		probe.TupleServed(10 * time.Millisecond)
+	}
+	c := probe.Drain()
+	err = meas.AddInterval(drs.IntervalReport{
+		Duration:         time.Second,
+		ExternalArrivals: 100,
+		Ops: []drs.OpInterval{{
+			Arrivals: c.Arrivals, Served: c.Served,
+			Sampled: c.Sampled, BusyTime: c.BusyTime,
+		}},
+		SojournCount: 100,
+		SojournTotal: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := meas.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(snap.Ops[0].Mu-100) > 1e-9 {
+		t.Errorf("measured mu = %g, want 100", snap.Ops[0].Mu)
+	}
+	if math.Abs(snap.MeasuredSojourn-0.02) > 1e-9 {
+		t.Errorf("measured sojourn = %g, want 0.02", snap.MeasuredSojourn)
+	}
+}
+
+func TestPublicConfig(t *testing.T) {
+	cfg := drs.DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cfg.ControllerConfig(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := drs.LoadConfig("/nonexistent/drs.json"); err == nil {
+		t.Error("missing config file should error")
+	}
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

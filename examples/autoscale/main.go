@@ -1,0 +1,131 @@
+// Autoscaling demo (the paper's Figure 10, compressed): DRS in
+// min-resource mode drives the simulated VLD pipeline against a latency
+// target, negotiating whole machines from the cluster pool.
+//
+// Phase 1 starts under-provisioned (4 machines, Kmax=17) with a tight
+// target: DRS scales out to 5 machines and re-spreads to (10:11:1). Phase 2
+// relaxes the target: DRS releases the machine again. Both transitions pay
+// their modeled pause (cold-start vs release), visible as a latency spike.
+//
+// Run:
+//
+//	go run ./examples/autoscale
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	drs "github.com/drs-repro/drs"
+	"github.com/drs-repro/drs/internal/apps/vld"
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+func main() {
+	pool, err := cluster.PaperPool(4) // Kmax 17
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg, err := vld.SimConfig(vld.SmallPoolAllocation(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.EnableSeries(30)
+
+	meas, err := drs.NewMeasurer(drs.MeasurerConfig{
+		OperatorNames: vld.OperatorNames(),
+		Smoothing:     drs.SmoothingSpec{Kind: "window", Window: 6},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	phase := func(name string, tmax, from, until float64) {
+		ctrl, err := drs.NewController(drs.ControllerConfig{
+			Mode:                  drs.ModeMinResource,
+			Tmax:                  tmax,
+			MinGain:               0.05,
+			ScaleInSlack:          0.35,
+			MaxScaleInUtilization: 0.9,
+			SlotsPerMachine:       5,
+			ReservedSlots:         3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n== %s: Tmax = %.0f ms, %d machines, Kmax = %d, alloc %v\n",
+			name, tmax*1e3, pool.Machines(), pool.Kmax(), s.Allocation())
+		cooldown := 0.0
+		for t := from + 10; t <= until; t += 10 {
+			s.RunUntil(t)
+			if err := meas.AddInterval(s.DrainInterval()); err != nil {
+				log.Fatal(err)
+			}
+			if t < cooldown {
+				continue
+			}
+			snap, err := meas.Snapshot()
+			if err != nil {
+				continue
+			}
+			snap.Alloc = s.Allocation()
+			snap.Kmax = pool.Kmax()
+			d, err := ctrl.Step(snap)
+			if err != nil {
+				log.Printf("controller: %v", err)
+				continue
+			}
+			if d.Action == drs.ActionNone {
+				continue
+			}
+			var tr cluster.Transition
+			switch d.Action {
+			case drs.ActionRebalance:
+				tr = pool.Rebalance()
+			default:
+				if tr, err = pool.Resize(d.TargetKmax); err != nil {
+					log.Printf("negotiator: %v", err)
+					continue
+				}
+			}
+			fmt.Printf("t=%4.0fs %-9s -> machines=%d Kmax=%d alloc=%v pause=%.1fs\n    %s\n",
+				t, d.Action, pool.Machines(), pool.Kmax(), d.Target, tr.Pause.Seconds(), d.Reason)
+			if err := s.SetAllocation(d.Target, tr.Pause.Seconds()); err != nil {
+				log.Fatal(err)
+			}
+			meas.Reset()
+			cooldown = t + 40
+		}
+	}
+
+	phase("phase 1 (scale out)", 1.25, 0, 420)
+	phase("phase 2 (scale in)", 2.0, 420, 840)
+
+	fmt.Println("\nper-30s mean sojourn (ms):")
+	for _, pt := range s.Series() {
+		bar := int(pt.MeanSojourn * 20)
+		if math.IsNaN(pt.MeanSojourn) {
+			continue
+		}
+		if bar > 60 {
+			bar = 60
+		}
+		fmt.Printf("%5.0fs %6.0f %s\n", pt.Start, pt.MeanSojourn*1e3, barString(bar))
+	}
+	fmt.Printf("\nfinal: %d machines, Kmax=%d, alloc %v\n",
+		pool.Machines(), pool.Kmax(), s.Allocation())
+}
+
+func barString(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

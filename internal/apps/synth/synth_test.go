@@ -1,0 +1,89 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+func TestWorkloadsSpanPaperRange(t *testing.T) {
+	w := Workloads()
+	if len(w) != 6 {
+		t.Fatalf("want 6 workloads, got %d", len(w))
+	}
+	if math.Abs(w[0]-0.000567) > 1e-9 || math.Abs(w[5]-0.3091) > 1e-9 {
+		t.Errorf("endpoints = %g, %g; paper uses 0.567ms and 309.1ms", w[0], w[5])
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] <= w[i-1] {
+			t.Error("workloads must increase")
+		}
+	}
+}
+
+func TestModelStableAcrossSweep(t *testing.T) {
+	for _, cpu := range Workloads() {
+		m, err := Model(cpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		et, err := m.ExpectedSojourn(Allocation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(et, 1) {
+			t.Errorf("workload %gs unstable under fixed allocation", cpu)
+		}
+		if et < cpu {
+			t.Errorf("estimate %g below pure CPU time %g", et, cpu)
+		}
+	}
+	if _, err := Model(0); err == nil {
+		t.Error("zero CPU should error")
+	}
+	if _, err := SimConfig(-1, 1); err == nil {
+		t.Error("negative CPU should error")
+	}
+}
+
+func TestUnderestimationShrinksWithCPU(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	var ratios []float64
+	for _, cpu := range Workloads() {
+		m, err := Model(cpu)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := m.ExpectedSojourn(Allocation())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := SimConfig(cpu, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetWarmup(5)
+		s.RunUntil(120)
+		ratios = append(ratios, s.CompletedStats().Mean()/est)
+	}
+	// Figure 8: the ratio decreases monotonically from tens to near 1.
+	if ratios[0] < 20 {
+		t.Errorf("lightest workload ratio = %.1f, want >> 1", ratios[0])
+	}
+	last := ratios[len(ratios)-1]
+	if last > 1.5 || last < 1.0 {
+		t.Errorf("heaviest workload ratio = %.2f, want ~1 (and >= 1)", last)
+	}
+	for i := 1; i < len(ratios); i++ {
+		if ratios[i] >= ratios[i-1] {
+			t.Errorf("ratio not decreasing at workload %d: %v", i, ratios)
+		}
+	}
+}

@@ -1,0 +1,217 @@
+// Package cluster simulates the resource-pool substrate below the CSP
+// layer: machines that each host a fixed number of executor slots, worker
+// (JVM) processes with distinct cold-start and reuse costs, and the
+// resource negotiator that starts and stops machines (the paper's
+// Appendix-B negotiator sits below Storm's resource manager and talks to
+// YARN; here it talks to this pool).
+//
+// The package also carries the cost model behind the paper's Figures 9-10:
+// a rebalance that merely remaps executors on warm workers is cheap
+// (seconds, because DRS reuses JVMs), a scale-out that must boot a new
+// machine is expensive (the ~4.8 s spike of ExpA), and Storm's default
+// stop-the-world rebalance is modeled for comparison (1-2 minutes).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrNoCapacity is returned when a requested pool size exceeds the
+// provider's machine limit.
+var ErrNoCapacity = errors.New("cluster: provider machine limit reached")
+
+// CostModel prices the three transition kinds, as durations of degraded
+// service applied to in-flight tuples during the change.
+type CostModel struct {
+	// Rebalance is the pause for remapping executors on warm workers
+	// (our improved mechanism: JVMs are reused).
+	Rebalance time.Duration
+	// MachineColdStart is the extra pause when a scale-out boots machines
+	// and their workers (ExpA's 4777 ms spike).
+	MachineColdStart time.Duration
+	// MachineRelease is the pause when draining and stopping machines
+	// (ExpB's ~1113 ms bump).
+	MachineRelease time.Duration
+	// DefaultRebalance is Storm's stop-the-world mechanism, for the
+	// comparison the paper makes (1-2 minutes).
+	DefaultRebalance time.Duration
+}
+
+// PaperCosts are the transition costs reported in §V.
+func PaperCosts() CostModel {
+	return CostModel{
+		Rebalance:        3 * time.Second,
+		MachineColdStart: 4777 * time.Millisecond,
+		MachineRelease:   1113 * time.Millisecond,
+		DefaultRebalance: 90 * time.Second,
+	}
+}
+
+// PoolConfig describes the cluster geometry.
+type PoolConfig struct {
+	// SlotsPerMachine is the executor capacity of one machine (the paper
+	// constrains each machine to 5 executors).
+	SlotsPerMachine int
+	// ReservedSlots are taken off the top of the pool for spouts and the
+	// DRS executor itself (3 in the paper).
+	ReservedSlots int
+	// MaxMachines caps what the negotiator may provision (6 in the paper:
+	// 5 for executors + 1 for Nimbus/ZooKeeper, which we fold into the cap).
+	MaxMachines int
+	// Costs prices transitions; zero values mean free transitions.
+	Costs CostModel
+}
+
+// Validate reports configuration errors.
+func (c PoolConfig) Validate() error {
+	if c.SlotsPerMachine < 1 {
+		return errors.New("cluster: slots per machine must be >= 1")
+	}
+	if c.ReservedSlots < 0 {
+		return errors.New("cluster: reserved slots must be >= 0")
+	}
+	if c.MaxMachines < 1 {
+		return errors.New("cluster: max machines must be >= 1")
+	}
+	if c.ReservedSlots >= c.SlotsPerMachine*c.MaxMachines {
+		return errors.New("cluster: reserved slots consume the whole pool")
+	}
+	return nil
+}
+
+// Transition describes one applied pool change, with its modeled cost.
+type Transition struct {
+	// Kind is "rebalance", "scale-out" or "scale-in".
+	Kind string
+	// MachinesBefore and MachinesAfter bracket the change.
+	MachinesBefore, MachinesAfter int
+	// Pause is the modeled service disruption.
+	Pause time.Duration
+}
+
+// Pool is the simulated machine pool. Safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	cfg      PoolConfig
+	machines int
+	history  []Transition
+}
+
+// NewPool builds a pool with the given starting machine count.
+func NewPool(cfg PoolConfig, startMachines int) (*Pool, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if startMachines < 1 || startMachines > cfg.MaxMachines {
+		return nil, fmt.Errorf("cluster: start machines %d out of [1, %d]", startMachines, cfg.MaxMachines)
+	}
+	return &Pool{cfg: cfg, machines: startMachines}, nil
+}
+
+// Machines reports the current machine count.
+func (p *Pool) Machines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.machines
+}
+
+// Kmax reports the processor budget the pool offers: total slots minus the
+// reserved ones.
+func (p *Pool) Kmax() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kmaxLocked()
+}
+
+func (p *Pool) kmaxLocked() int {
+	return p.machines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
+}
+
+// MachinesFor returns the fewest machines whose pool covers the given
+// number of processors, and the resulting Kmax.
+func (p *Pool) MachinesFor(processors int) (machines, kmax int, err error) {
+	if processors < 0 {
+		return 0, 0, fmt.Errorf("cluster: negative processor count %d", processors)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.machinesForLocked(processors)
+}
+
+// Rebalance applies an executor remap with no pool change and returns the
+// transition with its modeled pause.
+func (p *Pool) Rebalance() Transition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tr := Transition{
+		Kind:           "rebalance",
+		MachinesBefore: p.machines,
+		MachinesAfter:  p.machines,
+		Pause:          p.cfg.Costs.Rebalance,
+	}
+	p.history = append(p.history, tr)
+	return tr
+}
+
+// Resize negotiates the pool to the given Kmax (quantized up to whole
+// machines) and returns the transition. Growing pays the cold-start cost;
+// shrinking pays the release cost; a no-op change returns a zero-cost
+// rebalance-kind transition.
+func (p *Pool) Resize(targetKmax int) (Transition, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	machines, _, err := p.machinesForLocked(targetKmax)
+	if err != nil {
+		return Transition{}, err
+	}
+	tr := Transition{MachinesBefore: p.machines, MachinesAfter: machines}
+	switch {
+	case machines > p.machines:
+		tr.Kind = "scale-out"
+		tr.Pause = p.cfg.Costs.Rebalance + p.cfg.Costs.MachineColdStart
+	case machines < p.machines:
+		tr.Kind = "scale-in"
+		tr.Pause = p.cfg.Costs.Rebalance + p.cfg.Costs.MachineRelease
+	default:
+		tr.Kind = "rebalance"
+		tr.Pause = p.cfg.Costs.Rebalance
+	}
+	p.machines = machines
+	p.history = append(p.history, tr)
+	return tr, nil
+}
+
+func (p *Pool) machinesForLocked(processors int) (machines, kmax int, err error) {
+	need := processors + p.cfg.ReservedSlots
+	machines = (need + p.cfg.SlotsPerMachine - 1) / p.cfg.SlotsPerMachine
+	if machines < 1 {
+		machines = 1
+	}
+	if machines > p.cfg.MaxMachines {
+		return 0, 0, fmt.Errorf("%w: need %d machines, cap %d", ErrNoCapacity, machines, p.cfg.MaxMachines)
+	}
+	return machines, machines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots, nil
+}
+
+// History returns a copy of all applied transitions, in order.
+func (p *Pool) History() []Transition {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Transition(nil), p.history...)
+}
+
+// PaperPool is the experiment cluster of §V-B: 6 machines, one reserved
+// for coordination (folded into a 5-executor-machine cap of 5... the 25
+// usable slots), 5 slots per machine, 3 slots reserved for the two spouts
+// and the DRS executor — so 5 machines give Kmax = 22 and 4 give 17.
+func PaperPool(startMachines int) (*Pool, error) {
+	return NewPool(PoolConfig{
+		SlotsPerMachine: 5,
+		ReservedSlots:   3,
+		MaxMachines:     5,
+		Costs:           PaperCosts(),
+	}, startMachines)
+}

@@ -1,0 +1,187 @@
+// Package config implements the DRS configuration reader module (paper
+// Appendix B-C): a single validated structure carrying every user- or
+// system-provided parameter — the optimization problem type, Kmax/Tmax,
+// the measurer's sampling and smoothing parameters, and the scheduler's
+// re-allocation cost — with JSON load/save for sharing the way Storm
+// shares configuration through ZooKeeper.
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/metrics"
+)
+
+// Config is the full DRS parameter set.
+type Config struct {
+	// Mode is "min-latency" (Program (4)) or "min-resource" (Program (6)).
+	Mode string `json:"mode"`
+	// Kmax is the processor budget for min-latency mode.
+	Kmax int `json:"kmax,omitempty"`
+	// TmaxMillis is the real-time constraint for min-resource mode.
+	TmaxMillis float64 `json:"tmax_millis,omitempty"`
+
+	// SampleEveryNm is the measurer's first sampling layer: each executor
+	// records the service time of every Nm-th tuple.
+	SampleEveryNm int `json:"sample_every_nm"`
+	// PullInterval is Tm, the measurer's collection period.
+	PullInterval Duration `json:"pull_interval"`
+	// Smoothing selects "none", "ewma" (with Alpha) or "window" (with Window).
+	Smoothing metrics.SmoothingSpec `json:"smoothing"`
+	// MaxServiceTime clips outlier service samples; zero disables.
+	MaxServiceTime Duration `json:"max_service_time,omitempty"`
+
+	// MinGain is the minimum estimated relative improvement that justifies
+	// a re-allocation (the Appendix-B cost/benefit guard).
+	MinGain float64 `json:"min_gain"`
+	// ScaleInSlack is the headroom kept under Tmax when releasing resources.
+	ScaleInSlack float64 `json:"scale_in_slack"`
+	// SlotsPerMachine and ReservedSlots describe the pool geometry (the
+	// paper's cluster: 5 slots/machine, 3 reserved for spouts + DRS).
+	SlotsPerMachine int `json:"slots_per_machine"`
+	ReservedSlots   int `json:"reserved_slots"`
+}
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("500ms"), per the Uber guide's advice on durations crossing process
+// boundaries.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, perr := time.ParseDuration(s)
+		if perr != nil {
+			return fmt.Errorf("config: bad duration %q: %w", s, perr)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("config: duration must be a string or nanoseconds: %w", err)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Default returns the configuration used by the paper's experiments where
+// stated, and sensible values elsewhere.
+func Default() Config {
+	return Config{
+		Mode:            "min-latency",
+		Kmax:            22,
+		SampleEveryNm:   20,
+		PullInterval:    Duration(5 * time.Second),
+		Smoothing:       metrics.SmoothingSpec{Kind: "ewma", Alpha: 0.6},
+		MinGain:         0.05,
+		ScaleInSlack:    0.1,
+		SlotsPerMachine: 5,
+		ReservedSlots:   3,
+	}
+}
+
+// Validate checks cross-field consistency.
+func (c Config) Validate() error {
+	if _, err := c.ControllerConfig(); err != nil {
+		return err
+	}
+	if c.SampleEveryNm < 1 {
+		return errors.New("config: sample_every_nm must be >= 1")
+	}
+	if c.PullInterval <= 0 {
+		return errors.New("config: pull_interval must be positive")
+	}
+	if _, err := c.Smoothing.New(); err != nil {
+		return err
+	}
+	if c.MaxServiceTime < 0 {
+		return errors.New("config: max_service_time must be >= 0")
+	}
+	return nil
+}
+
+// ControllerConfig converts to the core controller's configuration.
+func (c Config) ControllerConfig() (core.ControllerConfig, error) {
+	cc := core.ControllerConfig{
+		Kmax:            c.Kmax,
+		Tmax:            c.TmaxMillis / 1e3,
+		MinGain:         c.MinGain,
+		ScaleInSlack:    c.ScaleInSlack,
+		SlotsPerMachine: c.SlotsPerMachine,
+		ReservedSlots:   c.ReservedSlots,
+	}
+	switch c.Mode {
+	case "min-latency":
+		cc.Mode = core.ModeMinLatency
+	case "min-resource":
+		cc.Mode = core.ModeMinResource
+	default:
+		return core.ControllerConfig{}, fmt.Errorf("config: unknown mode %q", c.Mode)
+	}
+	if err := cc.Validate(); err != nil {
+		return core.ControllerConfig{}, err
+	}
+	return cc, nil
+}
+
+// MeasurerConfig converts to the measurer's configuration for the given
+// operator list.
+func (c Config) MeasurerConfig(operatorNames []string) metrics.MeasurerConfig {
+	return metrics.MeasurerConfig{
+		OperatorNames:  operatorNames,
+		Smoothing:      c.Smoothing,
+		MaxServiceTime: time.Duration(c.MaxServiceTime),
+	}
+}
+
+// Load reads and validates a configuration file.
+func Load(path string) (Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("config: reading %s: %w", path, err)
+	}
+	return Parse(raw)
+}
+
+// Parse decodes and validates JSON configuration bytes. Unknown fields are
+// rejected to catch typos.
+func Parse(raw []byte) (Config, error) {
+	cfg := Default()
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("config: decoding: %w", err)
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Save writes the configuration as indented JSON.
+func (c Config) Save(path string) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("config: encoding: %w", err)
+	}
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return fmt.Errorf("config: writing %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package config
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/metrics"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestControllerConfigMapping(t *testing.T) {
+	c := Default()
+	cc, err := c.ControllerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Mode != core.ModeMinLatency || cc.Kmax != 22 {
+		t.Errorf("mapped config = %+v", cc)
+	}
+
+	c.Mode = "min-resource"
+	c.TmaxMillis = 500
+	cc, err = c.ControllerConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.Mode != core.ModeMinResource || cc.Tmax != 0.5 {
+		t.Errorf("mapped config = %+v", cc)
+	}
+
+	c.Mode = "bogus"
+	if _, err := c.ControllerConfig(); err == nil {
+		t.Error("unknown mode should be rejected")
+	}
+}
+
+func TestValidateRejectsBadFields(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"nm < 1", func(c *Config) { c.SampleEveryNm = 0 }},
+		{"zero pull interval", func(c *Config) { c.PullInterval = 0 }},
+		{"bad smoothing", func(c *Config) { c.Smoothing = metrics.SmoothingSpec{Kind: "x"} }},
+		{"negative clip", func(c *Config) { c.MaxServiceTime = -1 }},
+		{"min-latency kmax", func(c *Config) { c.Kmax = 0 }},
+		{"bad gain", func(c *Config) { c.MinGain = 2 }},
+	}
+	for _, tt := range mutations {
+		t.Run(tt.name, func(t *testing.T) {
+			c := Default()
+			tt.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	raw := []byte(`{
+		"mode": "min-resource",
+		"tmax_millis": 500,
+		"sample_every_nm": 10,
+		"pull_interval": "2s",
+		"smoothing": {"Kind": "window", "Window": 6},
+		"min_gain": 0.1,
+		"scale_in_slack": 0.2,
+		"slots_per_machine": 5,
+		"reserved_slots": 3
+	}`)
+	c, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mode != "min-resource" || c.TmaxMillis != 500 {
+		t.Errorf("parsed = %+v", c)
+	}
+	if time.Duration(c.PullInterval) != 2*time.Second {
+		t.Errorf("pull interval = %v", time.Duration(c.PullInterval))
+	}
+	if c.Smoothing.Kind != "window" || c.Smoothing.Window != 6 {
+		t.Errorf("smoothing = %+v", c.Smoothing)
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse([]byte(`{"mode": "min-latency", "kmax": 22, "typo_field": 1}`)); err == nil {
+		t.Error("unknown field should be rejected")
+	}
+}
+
+func TestParseRejectsInvalid(t *testing.T) {
+	if _, err := Parse([]byte(`{"mode": "min-latency", "kmax": 0}`)); err == nil {
+		t.Error("invalid config should be rejected at parse time")
+	}
+	if _, err := Parse([]byte(`{not json`)); err == nil {
+		t.Error("bad JSON should be rejected")
+	}
+}
+
+func TestDurationUnmarshalForms(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalJSON([]byte(`"1.5s"`)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 1500*time.Millisecond {
+		t.Errorf("string form = %v", time.Duration(d))
+	}
+	if err := d.UnmarshalJSON([]byte(`2000000000`)); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 2*time.Second {
+		t.Errorf("numeric form = %v", time.Duration(d))
+	}
+	if err := d.UnmarshalJSON([]byte(`"not-a-duration"`)); err == nil {
+		t.Error("garbage duration should error")
+	}
+	if err := d.UnmarshalJSON([]byte(`true`)); err == nil {
+		t.Error("bool duration should error")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "drs.json")
+	orig := Default()
+	orig.Kmax = 48
+	orig.Smoothing = metrics.SmoothingSpec{Kind: "window", Window: 8}
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kmax != 48 || got.Smoothing.Window != 8 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if time.Duration(got.PullInterval) != time.Duration(orig.PullInterval) {
+		t.Errorf("pull interval lost: %v", got.PullInterval)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestSaveInvalidConfig(t *testing.T) {
+	c := Default()
+	c.Kmax = 0
+	if err := c.Save(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Error("saving invalid config should error")
+	}
+}
+
+func TestMeasurerConfigMapping(t *testing.T) {
+	c := Default()
+	c.MaxServiceTime = Duration(time.Second)
+	mc := c.MeasurerConfig([]string{"a", "b"})
+	if len(mc.OperatorNames) != 2 || mc.MaxServiceTime != time.Second {
+		t.Errorf("measurer config = %+v", mc)
+	}
+	if _, err := metrics.NewMeasurer(mc); err != nil {
+		t.Errorf("mapped measurer config unusable: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+func TestAblationScanExportedWrapper(t *testing.T) {
+	m := vldLikeModel(t)
+	k, err := AssignProcessorsScan(m, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.AssignProcessors(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et1, _ := m.ExpectedSojourn(k)
+	et2, _ := m.ExpectedSojourn(h)
+	if math.Abs(et1-et2) > 1e-12 {
+		t.Errorf("scan and heap disagree: %v vs %v", k, h)
+	}
+}
+
+func TestAblationBruteForceExportedWrapper(t *testing.T) {
+	m := mustModel(t, 5, []OpRates{
+		{Lambda: 5, Mu: 2}, {Lambda: 10, Mu: 4},
+	})
+	k, et, err := BruteForceAssign(m, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := m.AssignProcessors(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etG, _ := m.ExpectedSojourn(greedy)
+	if math.Abs(et-etG) > 1e-12 {
+		t.Errorf("brute force %v (%g) vs greedy %v (%g)", k, et, greedy, etG)
+	}
+}
+
+// TestAblationNaiveModelNeverBeatsErlang compares allocations produced by
+// the naive M/M/1-pooling model against Algorithm 1's, both judged by the
+// true M/M/k objective: the naive model must never win, and must lose on
+// at least some instances — the design-choice justification for carrying
+// the full Erlang formula.
+func TestAblationNaiveModelNeverBeatsErlang(t *testing.T) {
+	rng := stats.NewRNG(20150423) // the paper's arXiv v3 date
+	losses := 0
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.IntN(4)
+		ops := make([]OpRates, n)
+		for i := range ops {
+			ops[i] = OpRates{Lambda: 1 + rng.Float64()*150, Mu: 0.5 + rng.Float64()*30}
+		}
+		m, err := NewModel(1+rng.Float64()*20, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, minTotal, err := m.MinAllocation()
+		if err != nil {
+			t.Fatal(err)
+		}
+		kmax := minTotal + 1 + rng.IntN(20)
+		erlang, err := m.AssignProcessors(kmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := NaiveAssignProcessors(m, kmax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		etErlang, _ := m.ExpectedSojourn(erlang)
+		etNaive, _ := m.ExpectedSojourn(naive)
+		if etNaive < etErlang*(1-1e-9) {
+			t.Fatalf("trial %d: naive model beat Algorithm 1 (%g < %g) — impossible by Theorem 1",
+				trial, etNaive, etErlang)
+		}
+		if etNaive > etErlang*(1+1e-9) {
+			losses++
+		}
+	}
+	if losses == 0 {
+		t.Error("naive model never lost; ablation shows no benefit from the Erlang model")
+	}
+	t.Logf("naive M/M/1 model produced a worse allocation in %d/200 instances", losses)
+}
+
+func TestServiceCVShiftsAllocation(t *testing.T) {
+	// Two identical operators except one has heavy-tailed service
+	// (CV² = 4): under the corrected model it queues worse, so Algorithm 1
+	// must give it at least as many processors — and for a tight budget,
+	// strictly more.
+	base := []OpRates{
+		{Name: "steady", Lambda: 40, Mu: 10},
+		{Name: "bursty", Lambda: 40, Mu: 10, ServiceCV2: 4},
+	}
+	m, err := NewModel(40, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 processors: after the even (6,6) split the odd one must go to the
+	// bursty operator, whose corrected marginal benefit is 2.5x larger.
+	k, err := m.AssignProcessors(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k[1] <= k[0] {
+		t.Errorf("bursty operator got %d <= steady's %d processors", k[1], k[0])
+	}
+	// With CV² unset both default to the exponential assumption and the
+	// split is even.
+	plain, err := NewModel(40, []OpRates{
+		{Name: "a", Lambda: 40, Mu: 10},
+		{Name: "b", Lambda: 40, Mu: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kp, err := plain.AssignProcessors(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kp[0] != kp[1] {
+		t.Errorf("symmetric operators split unevenly: %v", kp)
+	}
+}
+
+func TestServiceCVDefaultMatchesPaperModel(t *testing.T) {
+	// ServiceCV2 = 0 (unset) must reproduce the paper's Equation (1)
+	// exactly — full backward compatibility.
+	m := vldLikeModel(t)
+	withCV := mustModel(t, 13, []OpRates{
+		{Name: "extract", Lambda: 13, Mu: 1.5, ServiceCV2: 1},
+		{Name: "match", Lambda: 650, Mu: 68, ServiceCV2: 1},
+		{Name: "aggregate", Lambda: 130, Mu: 700, ServiceCV2: 1},
+	})
+	for _, alloc := range [][]int{{10, 11, 1}, {9, 12, 1}, {12, 9, 1}} {
+		a, _ := m.ExpectedSojourn(alloc)
+		b, _ := withCV.ExpectedSojourn(alloc)
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("alloc %v: unset CV %g != CV=1 %g", alloc, a, b)
+		}
+	}
+}

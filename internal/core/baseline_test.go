@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+func thresholdSnapshot(alloc []int) Snapshot {
+	return Snapshot{
+		Lambda0: 13,
+		Ops: []OpRates{
+			{Name: "extract", Lambda: 13, Mu: 1 / 0.45}, // rho at k: 5.85/k
+			{Name: "match", Lambda: 13, Mu: 1 / 0.50},   // 6.5/k
+			{Name: "aggregate", Lambda: 13, Mu: 100},    // 0.13/k
+		},
+		Alloc: alloc,
+		Kmax:  22,
+	}
+}
+
+func TestThresholdControllerValidation(t *testing.T) {
+	bad := []ThresholdController{
+		{High: 0.5, Low: 0.8, Kmax: 10}, // inverted
+		{High: 0.8, Low: 0, Kmax: 10},   // low at zero
+		{High: 1.0, Low: 0.3, Kmax: 10}, // high at one
+		{High: 0.8, Low: 0.3, Kmax: 0},  // no budget
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+		if _, err := c.Step(thresholdSnapshot([]int{8, 8, 1})); err == nil {
+			t.Errorf("case %d Step should fail validation", i)
+		}
+	}
+	good := ThresholdController{High: 0.8, Low: 0.3, Kmax: 22}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestThresholdScalesOverloadedOperator(t *testing.T) {
+	c := ThresholdController{High: 0.8, Low: 0.3, Kmax: 22}
+	// extract at k=6: rho = 0.975 -> must grow; aggregate at k=2:
+	// rho = 0.065 -> gives one up.
+	d, err := c.Step(thresholdSnapshot([]int{6, 10, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ActionRebalance {
+		t.Fatalf("action = %v (%s)", d.Action, d.Reason)
+	}
+	if d.Target[0] <= 6 {
+		t.Errorf("overloaded operator not grown: %v", d.Target)
+	}
+	if d.Target[2] != 1 {
+		t.Errorf("underutilized operator not shrunk: %v", d.Target)
+	}
+}
+
+func TestThresholdHoldsInBand(t *testing.T) {
+	c := ThresholdController{High: 0.8, Low: 0.3, Kmax: 22}
+	// All utilizations in (0.3, 0.8): 5.85/10=0.59, 6.5/11=0.59, 0.13/... k=1
+	// aggregate rho=0.13 < Low but k=1 cannot shrink further.
+	d, err := c.Step(thresholdSnapshot([]int{10, 11, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Action != ActionNone {
+		t.Errorf("action = %v (%s), want none in band", d.Action, d.Reason)
+	}
+}
+
+func TestThresholdRespectsBudget(t *testing.T) {
+	c := ThresholdController{High: 0.5, Low: 0.1, Kmax: 22}
+	// Everything over-threshold but the budget is exhausted: only freed
+	// processors can move.
+	d, err := c.Step(thresholdSnapshot([]int{10, 11, 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	if d.Action == ActionRebalance {
+		for _, k := range d.Target {
+			total += k
+		}
+		if total > 22 {
+			t.Errorf("target %v exceeds Kmax", d.Target)
+		}
+	}
+}
+
+func TestThresholdRejectsBadSnapshot(t *testing.T) {
+	c := ThresholdController{High: 0.8, Low: 0.3, Kmax: 22}
+	if _, err := c.Step(Snapshot{}); err == nil {
+		t.Error("empty snapshot should error")
+	}
+	if _, err := c.Step(Snapshot{Ops: make([]OpRates, 2), Alloc: make([]int, 3)}); err == nil {
+		t.Error("mismatched alloc should error")
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestCalibrationScratch is a development aid: it searches service-rate
+// parameters for the VLD and FPD profiles that reproduce the paper's
+// recommended allocations. Run with DRS_CALIBRATE=1.
+func TestCalibrationScratch(t *testing.T) {
+	if os.Getenv("DRS_CALIBRATE") == "" {
+		t.Skip("set DRS_CALIBRATE=1 to run")
+	}
+
+	t.Run("VLD", func(t *testing.T) {
+		// Frame-granularity chain: lambda_i = 13 for every stage; search
+		// per-frame service seconds s1 (SIFT), s2 (matching), s3 (aggregate).
+		found := 0
+		for s1 := 0.40; s1 <= 0.61; s1 += 0.01 {
+			for s2 := 0.40; s2 <= 0.61; s2 += 0.01 {
+				for _, s3 := range []float64{0.01, 0.02, 0.03, 0.04, 0.05} {
+					mu1, mu2, mu3 := 1/s1, 1/s2, 1/s3
+					// Stability for all Fig-6 configs: a1<8, a2<9, a3<1.
+					if 13/mu1 >= 8 || 13/mu2 >= 9 || 13/mu3 >= 1 {
+						continue
+					}
+					mdl, err := NewModel(13, []OpRates{
+						{Lambda: 13, Mu: mu1}, {Lambda: 13, Mu: mu2}, {Lambda: 13, Mu: mu3},
+					})
+					if err != nil {
+						continue
+					}
+					k22, err := mdl.AssignProcessors(22)
+					if err != nil || !allocEqual(k22, []int{10, 11, 1}) {
+						continue
+					}
+					k17, err := mdl.AssignProcessors(17)
+					if err != nil || !allocEqual(k17, []int{8, 8, 1}) {
+						continue
+					}
+					et22, _ := mdl.ExpectedSojourn(k22)
+					et17, _ := mdl.ExpectedSojourn(k17)
+					found++
+					fmt.Printf("VLD s1=%.2f s2=%.2f s3=%.2f | E22=%.3f E17=%.3f lb=%.3f\n",
+						s1, s2, s3, et22, et17, mdl.LowerBound())
+				}
+			}
+		}
+		fmt.Printf("VLD candidates: %d\n", found)
+	})
+
+	t.Run("FPD", func(t *testing.T) {
+		// lambda0 = 320 tweets/s, 2 spouts (+/-) -> 640 events/s at the
+		// generator. Search: s1 secs/event, c candidates/event, s2,
+		// loop gain g, notification selectivity r, s3.
+		found := 0
+		for _, s1 := range []float64{0.005, 0.006, 0.007, 0.008} {
+			for _, c := range []float64{2, 3, 4} {
+				for _, s2 := range []float64{0.004, 0.005, 0.006, 0.007} {
+					for _, g := range []float64{0.02, 0.05, 0.10} {
+						for _, r := range []float64{0.05, 0.10, 0.20} {
+							for _, s3 := range []float64{0.004, 0.006, 0.008, 0.010} {
+								l1 := 640.0
+								l2 := l1 * c / (1 - g)
+								l3 := l2 * r
+								mu1, mu2, mu3 := 1/s1, 1/s2, 1/s3
+								if l1/mu1 >= 5 || l2/mu2 >= 12 || l3/mu3 >= 2 {
+									continue
+								}
+								mdl, err := NewModel(640, []OpRates{
+									{Lambda: l1, Mu: mu1}, {Lambda: l2, Mu: mu2}, {Lambda: l3, Mu: mu3},
+								})
+								if err != nil {
+									continue
+								}
+								k22, err := mdl.AssignProcessors(22)
+								if err != nil || !allocEqual(k22, []int{6, 13, 3}) {
+									continue
+								}
+								et22, _ := mdl.ExpectedSojourn(k22)
+								if et22 < 0.010 || et22 > 0.022 {
+									continue
+								}
+								found++
+								fmt.Printf("FPD s1=%g c=%g s2=%g g=%g r=%g s3=%g | E22=%.4f lb=%.4f\n",
+									s1, c, s2, g, r, s3, et22, mdl.LowerBound())
+							}
+						}
+					}
+				}
+			}
+		}
+		fmt.Printf("FPD candidates: %d\n", found)
+	})
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/drs-repro/drs/internal/queueing"
+)
+
+// Heterogeneous processors (paper §III-A: "the proposed models and
+// algorithms can also support settings with heterogeneous processors").
+//
+// A processor is described by a speed factor: speed 1 serves at the
+// operator's nominal µ_i, speed 2 twice as fast. An operator holding a set
+// of processors is approximated as an M/M/k station whose per-server rate
+// is µ_i times the *mean* speed of its processors — the standard
+// capacity-pooling approximation; exact for identical speeds.
+//
+// Allocation stays greedy, but the unit of allocation is now a concrete
+// processor: at each step the fastest unassigned processor goes to the
+// operator whose Equation-(3) term drops the most by receiving it. With
+// identical speeds this reduces exactly to Algorithm 1 (verified in tests);
+// with mixed speeds it is a heuristic — the paper's Theorem 1 convexity
+// argument no longer applies verbatim because adding a processor changes
+// both k and the effective rate.
+
+// ErrInsufficientSpeed is returned when even assigning every processor
+// cannot stabilize all operators.
+var ErrInsufficientSpeed = errors.New("core: processor pool cannot stabilize all operators")
+
+// HeteroAssignment maps each operator to the speed factors of the
+// processors it received.
+type HeteroAssignment struct {
+	// Speeds[i] lists the speed factors assigned to operator i.
+	Speeds [][]float64
+}
+
+// Counts reports the processor count per operator.
+func (a HeteroAssignment) Counts() []int {
+	out := make([]int, len(a.Speeds))
+	for i, s := range a.Speeds {
+		out[i] = len(s)
+	}
+	return out
+}
+
+// effectiveRate is µ_i scaled by the mean speed of the assigned processors.
+func effectiveRate(mu float64, speeds []float64) float64 {
+	if len(speeds) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range speeds {
+		total += s
+	}
+	return mu * total / float64(len(speeds))
+}
+
+// heteroOperatorSojourn evaluates one operator under its processor set.
+func (m *Model) heteroOperatorSojourn(i int, speeds []float64) float64 {
+	if len(speeds) == 0 {
+		if m.ops[i].Lambda == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	op := m.ops[i]
+	return queueing.ExpectedSojournCorrected(op.Lambda, effectiveRate(op.Mu, speeds), len(speeds), op.cv2())
+}
+
+// HeteroExpectedSojourn evaluates Equation (3) under a heterogeneous
+// assignment.
+func (m *Model) HeteroExpectedSojourn(a HeteroAssignment) (float64, error) {
+	if len(a.Speeds) != len(m.ops) {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(a.Speeds), len(m.ops))
+	}
+	total := 0.0
+	for i, op := range m.ops {
+		if op.Lambda == 0 {
+			continue
+		}
+		ti := m.heteroOperatorSojourn(i, a.Speeds[i])
+		if math.IsInf(ti, 1) {
+			return math.Inf(1), nil
+		}
+		total += op.Lambda * ti
+	}
+	return total / m.lambda0, nil
+}
+
+// AssignHeterogeneous distributes a pool of processors with the given
+// speed factors over the model's operators. Phase 1 stabilizes: the
+// fastest processors go to whichever operator is still unstable (largest
+// load deficit first). Phase 2 spends the rest greedily by marginal
+// benefit. Speeds must be positive.
+func (m *Model) AssignHeterogeneous(speeds []float64) (HeteroAssignment, error) {
+	if len(speeds) == 0 {
+		return HeteroAssignment{}, errors.New("core: empty processor pool")
+	}
+	for _, s := range speeds {
+		if s <= 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+			return HeteroAssignment{}, fmt.Errorf("core: invalid processor speed %g", s)
+		}
+	}
+	pool := append([]float64(nil), speeds...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(pool)))
+
+	a := HeteroAssignment{Speeds: make([][]float64, len(m.ops))}
+	// capacity[i] tracks Σ speeds · µ_i, the operator's total service rate.
+	capacity := make([]float64, len(m.ops))
+	next := 0
+
+	// Phase 1: stabilize. An operator is stable when capacity > λ.
+	for {
+		worst, worstDeficit := -1, 0.0
+		for i, op := range m.ops {
+			if deficit := op.Lambda - capacity[i]; deficit >= 0 && (worst < 0 || deficit > worstDeficit) {
+				// deficit == 0 still needs one more (k = λ/µ is unstable).
+				worst, worstDeficit = i, deficit
+			}
+		}
+		if worst < 0 {
+			break
+		}
+		if next == len(pool) {
+			return HeteroAssignment{}, fmt.Errorf("%w: %d processors too few/slow", ErrInsufficientSpeed, len(pool))
+		}
+		a.Speeds[worst] = append(a.Speeds[worst], pool[next])
+		capacity[worst] += pool[next] * m.ops[worst].Mu
+		next++
+	}
+
+	// Phase 2: spend the remainder by marginal benefit of the next
+	// (fastest remaining) processor.
+	for ; next < len(pool); next++ {
+		s := pool[next]
+		best, bestDelta := -1, 0.0
+		for i := range m.ops {
+			cur := m.heteroOperatorSojourn(i, a.Speeds[i])
+			with := m.heteroOperatorSojourn(i, append(a.Speeds[i], s))
+			delta := m.ops[i].Lambda * (cur - with)
+			if delta > bestDelta {
+				best, bestDelta = i, delta
+			}
+		}
+		if best < 0 {
+			break // no operator benefits; leave the rest unassigned
+		}
+		a.Speeds[best] = append(a.Speeds[best], s)
+	}
+	return a, nil
+}

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+func TestHeteroEqualSpeedsReducesToAlgorithm1(t *testing.T) {
+	m := vldLikeModel(t)
+	speeds := make([]float64, 22)
+	for i := range speeds {
+		speeds[i] = 1
+	}
+	hetero, err := m.AssignHeterogeneous(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := m.AssignProcessors(22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc := hetero.Counts()
+	// Tie-breaking may differ; E[T] must match Algorithm 1's optimum.
+	etH, err := m.HeteroExpectedSojourn(hetero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etP, _ := m.ExpectedSojourn(plain)
+	if math.Abs(etH-etP) > 1e-9*(1+etP) {
+		t.Errorf("equal-speed hetero %v (E=%g) != Algorithm 1 %v (E=%g)", hc, etH, plain, etP)
+	}
+}
+
+func TestHeteroFastProcessorsGoToBottleneck(t *testing.T) {
+	// Two operators, one heavily loaded; two fast processors and several
+	// slow ones: the fast ones must land on the loaded operator.
+	m := mustModel(t, 10, []OpRates{
+		{Name: "hot", Lambda: 30, Mu: 4},
+		{Name: "cool", Lambda: 2, Mu: 4},
+	})
+	speeds := []float64{4, 4, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1}
+	a, err := m.AssignHeterogeneous(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastOnHot := 0
+	for _, s := range a.Speeds[0] {
+		if s == 4 {
+			fastOnHot++
+		}
+	}
+	if fastOnHot != 2 {
+		t.Errorf("hot operator got %d of 2 fast processors: %v", fastOnHot, a.Speeds)
+	}
+	et, err := m.HeteroExpectedSojourn(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(et, 1) {
+		t.Error("assignment unstable")
+	}
+}
+
+func TestHeteroMatchesBruteForceSmall(t *testing.T) {
+	// Exhaustively try every partition of 7 processors over 2 operators
+	// and confirm the greedy heuristic is within 5% of the best.
+	m := mustModel(t, 6, []OpRates{
+		{Name: "a", Lambda: 6, Mu: 2},
+		{Name: "b", Lambda: 9, Mu: 3},
+	})
+	speeds := []float64{2, 1.5, 1, 1, 1, 0.5, 0.5}
+	greedy, err := m.AssignHeterogeneous(speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	etGreedy, err := m.HeteroExpectedSojourn(greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	n := len(speeds)
+	for mask := 0; mask < 1<<n; mask++ {
+		a := HeteroAssignment{Speeds: make([][]float64, 2)}
+		for bit := 0; bit < n; bit++ {
+			if mask&(1<<bit) != 0 {
+				a.Speeds[0] = append(a.Speeds[0], speeds[bit])
+			} else {
+				a.Speeds[1] = append(a.Speeds[1], speeds[bit])
+			}
+		}
+		if et, err := m.HeteroExpectedSojourn(a); err == nil && et < best {
+			best = et
+		}
+	}
+	if etGreedy > best*1.05 {
+		t.Errorf("greedy E=%g more than 5%% above exhaustive best %g", etGreedy, best)
+	}
+}
+
+func TestHeteroStabilizationPhase(t *testing.T) {
+	// Pool must be spent on stability first: a single slow processor per
+	// operator cannot stabilize, so fast ones must be split across both.
+	m := mustModel(t, 4, []OpRates{
+		{Lambda: 4, Mu: 1},
+		{Lambda: 4, Mu: 1},
+	})
+	a, err := m.AssignHeterogeneous([]float64{5, 5, 0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := m.HeteroExpectedSojourn(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(et, 1) {
+		t.Fatalf("unstable assignment %v", a.Speeds)
+	}
+	for i, s := range a.Speeds {
+		if effectiveRate(m.Rates()[i].Mu, s)*float64(len(s)) <= m.Rates()[i].Lambda {
+			t.Errorf("operator %d under capacity: %v", i, s)
+		}
+	}
+}
+
+func TestHeteroInsufficientPool(t *testing.T) {
+	m := mustModel(t, 10, []OpRates{{Lambda: 100, Mu: 1}})
+	_, err := m.AssignHeterogeneous([]float64{1, 1, 1})
+	if !errors.Is(err, ErrInsufficientSpeed) {
+		t.Errorf("err = %v, want ErrInsufficientSpeed", err)
+	}
+}
+
+func TestHeteroValidation(t *testing.T) {
+	m := vldLikeModel(t)
+	if _, err := m.AssignHeterogeneous(nil); err == nil {
+		t.Error("empty pool should error")
+	}
+	if _, err := m.AssignHeterogeneous([]float64{1, -1}); err == nil {
+		t.Error("negative speed should error")
+	}
+	if _, err := m.AssignHeterogeneous([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN speed should error")
+	}
+	if _, err := m.HeteroExpectedSojourn(HeteroAssignment{Speeds: make([][]float64, 1)}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Error("dimension mismatch should be reported")
+	}
+}
+
+func TestHeteroRandomizedStability(t *testing.T) {
+	rng := stats.NewRNG(31)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.IntN(3)
+		ops := make([]OpRates, n)
+		for i := range ops {
+			ops[i] = OpRates{Lambda: 1 + rng.Float64()*50, Mu: 1 + rng.Float64()*10}
+		}
+		m, err := NewModel(1+rng.Float64()*10, ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := make([]float64, 8+rng.IntN(30))
+		for i := range pool {
+			pool[i] = 0.5 + rng.Float64()*3
+		}
+		a, err := m.AssignHeterogeneous(pool)
+		if errors.Is(err, ErrInsufficientSpeed) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		et, err := m.HeteroExpectedSojourn(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.IsInf(et, 1) || math.IsNaN(et) {
+			t.Fatalf("trial %d: bad E[T] %g for %v", trial, et, a.Speeds)
+		}
+		// Every processor is either assigned or provably useless; the
+		// counts must never exceed the pool.
+		total := 0
+		for _, k := range a.Counts() {
+			total += k
+		}
+		if total > len(pool) {
+			t.Fatalf("assigned %d of %d processors", total, len(pool))
+		}
+	}
+}

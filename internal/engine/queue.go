@@ -1,0 +1,91 @@
+// Package engine is the CSP (cloud stream processing) substrate: a small,
+// from-scratch, Storm-like operator DSMS. Applications are topologies of
+// spouts (sources) and bolts (operators); each bolt is partitioned into a
+// fixed number of tasks (the paper's Appendix-C partitioning scheme), and
+// tasks are assigned to executors — goroutines with an input queue. Because
+// routing targets tasks, not executors, the executor count of a bolt can be
+// changed at runtime ("re-balancing") without changing routing and without
+// losing task-local state, which is exactly the mechanism DRS relies on.
+//
+// The engine measures itself with the metrics package probes: arrivals are
+// counted at the queue tail, service times per tuple, and every external
+// tuple's processing tree is tracked so its total sojourn time is recorded
+// on completion — the quantity the paper's measurer feeds to the optimizer.
+package engine
+
+import "sync"
+
+// queueItem pairs a tuple with the task that must process it.
+type queueItem struct {
+	task int
+	tup  Tuple
+}
+
+// queue is an unbounded MPSC blocking queue. Unbounded matters: with loop
+// topologies (FPD's detector notifies itself) a bounded queue lets an
+// executor block on emitting to itself — a deadlock the paper's Storm setup
+// avoids with large buffers. Memory pressure is the accepted trade, as in
+// the paper ("errors when the queue reaches its size limit" is the overload
+// failure mode we surface through latency instead).
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []queueItem
+	head   int
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues one item; returns false if the queue is closed.
+func (q *queue) push(it queueItem) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.items = append(q.items, it)
+	q.cond.Signal()
+	return true
+}
+
+// pop blocks until an item is available or the queue is closed and empty.
+func (q *queue) pop() (queueItem, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.head < len(q.items) {
+			it := q.items[q.head]
+			q.items[q.head] = queueItem{} // release references
+			q.head++
+			if q.head == len(q.items) {
+				q.items = q.items[:0]
+				q.head = 0
+			}
+			return it, true
+		}
+		if q.closed {
+			return queueItem{}, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// close wakes all poppers; pending items are still drained by pop.
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// len reports the number of queued items.
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items) - q.head
+}

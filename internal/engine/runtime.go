@@ -1,0 +1,516 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/drs-repro/drs/internal/metrics"
+)
+
+// ErrQuiesceTimeout is returned when a rebalance cannot drain in-flight
+// tuples in time; the topology keeps its previous configuration.
+var ErrQuiesceTimeout = errors.New("engine: quiesce timeout; rebalance aborted")
+
+// ErrStopped is returned for operations on a stopped run.
+var ErrStopped = errors.New("engine: topology stopped")
+
+// RunConfig parameterizes Start.
+type RunConfig struct {
+	// Alloc maps bolt name to executor count. Every bolt must be present;
+	// counts must be in [1, tasks].
+	Alloc map[string]int
+	// SampleEveryNm is the probe sampling stride (paper's Nm). Default 1.
+	SampleEveryNm int
+	// QuiesceTimeout bounds the drain wait during rebalance and stop.
+	// Default 10s.
+	QuiesceTimeout time.Duration
+	// TupleTimeout, when positive, counts external tuples whose processing
+	// tree does not complete within the window — Storm's message-timeout
+	// signal, exposed via LateTuples. Zero disables tracking.
+	TupleTimeout time.Duration
+}
+
+// executor is one processor: a goroutine draining an input queue.
+type executor struct {
+	q     *queue
+	probe *metrics.ExecutorProbe
+	done  chan struct{}
+}
+
+// routeTable is the immutable task->executor assignment of one bolt,
+// swapped atomically on rebalance.
+type routeTable struct {
+	execs  []*executor
+	assign []int // task -> index into execs
+}
+
+// boltRuntime is the running state of one bolt.
+type boltRuntime struct {
+	spec      boltSpec
+	instances []Bolt // one per task; owned by whichever executor holds the task
+	route     atomic.Pointer[routeTable]
+	rr        atomic.Uint64 // shuffle round-robin cursor
+	outEdges  []int
+	errCount  atomic.Int64
+	lastErr   atomic.Pointer[error]
+}
+
+// spoutRuntime is one spout's running state.
+type spoutRuntime struct {
+	spec     spoutSpec
+	outEdges []int
+}
+
+// Run is a started topology.
+type Run struct {
+	topo *Topology
+	cfg  RunConfig
+
+	bolts  []*boltRuntime
+	spouts []*spoutRuntime
+
+	completions completionLog
+	pending     pendingRoots
+	external    atomic.Int64
+	paused      atomic.Bool
+
+	spoutErrCount atomic.Int64
+	spoutLastErr  atomic.Pointer[error]
+	timeouts      *timeoutWatch
+
+	lastDrain time.Time
+
+	mu        sync.Mutex // serializes Rebalance/Stop; guards lastMoves
+	lastMoves map[string]int
+	stopped   atomic.Bool
+	done      chan struct{}
+	wg        sync.WaitGroup // spout goroutines
+	execWG    sync.WaitGroup // executor goroutines
+}
+
+// Start launches the topology.
+func (t *Topology) Start(cfg RunConfig) (*Run, error) {
+	if cfg.SampleEveryNm <= 0 {
+		cfg.SampleEveryNm = 1
+	}
+	if cfg.QuiesceTimeout <= 0 {
+		cfg.QuiesceTimeout = 10 * time.Second
+	}
+	r := &Run{
+		topo:      t,
+		cfg:       cfg,
+		done:      make(chan struct{}),
+		lastDrain: time.Now(),
+		timeouts:  &timeoutWatch{timeout: cfg.TupleTimeout},
+	}
+	r.bolts = make([]*boltRuntime, len(t.bolts))
+	for i, spec := range t.bolts {
+		n, ok := cfg.Alloc[spec.name]
+		if !ok {
+			return nil, fmt.Errorf("engine: no allocation for bolt %q", spec.name)
+		}
+		if n < 1 || n > spec.tasks {
+			return nil, fmt.Errorf("engine: bolt %q: %d executors out of [1, %d tasks]", spec.name, n, spec.tasks)
+		}
+		br := &boltRuntime{spec: spec, instances: make([]Bolt, spec.tasks)}
+		for task := 0; task < spec.tasks; task++ {
+			br.instances[task] = spec.factory(task)
+			if br.instances[task] == nil {
+				return nil, fmt.Errorf("engine: bolt %q: factory returned nil for task %d", spec.name, task)
+			}
+		}
+		r.bolts[i] = br
+	}
+	r.spouts = make([]*spoutRuntime, len(t.spouts))
+	for i, spec := range t.spouts {
+		r.spouts[i] = &spoutRuntime{spec: spec}
+	}
+	for ei, e := range t.edges {
+		if e.fromSpout {
+			r.spouts[e.from].outEdges = append(r.spouts[e.from].outEdges, ei)
+		} else {
+			r.bolts[e.from].outEdges = append(r.bolts[e.from].outEdges, ei)
+		}
+	}
+	// Spin up executors per the initial allocation, then the spouts.
+	for i, br := range r.bolts {
+		r.installExecutors(br, cfg.Alloc[t.bolts[i].name])
+	}
+	for si, sr := range r.spouts {
+		for inst := 0; inst < sr.spec.instances; inst++ {
+			spout := sr.spec.factory(inst)
+			if spout == nil {
+				r.shutdownExecutors()
+				return nil, fmt.Errorf("engine: spout %q: factory returned nil for instance %d", sr.spec.name, inst)
+			}
+			r.wg.Add(1)
+			go r.runSpout(si, inst, spout)
+		}
+	}
+	return r, nil
+}
+
+// installExecutors builds a fresh executor set for a bolt. On the first
+// install tasks are spread round-robin; on a rebalance the new assignment
+// is migration-aware — it keeps as many tasks as possible on their current
+// executor index (planAssignment), minimizing moved state per the paper's
+// future-work direction [42]. It returns how many tasks changed executor.
+func (r *Run) installExecutors(br *boltRuntime, n int) int {
+	old := br.route.Load()
+	rt := &routeTable{execs: make([]*executor, n)}
+	moved := 0
+	if old == nil {
+		rt.assign = make([]int, br.spec.tasks)
+		for task := 0; task < br.spec.tasks; task++ {
+			rt.assign[task] = task % n
+		}
+	} else {
+		rt.assign, moved = planAssignment(old.assign, len(old.execs), n)
+	}
+	for i := 0; i < n; i++ {
+		ex := &executor{
+			q:     newQueue(),
+			probe: metrics.NewExecutorProbe(r.cfg.SampleEveryNm),
+			done:  make(chan struct{}),
+		}
+		rt.execs[i] = ex
+		r.execWG.Add(1)
+		go r.runExecutor(br, ex)
+	}
+	br.route.Store(rt)
+	return moved
+}
+
+func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
+	defer r.execWG.Done()
+	defer close(ex.done)
+	for {
+		it, ok := ex.q.pop()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		emit := func(v Values) { r.emitFrom(br.outEdges, v, it.tup.tree) }
+		if err := br.instances[it.task].Process(it.tup, emit); err != nil {
+			br.errCount.Add(1)
+			br.lastErr.Store(&err)
+		}
+		ex.probe.TupleServed(time.Since(start))
+		it.tup.tree.ack(time.Now())
+	}
+}
+
+// runSpout drives one spout instance. A failing spout ends that instance
+// only; the topology keeps running on the remaining sources, and the error
+// is retained for inspection.
+func (r *Run) runSpout(si, instance int, spout Spout) {
+	defer r.wg.Done()
+	sc := &spoutCtx{run: r, spoutIdx: si, instance: instance}
+	if err := spout.Run(sc); err != nil && !errors.Is(err, ErrStopped) {
+		r.spoutErrCount.Add(1)
+		r.spoutLastErr.Store(&err)
+	}
+}
+
+type spoutCtx struct {
+	run      *Run
+	spoutIdx int
+	instance int
+}
+
+// Emit injects an external tuple: a new processing tree rooted now.
+func (c *spoutCtx) Emit(v Values) {
+	r := c.run
+	if r.stopped.Load() {
+		return
+	}
+	r.pending.inc()
+	r.external.Add(1)
+	now := time.Now()
+	entry := r.timeouts.watch(now)
+	tree := newRoot(now, func(sojourn time.Duration) {
+		r.timeouts.resolve(entry, time.Now())
+		r.completions.record(sojourn)
+		r.pending.dec()
+	})
+	r.emitFrom(r.spouts[c.spoutIdx].outEdges, v, tree)
+	tree.ack(time.Now()) // the root "tuple" itself needs no processing
+}
+
+// Done exposes the stop signal.
+func (c *spoutCtx) Done() <-chan struct{} { return c.run.done }
+
+// Paused reports whether a rebalance is in progress.
+func (c *spoutCtx) Paused() bool { return c.run.paused.Load() }
+
+// Instance reports the spout instance index.
+func (c *spoutCtx) Instance() int { return c.instance }
+
+// emitFrom routes one payload along the given edges whose stream matches.
+// A leading streamTag (from Emit.To) selects the stream and is stripped
+// before delivery. tree may be nil only if the payload is dropped
+// (defensive; normal paths always have a tree).
+func (r *Run) emitFrom(edges []int, v Values, tree *ackTree) {
+	if tree == nil {
+		return
+	}
+	stream := ""
+	if len(v) > 0 {
+		if tag, ok := v[0].(streamTag); ok {
+			stream = string(tag)
+			v = v[1:]
+		}
+	}
+	for _, ei := range edges {
+		e := r.topo.edges[ei]
+		if e.stream != stream {
+			continue
+		}
+		br := r.bolts[e.to]
+		rt := br.route.Load()
+		switch e.kind {
+		case GroupShuffle:
+			task := int(br.rr.Add(1) % uint64(br.spec.tasks))
+			r.deliver(br, rt, task, v, tree)
+		case GroupFields:
+			task := int(e.key(v) % uint64(br.spec.tasks))
+			r.deliver(br, rt, task, v, tree)
+		case GroupBroadcast:
+			for task := 0; task < br.spec.tasks; task++ {
+				r.deliver(br, rt, task, v, tree)
+			}
+		}
+	}
+}
+
+func (r *Run) deliver(br *boltRuntime, rt *routeTable, task int, v Values, tree *ackTree) {
+	tree.fork(1)
+	ex := rt.execs[rt.assign[task]]
+	ex.probe.TupleArrived()
+	if !ex.q.push(queueItem{task: task, tup: Tuple{Values: v, tree: tree}}) {
+		tree.ack(time.Now()) // queue closed during shutdown: resolve the node
+	}
+}
+
+// Allocation reports the current executor count per bolt.
+func (r *Run) Allocation() map[string]int {
+	out := make(map[string]int, len(r.bolts))
+	for _, br := range r.bolts {
+		out[br.spec.name] = len(br.route.Load().execs)
+	}
+	return out
+}
+
+// QueueLengths reports the total queued tuples per bolt.
+func (r *Run) QueueLengths() map[string]int {
+	out := make(map[string]int, len(r.bolts))
+	for _, br := range r.bolts {
+		total := 0
+		for _, ex := range br.route.Load().execs {
+			total += ex.q.len()
+		}
+		out[br.spec.name] = total
+	}
+	return out
+}
+
+// Errors reports the bolt's processing error count and last error.
+func (r *Run) Errors(bolt string) (int64, error) {
+	for _, br := range r.bolts {
+		if br.spec.name == bolt {
+			var last error
+			if p := br.lastErr.Load(); p != nil {
+				last = *p
+			}
+			return br.errCount.Load(), last
+		}
+	}
+	return 0, fmt.Errorf("engine: unknown bolt %q", bolt)
+}
+
+// LoadSkew reports, for one bolt, the ratio of the busiest executor's
+// cumulative served-tuple count to the mean across its executors (1.0 =
+// perfectly balanced). The DRS model *assumes* per-operator load balance
+// (§III-A); this diagnostic lets an operator check the assumption — e.g. a
+// fields grouping with a hot key will show skew that the M/M/k model
+// cannot see. Counts are cumulative since each executor started, so call
+// it between rebalances.
+func (r *Run) LoadSkew(bolt string) (float64, error) {
+	for _, br := range r.bolts {
+		if br.spec.name != bolt {
+			continue
+		}
+		rt := br.route.Load()
+		total, maxServed := int64(0), int64(0)
+		for _, ex := range rt.execs {
+			served := ex.probe.ServedTotal()
+			total += served
+			if served > maxServed {
+				maxServed = served
+			}
+		}
+		if total == 0 {
+			return 1, nil
+		}
+		mean := float64(total) / float64(len(rt.execs))
+		return float64(maxServed) / mean, nil
+	}
+	return 0, fmt.Errorf("engine: unknown bolt %q", bolt)
+}
+
+// LateTuples reports external tuples whose processing tree missed the
+// configured TupleTimeout (0 when disabled).
+func (r *Run) LateTuples() int64 {
+	return r.timeouts.lateCount(time.Now())
+}
+
+// SpoutErrors reports how many spout instances failed and the last failure.
+func (r *Run) SpoutErrors() (int64, error) {
+	var last error
+	if p := r.spoutLastErr.Load(); p != nil {
+		last = *p
+	}
+	return r.spoutErrCount.Load(), last
+}
+
+// Completions reports the cumulative completed-tuple count and mean total
+// sojourn time.
+func (r *Run) Completions() (count int64, meanSojourn time.Duration) {
+	n, total := r.completions.totals()
+	if n == 0 {
+		return 0, 0
+	}
+	return n, total / time.Duration(n)
+}
+
+// DrainInterval collects one measurement interval in measurer form:
+// per-bolt probe aggregates (operator level), external arrival count and
+// completed sojourns since the previous drain.
+func (r *Run) DrainInterval() metrics.IntervalReport {
+	now := time.Now()
+	rep := metrics.IntervalReport{
+		Duration:         now.Sub(r.lastDrain),
+		ExternalArrivals: r.external.Swap(0),
+		Ops:              make([]metrics.OpInterval, len(r.bolts)),
+	}
+	r.lastDrain = now
+	for i, br := range r.bolts {
+		var agg metrics.OpInterval
+		for _, ex := range br.route.Load().execs {
+			c := ex.probe.Drain()
+			agg.Merge(metrics.OpInterval{
+				Arrivals: c.Arrivals, Served: c.Served,
+				Sampled: c.Sampled, BusyTime: c.BusyTime,
+				BusySqSeconds: c.BusySqSeconds,
+			})
+		}
+		rep.Ops[i] = agg
+	}
+	rep.SojournCount, rep.SojournTotal = r.completions.drain()
+	return rep
+}
+
+// Rebalance changes executor counts (bolt name -> count). It pauses
+// ingestion, waits for in-flight tuples to drain, swaps executor sets for
+// the bolts whose counts change, and resumes — the paper's improved
+// JVM-reusing rebalance, which keeps task state in place.
+func (r *Run) Rebalance(alloc map[string]int) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// Validate first: reject before disturbing anything.
+	changed := make(map[int]int)
+	for i, br := range r.bolts {
+		n, ok := alloc[br.spec.name]
+		if !ok {
+			continue // unchanged bolts may be omitted
+		}
+		if n < 1 || n > br.spec.tasks {
+			return fmt.Errorf("engine: bolt %q: %d executors out of [1, %d tasks]", br.spec.name, n, br.spec.tasks)
+		}
+		if n != len(br.route.Load().execs) {
+			changed[i] = n
+		}
+	}
+	if len(changed) == 0 {
+		return nil
+	}
+	r.paused.Store(true)
+	defer r.paused.Store(false)
+	if !r.quiesce(r.cfg.QuiesceTimeout) {
+		return ErrQuiesceTimeout
+	}
+	moves := make(map[string]int, len(changed))
+	for i, n := range changed {
+		br := r.bolts[i]
+		old := br.route.Load()
+		moves[br.spec.name] = r.installExecutors(br, n)
+		for _, ex := range old.execs {
+			ex.q.close()
+		}
+		for _, ex := range old.execs {
+			<-ex.done
+		}
+	}
+	r.lastMoves = moves
+	return nil
+}
+
+// LastRebalanceMoves reports, for the most recent successful Rebalance, how
+// many tasks of each changed bolt migrated to a different executor — the
+// state-movement cost the migration-aware planner minimizes.
+func (r *Run) LastRebalanceMoves() map[string]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int, len(r.lastMoves))
+	for k, v := range r.lastMoves {
+		out[k] = v
+	}
+	return out
+}
+
+// quiesce waits until no external tuple trees are pending.
+func (r *Run) quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for r.pending.value() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// Stop shuts the topology down: spouts first, then a drain, then the
+// executors. Safe to call once; later calls return ErrStopped.
+func (r *Run) Stop() error {
+	if !r.stopped.CompareAndSwap(false, true) {
+		return ErrStopped
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	close(r.done)
+	r.wg.Wait() // spouts gone; no new roots
+	drained := r.quiesce(r.cfg.QuiesceTimeout)
+	r.shutdownExecutors()
+	r.execWG.Wait()
+	if !drained {
+		return fmt.Errorf("engine: stopped with tuples in flight: %w", ErrQuiesceTimeout)
+	}
+	return nil
+}
+
+func (r *Run) shutdownExecutors() {
+	for _, br := range r.bolts {
+		if rt := br.route.Load(); rt != nil {
+			for _, ex := range rt.execs {
+				ex.q.close()
+			}
+		}
+	}
+}

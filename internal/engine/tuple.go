@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Values is the payload of a tuple: a positional field list, as in Storm.
+type Values []any
+
+// Tuple is a unit of data flowing through the topology. The zero value is
+// not useful; tuples are created by the engine when spouts and bolts emit.
+type Tuple struct {
+	// Values is the tuple payload.
+	Values Values
+	tree   *ackTree
+}
+
+// ackTree tracks one external tuple's processing tree: it completes when
+// every derived tuple has been processed — the paper's definition of
+// "fully processed", measured by Storm through its acking mechanism.
+type ackTree struct {
+	arrived time.Time
+	pending atomic.Int64
+	done    func(sojourn time.Duration)
+}
+
+// newRoot starts a tree with one pending node (the root tuple itself).
+func newRoot(now time.Time, done func(time.Duration)) *ackTree {
+	t := &ackTree{arrived: now, done: done}
+	t.pending.Store(1)
+	return t
+}
+
+// fork registers n more pending nodes (children emitted by a bolt). It must
+// be called before the children are enqueued.
+func (t *ackTree) fork(n int) {
+	if n > 0 {
+		t.pending.Add(int64(n))
+	}
+}
+
+// ack resolves one node; the last ack fires the completion callback.
+func (t *ackTree) ack(now time.Time) {
+	if t.pending.Add(-1) == 0 {
+		if t.done != nil {
+			t.done(now.Sub(t.arrived))
+		}
+	}
+}
+
+// completionLog accumulates total sojourn times, concurrently, with both a
+// per-interval view (drained into measurer reports) and a cumulative one.
+type completionLog struct {
+	mu sync.Mutex
+
+	intervalCount int64
+	intervalTotal time.Duration
+
+	totalCount int64
+	totalSum   time.Duration
+}
+
+func (c *completionLog) record(sojourn time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.intervalCount++
+	c.intervalTotal += sojourn
+	c.totalCount++
+	c.totalSum += sojourn
+}
+
+// drain returns and resets the per-interval counters.
+func (c *completionLog) drain() (count int64, total time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	count, total = c.intervalCount, c.intervalTotal
+	c.intervalCount, c.intervalTotal = 0, 0
+	return count, total
+}
+
+// totals returns the cumulative counters.
+func (c *completionLog) totals() (count int64, total time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.totalCount, c.totalSum
+}
+
+// timeoutWatch tracks tuple-tree completion deadlines, like Storm's
+// message-timeout: an external tuple whose tree has not completed within
+// the timeout is counted as late (Storm would replay it; this engine
+// surfaces the count so DRS's latency violations are observable even when
+// individual results eventually arrive).
+type timeoutWatch struct {
+	timeout time.Duration
+	late    atomic.Int64
+	mu      sync.Mutex
+	// entries holds completion deadlines of in-flight roots, FIFO;
+	// completion marks the entry resolved instead of searching the queue.
+	entries []*timeoutEntry
+}
+
+type timeoutEntry struct {
+	deadline time.Time
+	// resolved is set at completion time; lateness is decided right there
+	// (a tree finishing after its deadline counts immediately), so the
+	// expirer only counts trees that never finished.
+	resolved atomic.Bool
+}
+
+// watch registers a new root; returns nil when timeouts are disabled.
+func (w *timeoutWatch) watch(now time.Time) *timeoutEntry {
+	if w == nil || w.timeout <= 0 {
+		return nil
+	}
+	e := &timeoutEntry{deadline: now.Add(w.timeout)}
+	w.mu.Lock()
+	w.entries = append(w.entries, e)
+	w.expireLocked(now)
+	w.mu.Unlock()
+	return e
+}
+
+// resolve records a tree completion, counting it late if past deadline.
+func (w *timeoutWatch) resolve(e *timeoutEntry, now time.Time) {
+	if w == nil || e == nil {
+		return
+	}
+	if e.resolved.CompareAndSwap(false, true) && now.After(e.deadline) {
+		w.late.Add(1)
+	}
+}
+
+// expireLocked pops expired leading entries; any still unresolved will be
+// counted late at their (eventual) completion, so the expirer only trims
+// the queue and counts trees marked resolved-on-time or not at all. To
+// keep "stuck forever" trees visible too, unresolved expired entries are
+// counted here and marked, which resolve's CAS then skips.
+func (w *timeoutWatch) expireLocked(now time.Time) {
+	i := 0
+	for ; i < len(w.entries); i++ {
+		e := w.entries[i]
+		if e.deadline.After(now) {
+			break
+		}
+		if e.resolved.CompareAndSwap(false, true) {
+			w.late.Add(1)
+		}
+	}
+	if i > 0 {
+		w.entries = append(w.entries[:0], w.entries[i:]...)
+	}
+}
+
+// lateCount reports roots that missed their deadline so far.
+func (w *timeoutWatch) lateCount(now time.Time) int64 {
+	if w == nil || w.timeout <= 0 {
+		return 0
+	}
+	w.mu.Lock()
+	w.expireLocked(now)
+	w.mu.Unlock()
+	return w.late.Load()
+}
+
+// pendingRoots counts external tuples whose trees have not completed —
+// the quiescence signal for rebalancing.
+type pendingRoots struct {
+	n atomic.Int64
+}
+
+func (p *pendingRoots) inc() { p.n.Add(1) }
+
+func (p *pendingRoots) dec() { p.n.Add(-1) }
+
+func (p *pendingRoots) value() int64 { return p.n.Load() }

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+// Transition records one applied controller decision during a run.
+type Transition struct {
+	// AtSeconds is the simulated time of the action.
+	AtSeconds float64
+	// Action is the controller's verdict.
+	Action core.Action
+	// Alloc is the allocation put in force.
+	Alloc []int
+	// Kmax is the pool size after the action.
+	Kmax int
+	// PauseSeconds is the modeled service disruption.
+	PauseSeconds float64
+	// Reason is the controller's justification.
+	Reason string
+}
+
+// controlLoopConfig assembles one controller-in-the-loop simulation.
+type controlLoopConfig struct {
+	profile  appProfile
+	initial  []int
+	pool     *cluster.Pool
+	ctrl     core.ControllerConfig
+	enableAt float64 // seconds; controller acts only from here on
+	duration float64 // seconds
+	interval float64 // measurement pull period Tm
+	seed     uint64
+	// stepper overrides the DRS controller (baseline comparisons); when
+	// nil, core.NewController(ctrl) decides.
+	stepper core.Stepper
+}
+
+// runControlled simulates the application with DRS attached: every
+// interval the simulator's measurements flow through the production
+// measurer, and (once enabled) the controller's decisions are applied with
+// their cluster-modeled pauses — the Figures 9 and 10 machinery.
+func runControlled(c controlLoopConfig) (*sim.Sim, []Transition, error) {
+	cfg, err := c.profile.simConfig(c.initial, c.seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.EnableSeries(60) // per-minute curves, as plotted in the paper
+	meas, err := metrics.NewMeasurer(metrics.MeasurerConfig{
+		OperatorNames: c.profile.names,
+		Smoothing:     metrics.SmoothingSpec{Kind: "window", Window: 6},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var ctrl core.Stepper = c.stepper
+	if ctrl == nil {
+		drsCtrl, err := core.NewController(c.ctrl)
+		if err != nil {
+			return nil, nil, err
+		}
+		ctrl = drsCtrl
+	}
+	var transitions []Transition
+	cooldownUntil := 0.0
+	for t := c.interval; t <= c.duration+1e-9; t += c.interval {
+		s.RunUntil(t)
+		if err := meas.AddInterval(s.DrainInterval()); err != nil {
+			return nil, nil, err
+		}
+		if t < c.enableAt || t < cooldownUntil {
+			continue
+		}
+		snap, err := meas.Snapshot()
+		if err != nil {
+			if errors.Is(err, metrics.ErrNotReady) {
+				continue
+			}
+			// Idle operators can lack service samples early on.
+			continue
+		}
+		snap.Alloc = s.Allocation()
+		snap.Kmax = c.pool.Kmax()
+		d, err := ctrl.Step(snap)
+		if err != nil {
+			if errors.Is(err, core.ErrUnreachableTarget) {
+				// Measured rates say Tmax is below the service-time floor;
+				// no allocation helps, so hold and re-measure next round.
+				continue
+			}
+			return nil, nil, fmt.Errorf("experiments: controller step at t=%.0fs: %w", t, err)
+		}
+		if d.Action == core.ActionNone {
+			continue
+		}
+		var tr cluster.Transition
+		switch d.Action {
+		case core.ActionRebalance:
+			tr = c.pool.Rebalance()
+		case core.ActionScaleOut, core.ActionScaleIn:
+			tr, err = c.pool.Resize(d.TargetKmax)
+			if err != nil {
+				if errors.Is(err, cluster.ErrNoCapacity) {
+					continue // provider cap reached; keep running as-is
+				}
+				return nil, nil, err
+			}
+		}
+		if err := s.SetAllocation(d.Target, tr.Pause.Seconds()); err != nil {
+			return nil, nil, err
+		}
+		transitions = append(transitions, Transition{
+			AtSeconds:    t,
+			Action:       d.Action,
+			Alloc:        append([]int(nil), d.Target...),
+			Kmax:         c.pool.Kmax(),
+			PauseSeconds: tr.Pause.Seconds(),
+			Reason:       d.Reason,
+		})
+		// Old measurements do not describe the new configuration; start
+		// clean and hold off while the transition backlog drains.
+		meas.Reset()
+		cooldownUntil = t + 4*c.interval
+	}
+	return s, transitions, nil
+}

@@ -1,0 +1,145 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on top of the simulator substrate. Each RunFigure*/
+// RunTable* function returns structured results plus a Print renderer that
+// writes the same rows/series the paper plots; cmd/drs-experiments and the
+// repository-level benchmarks are thin wrappers around this package.
+//
+// Absolute numbers differ from the paper (their substrate is a 6-machine
+// Storm cluster; ours is a calibrated discrete-event simulation), but the
+// shapes are reproduced: which allocation wins, the monotone relation of
+// estimates to measurements, the decay of underestimation with CPU share,
+// convergence after re-balancing, and the cost asymmetry of scaling out
+// versus in. EXPERIMENTS.md records paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/drs-repro/drs/internal/apps/fpd"
+	"github.com/drs-repro/drs/internal/apps/vld"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+// App selects which test application an experiment runs.
+type App string
+
+// The two applications of §V-A.
+const (
+	VLD App = "vld"
+	FPD App = "fpd"
+)
+
+// appProfile abstracts the two calibrated applications.
+type appProfile struct {
+	model       func() (*core.Model, error)
+	simConfig   func(alloc []int, seed uint64) (sim.Config, error)
+	allocations func() [][]int
+	recommended []int
+	names       []string
+}
+
+func profileFor(app App) (appProfile, error) {
+	switch app {
+	case VLD:
+		return appProfile{
+			model:       vld.Model,
+			simConfig:   vld.SimConfig,
+			allocations: vld.Figure6Allocations,
+			recommended: vld.RecommendedAllocation(),
+			names:       vld.OperatorNames(),
+		}, nil
+	case FPD:
+		return appProfile{
+			model:       fpd.Model,
+			simConfig:   fpd.SimConfig,
+			allocations: fpd.Figure6Allocations,
+			recommended: fpd.RecommendedAllocation(),
+			names:       fpd.OperatorNames(),
+		}, nil
+	default:
+		return appProfile{}, fmt.Errorf("experiments: unknown app %q", app)
+	}
+}
+
+// Options tune experiment length; the zero value uses paper-faithful
+// durations (10-minute steady-state runs, 27-minute controller runs).
+// Benchmarks shrink them to keep iterations fast.
+type Options struct {
+	// Duration is the steady-state measurement span in simulated seconds
+	// (default 600 = 10 minutes, as in Fig. 6).
+	Duration float64
+	// Warmup discards initial completions (default 60).
+	Warmup float64
+	// Seed feeds the simulations (default 1).
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Duration <= 0 {
+		o.Duration = 600
+	}
+	if o.Warmup < 0 || (o.Warmup == 0 && o.Duration >= 120) {
+		o.Warmup = 60
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// allocString renders (x1:x2:x3) like the paper's x-axis labels.
+func allocString(k []int) string {
+	s := "("
+	for i, v := range k {
+		if i > 0 {
+			s += ":"
+		}
+		s += fmt.Sprintf("%d", v)
+	}
+	return s + ")"
+}
+
+// measureAllocation runs one steady-state simulation and reports the mean
+// and standard deviation of the total sojourn time in milliseconds.
+func measureAllocation(p appProfile, alloc []int, o Options) (mean, stddev float64, err error) {
+	cfg, err := p.simConfig(alloc, o.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.SetWarmup(o.Warmup)
+	s.RunUntil(o.Duration)
+	cs := s.CompletedStats()
+	if cs.Count() == 0 {
+		return 0, 0, fmt.Errorf("experiments: no completions for %v", alloc)
+	}
+	return cs.Mean() * 1e3, cs.StdDev() * 1e3, nil
+}
+
+// fmtMillis renders a millisecond quantity compactly.
+func fmtMillis(ms float64) string {
+	if ms >= 100 {
+		return fmt.Sprintf("%.0f", ms)
+	}
+	return fmt.Sprintf("%.1f", ms)
+}
+
+// secondsToDuration converts simulated seconds to a duration.
+func secondsToDuration(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}
+
+// header writes a section banner.
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(w, "-")
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+// Fig10Experiment identifies the two runs of Figure 10.
+type Fig10Experiment string
+
+// ExpA scales out (tight Tmax, small initial pool); ExpB scales in (loose
+// Tmax, large initial pool).
+const (
+	ExpA Fig10Experiment = "ExpA"
+	ExpB Fig10Experiment = "ExpB"
+)
+
+// Fig10 Tmax settings. The paper uses 500 ms and 1000 ms on its hardware;
+// our calibrated VLD runs ~2x slower in absolute terms (EXPERIMENTS.md), so
+// the constraints scale accordingly while preserving the relation
+//
+//	E[T](22 procs) < TmaxA < measured(17 procs)   (ExpA must grow)
+//	measured(17 procs) < TmaxB·(1−slack)          (ExpB may shrink)
+const (
+	TmaxExpA = 1.25
+	TmaxExpB = 2.0
+)
+
+// Fig10Result is one curve of Figure 10.
+type Fig10Result struct {
+	Experiment  Fig10Experiment
+	Tmax        float64
+	Series      []sim.SeriesPoint
+	Transitions []Transition
+	// InitialMachines/FinalMachines and the K's bracket the run.
+	InitialMachines, FinalMachines int
+	InitialKmax, FinalKmax         int
+	InitialAlloc, FinalAlloc       []int
+	// MeetsTargetAfter reports whether the post-transition steady state
+	// satisfies Tmax (the ExpA claim) — for ExpB the claim is that the
+	// smaller pool still satisfies it.
+	MeetsTargetAfter bool
+}
+
+// RunFigure10 reproduces the Tmax-driven scaling experiment on VLD:
+// re-balancing disabled for the first 13 of 27 minutes, then DRS in
+// min-resource mode negotiates machines through the cluster pool.
+func RunFigure10(exp Fig10Experiment, o Options) (Fig10Result, error) {
+	o = o.withDefaults()
+	p, err := profileFor(VLD)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	duration := 27 * 60.0
+	enableAt := 13 * 60.0
+	if o.Duration != 600 { // scaled-down run (benchmarks)
+		duration = o.Duration
+		enableAt = duration / 2
+	}
+	res := Fig10Result{Experiment: exp}
+	var machines int
+	var initial []int
+	switch exp {
+	case ExpA:
+		res.Tmax = TmaxExpA
+		machines = 4 // Kmax 17, (8:8:1)
+		initial = []int{8, 8, 1}
+	case ExpB:
+		res.Tmax = TmaxExpB
+		machines = 5 // Kmax 22, (10:11:1)
+		initial = []int{10, 11, 1}
+	default:
+		return Fig10Result{}, fmt.Errorf("experiments: unknown Fig. 10 experiment %q", exp)
+	}
+	pool, err := cluster.PaperPool(machines)
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	res.InitialMachines = machines
+	res.InitialKmax = pool.Kmax()
+	res.InitialAlloc = initial
+	s, transitions, err := runControlled(controlLoopConfig{
+		profile: p,
+		initial: initial,
+		pool:    pool,
+		ctrl: core.ControllerConfig{
+			Mode: core.ModeMinResource,
+			Tmax: res.Tmax,
+			// Hysteresis against flapping: near-tie rebalances are
+			// suppressed, shrinking requires the tightened target to fit,
+			// and scale-in may not push any operator near saturation
+			// (where the exponential-service estimate is optimistic).
+			MinGain:               0.05,
+			ScaleInSlack:          0.35,
+			MaxScaleInUtilization: 0.9,
+			SlotsPerMachine:       5,
+			ReservedSlots:         3,
+		},
+		enableAt: enableAt,
+		duration: duration,
+		interval: 10,
+		seed:     o.Seed,
+	})
+	if err != nil {
+		return Fig10Result{}, err
+	}
+	res.Series = s.Series()
+	res.Transitions = transitions
+	res.FinalMachines = pool.Machines()
+	res.FinalKmax = pool.Kmax()
+	res.FinalAlloc = s.Allocation()
+
+	// Steady state after the last transition (skip 2 buckets of settling).
+	lastAt := enableAt
+	if n := len(transitions); n > 0 {
+		lastAt = transitions[n-1].AtSeconds
+	}
+	var tail []float64
+	for _, pt := range res.Series {
+		if pt.Start >= lastAt+120 && !math.IsNaN(pt.MeanSojourn) {
+			tail = append(tail, pt.MeanSojourn)
+		}
+	}
+	if len(tail) > 0 {
+		sum := 0.0
+		for _, v := range tail {
+			sum += v
+		}
+		res.MeetsTargetAfter = sum/float64(len(tail)) <= res.Tmax
+	}
+	return res, nil
+}
+
+// Print renders the curve and its scaling events.
+func (r Fig10Result) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 10 (%s): Tmax = %.0f ms, re-balancing enabled from minute 14", r.Experiment, r.Tmax*1e3))
+	fmt.Fprintf(w, "initial: %d machines, Kmax=%d, %s\n", r.InitialMachines, r.InitialKmax, allocString(r.InitialAlloc))
+	fmt.Fprintf(w, "final:   %d machines, Kmax=%d, %s\n", r.FinalMachines, r.FinalKmax, allocString(r.FinalAlloc))
+	fmt.Fprint(w, "minute: ")
+	for _, pt := range r.Series {
+		if math.IsNaN(pt.MeanSojourn) {
+			fmt.Fprint(w, "    - ")
+			continue
+		}
+		fmt.Fprintf(w, "%5.0f ", pt.MeanSojourn*1e3)
+	}
+	fmt.Fprintln(w, " (ms)")
+	for _, tr := range r.Transitions {
+		fmt.Fprintf(w, "  t=%4.0fs %-10s -> %s, Kmax=%d (pause %.1fs): %s\n",
+			tr.AtSeconds, tr.Action, allocString(tr.Alloc), tr.Kmax, tr.PauseSeconds, tr.Reason)
+	}
+	fmt.Fprintf(w, "steady state after scaling meets Tmax: %v\n", r.MeetsTargetAfter)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Fig6Row is one bar of Figure 6: a resource configuration with the
+// measured mean and standard deviation of the total sojourn time.
+type Fig6Row struct {
+	Alloc       []int
+	Recommended bool
+	MeanMillis  float64
+	StdMillis   float64
+}
+
+// Fig6Result is Figure 6 for one application.
+type Fig6Result struct {
+	App  App
+	Rows []Fig6Row
+	// BestIsRecommended reports the paper's headline claim: the passively
+	// running DRS's recommendation achieves the smallest measured mean.
+	BestIsRecommended bool
+}
+
+// RunFigure6 measures the six fixed allocations of Fig. 6 with
+// re-balancing disabled (each is an independent 10-minute run) and checks
+// that DRS's recommendation wins.
+func RunFigure6(app App, o Options) (Fig6Result, error) {
+	o = o.withDefaults()
+	p, err := profileFor(app)
+	if err != nil {
+		return Fig6Result{}, err
+	}
+	res := Fig6Result{App: app}
+	bestMean, bestIdx := 0.0, -1
+	for i, alloc := range p.allocations() {
+		mean, std, err := measureAllocation(p, alloc, o)
+		if err != nil {
+			return Fig6Result{}, err
+		}
+		row := Fig6Row{
+			Alloc:       alloc,
+			Recommended: allocEq(alloc, p.recommended),
+			MeanMillis:  mean,
+			StdMillis:   std,
+		}
+		res.Rows = append(res.Rows, row)
+		if bestIdx < 0 || mean < bestMean {
+			bestMean, bestIdx = mean, i
+		}
+	}
+	res.BestIsRecommended = res.Rows[bestIdx].Recommended
+	return res, nil
+}
+
+// Print renders the figure as a table.
+func (r Fig6Result) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 6 (%s): measured sojourn time per allocation, re-balancing disabled", r.App))
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "allocation", "mean (ms)", "stddev (ms)")
+	for _, row := range r.Rows {
+		label := allocString(row.Alloc)
+		if row.Recommended {
+			label += "*"
+		}
+		fmt.Fprintf(w, "%-12s %12s %12s\n", label, fmtMillis(row.MeanMillis), fmtMillis(row.StdMillis))
+	}
+	fmt.Fprintf(w, "DRS recommendation achieves the best mean: %v\n", r.BestIsRecommended)
+}
+
+func allocEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

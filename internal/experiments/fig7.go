@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+// Fig7Point is one scatter point of Figure 7: the model's estimate against
+// the measured value for one allocation.
+type Fig7Point struct {
+	Alloc           []int
+	EstimatedMillis float64
+	MeasuredMillis  float64
+}
+
+// Fig7Result is Figure 7 for one application.
+type Fig7Result struct {
+	App    App
+	Points []Fig7Point
+	// Spearman is the rank correlation between estimates and measurements;
+	// 1 means the ordering is perfectly preserved (the paper's "strict
+	// monotonicity").
+	Spearman float64
+	// Pearson quantifies the linear relation (supports the paper's remark
+	// that a regression could recover true latency from the estimate).
+	Pearson float64
+	// MeanRatio is measured/estimated averaged over allocations — ~1 for
+	// the computation-intensive VLD, several-fold for the data-intensive FPD.
+	MeanRatio float64
+}
+
+// RunFigure7 compares the model estimate with the simulator measurement for
+// each Fig. 6 allocation.
+func RunFigure7(app App, o Options) (Fig7Result, error) {
+	o = o.withDefaults()
+	p, err := profileFor(app)
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	model, err := p.model()
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	res := Fig7Result{App: app}
+	var ests, meas []float64
+	ratioSum := 0.0
+	for _, alloc := range p.allocations() {
+		est, err := model.ExpectedSojourn(alloc)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		mean, _, err := measureAllocation(p, alloc, o)
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		pt := Fig7Point{Alloc: alloc, EstimatedMillis: est * 1e3, MeasuredMillis: mean}
+		res.Points = append(res.Points, pt)
+		ests = append(ests, pt.EstimatedMillis)
+		meas = append(meas, pt.MeasuredMillis)
+		ratioSum += pt.MeasuredMillis / pt.EstimatedMillis
+	}
+	res.MeanRatio = ratioSum / float64(len(res.Points))
+	if res.Spearman, err = stats.Spearman(ests, meas); err != nil {
+		return Fig7Result{}, err
+	}
+	if res.Pearson, err = stats.Pearson(ests, meas); err != nil {
+		return Fig7Result{}, err
+	}
+	return res, nil
+}
+
+// Print renders the scatter as a table plus the correlation summary.
+func (r Fig7Result) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Figure 7 (%s): estimated vs measured sojourn time", r.App))
+	fmt.Fprintf(w, "%-12s %15s %15s %8s\n", "allocation", "estimated (ms)", "measured (ms)", "ratio")
+	for _, pt := range r.Points {
+		fmt.Fprintf(w, "%-12s %15s %15s %8.2f\n",
+			allocString(pt.Alloc), fmtMillis(pt.EstimatedMillis), fmtMillis(pt.MeasuredMillis),
+			pt.MeasuredMillis/pt.EstimatedMillis)
+	}
+	fmt.Fprintf(w, "Spearman rank correlation: %.3f (1 = ordering preserved)\n", r.Spearman)
+	fmt.Fprintf(w, "Pearson correlation:       %.3f\n", r.Pearson)
+	fmt.Fprintf(w, "mean measured/estimated:   %.2fx\n", r.MeanRatio)
+}

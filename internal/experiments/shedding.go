@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/drs-repro/drs/internal/apps/vld"
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+// SheddingRun is one policy's outcome in the overload study.
+type SheddingRun struct {
+	Policy string
+	// Alloc is the processor allocation in force.
+	Alloc []int
+	// MeanMillis is the mean sojourn of tuples that produced results.
+	MeanMillis float64
+	// DropRate is dropped tuples / external tuples (0 = every result
+	// delivered; the paper's "incorrect results" cost of shedding).
+	DropRate float64
+}
+
+// SheddingResult compares the three responses to overload the paper's
+// introduction contrasts: doing nothing (queues grow without bound), load
+// shedding (bounded queues drop tuples — latency contained, results
+// wrong), and DRS's answer (provision and place enough processors).
+type SheddingResult struct {
+	Runs []SheddingRun
+	// SheddingLosesData and DRSKeepsDataAndLatency summarize the claims.
+	SheddingLosesData      bool
+	DRSKeepsDataAndLatency bool
+}
+
+// RunShedding drives the VLD profile at an under-provisioned allocation
+// with (a) unbounded queues, (b) bounded queues that shed, and (c) the
+// allocation DRS would choose with adequate resources.
+func RunShedding(o Options) (SheddingResult, error) {
+	o = o.withDefaults()
+	under := []int{6, 7, 1} // extract needs ~6.9 at peak; queues build
+	drsAlloc := vld.RecommendedAllocation()
+
+	runOne := func(policy string, alloc []int, maxQueue int) (SheddingRun, error) {
+		cfg, err := vld.SimConfig(alloc, o.Seed)
+		if err != nil {
+			return SheddingRun{}, err
+		}
+		cfg.MaxQueue = maxQueue
+		s, err := sim.New(cfg)
+		if err != nil {
+			return SheddingRun{}, err
+		}
+		s.SetWarmup(o.Warmup)
+		s.RunUntil(o.Duration)
+		dropped := int64(0)
+		for _, d := range s.Dropped() {
+			dropped += d
+		}
+		rep := s.DrainInterval()
+		run := SheddingRun{
+			Policy:     policy,
+			Alloc:      alloc,
+			MeanMillis: s.CompletedStats().Mean() * 1e3,
+		}
+		if rep.ExternalArrivals > 0 {
+			run.DropRate = float64(dropped) / float64(rep.ExternalArrivals)
+		}
+		return run, nil
+	}
+
+	var res SheddingResult
+	overloaded, err := runOne("overloaded", under, 0)
+	if err != nil {
+		return SheddingResult{}, err
+	}
+	shedding, err := runOne("shedding", under, 20)
+	if err != nil {
+		return SheddingResult{}, err
+	}
+	drs, err := runOne("drs", drsAlloc, 0)
+	if err != nil {
+		return SheddingResult{}, err
+	}
+	res.Runs = []SheddingRun{overloaded, shedding, drs}
+	res.SheddingLosesData = shedding.DropRate > 0.01 && shedding.MeanMillis < overloaded.MeanMillis
+	res.DRSKeepsDataAndLatency = drs.DropRate == 0 && drs.MeanMillis < overloaded.MeanMillis &&
+		drs.MeanMillis < shedding.MeanMillis*3 // latency in the same regime as shedding, with all results
+	return res, nil
+}
+
+// Print renders the study.
+func (r SheddingResult) Print(w io.Writer) {
+	header(w, "Overload study: do nothing vs load shedding vs DRS (VLD profile)")
+	fmt.Fprintf(w, "%-12s %12s %14s %12s\n", "policy", "alloc", "mean (ms)", "drop rate")
+	for _, run := range r.Runs {
+		fmt.Fprintf(w, "%-12s %12s %14.0f %11.1f%%\n",
+			run.Policy, allocString(run.Alloc), run.MeanMillis, run.DropRate*100)
+	}
+	fmt.Fprintf(w, "shedding bounds latency only by discarding input: %v\n", r.SheddingLosesData)
+	fmt.Fprintf(w, "DRS bounds latency with zero loss:                %v\n", r.DRSKeepsDataAndLatency)
+}

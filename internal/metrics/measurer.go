@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/drs-repro/drs/internal/core"
+)
+
+// ErrNotReady is returned by Snapshot before the first complete interval
+// has been ingested.
+var ErrNotReady = errors.New("metrics: no measurements ingested yet")
+
+// OpInterval is the operator-level aggregate of one collection interval:
+// the sum of the drained probe counters over the operator's executors
+// (Appendix B: metrics must be aggregated to the operator level because
+// that is what the Jackson model is defined over).
+type OpInterval struct {
+	// Arrivals counts tuples that entered any executor queue of the operator.
+	Arrivals int64
+	// Served counts tuples completed by the operator.
+	Served int64
+	// Sampled counts service-time samples and BusyTime their summed duration.
+	Sampled  int64
+	BusyTime time.Duration
+	// BusySqSeconds is the sum of squared sampled service times (seconds²);
+	// optional, used only by the service-CV² estimate.
+	BusySqSeconds float64
+}
+
+// Merge adds o's counters into i.
+func (i *OpInterval) Merge(o OpInterval) {
+	i.Arrivals += o.Arrivals
+	i.Served += o.Served
+	i.Sampled += o.Sampled
+	i.BusyTime += o.BusyTime
+	i.BusySqSeconds += o.BusySqSeconds
+}
+
+// IntervalReport carries everything measured during one Tm interval.
+type IntervalReport struct {
+	// Duration is the wall-clock (or simulated) length of the interval.
+	Duration time.Duration
+	// ExternalArrivals counts tuples that entered the application from
+	// outside (spout emissions) — the numerator of λ̂0.
+	ExternalArrivals int64
+	// Ops holds per-operator aggregates in topology order.
+	Ops []OpInterval
+	// SojournCount and SojournTotal summarize the total sojourn times of
+	// external tuples fully processed during the interval (from tuple-tree
+	// completion notifications, the paper's acking mechanism).
+	SojournCount int64
+	SojournTotal time.Duration
+}
+
+// MeasurerConfig parameterizes the measurer.
+type MeasurerConfig struct {
+	// OperatorNames gives the topology's operators in order; fixes N.
+	OperatorNames []string
+	// Smoothing applies to every derived series (λ̂0, λ̂_i, µ̂_i, E[T̂]).
+	Smoothing SmoothingSpec
+	// MaxServiceTime clips implausible service-time samples (outlier
+	// rejection); zero disables clipping.
+	MaxServiceTime time.Duration
+	// EstimateServiceCV enables the service-CV² estimate from the sampled
+	// second moment, feeding the model's M/G/k correction. Off by default:
+	// the paper's model assumes exponential service (CV² = 1).
+	EstimateServiceCV bool
+}
+
+// Measurer aggregates interval reports into smoothed operator-level rates
+// and produces core.Snapshot values for the controller. Safe for
+// concurrent use.
+type Measurer struct {
+	mu  sync.Mutex
+	cfg MeasurerConfig
+
+	lambda0 Smoother
+	lambda  []Smoother
+	mus     []Smoother
+	cv2s    []Smoother
+	sojourn Smoother
+	ready   bool
+}
+
+// NewMeasurer validates the config and builds a measurer.
+func NewMeasurer(cfg MeasurerConfig) (*Measurer, error) {
+	if len(cfg.OperatorNames) == 0 {
+		return nil, errors.New("metrics: no operators")
+	}
+	m := &Measurer{cfg: cfg}
+	var err error
+	if m.lambda0, err = cfg.Smoothing.New(); err != nil {
+		return nil, err
+	}
+	if m.sojourn, err = cfg.Smoothing.New(); err != nil {
+		return nil, err
+	}
+	m.lambda = make([]Smoother, len(cfg.OperatorNames))
+	m.mus = make([]Smoother, len(cfg.OperatorNames))
+	m.cv2s = make([]Smoother, len(cfg.OperatorNames))
+	for i := range cfg.OperatorNames {
+		if m.lambda[i], err = cfg.Smoothing.New(); err != nil {
+			return nil, err
+		}
+		if m.mus[i], err = cfg.Smoothing.New(); err != nil {
+			return nil, err
+		}
+		if m.cv2s[i], err = cfg.Smoothing.New(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// AddInterval ingests one interval report, updating all smoothed series.
+func (m *Measurer) AddInterval(rep IntervalReport) error {
+	if rep.Duration <= 0 {
+		return fmt.Errorf("metrics: non-positive interval duration %v", rep.Duration)
+	}
+	if len(rep.Ops) != len(m.cfg.OperatorNames) {
+		return fmt.Errorf("metrics: report has %d operators, want %d", len(rep.Ops), len(m.cfg.OperatorNames))
+	}
+	secs := rep.Duration.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lambda0.Update(float64(rep.ExternalArrivals) / secs)
+	for i, op := range rep.Ops {
+		m.lambda[i].Update(float64(op.Arrivals) / secs)
+		if op.Sampled > 0 && op.BusyTime > 0 {
+			busy := op.BusyTime
+			if m.cfg.MaxServiceTime > 0 {
+				// Clip the average, bounding the damage of a straggler.
+				if avg := busy / time.Duration(op.Sampled); avg > m.cfg.MaxServiceTime {
+					busy = m.cfg.MaxServiceTime * time.Duration(op.Sampled)
+				}
+			}
+			mu := float64(op.Sampled) / busy.Seconds()
+			m.mus[i].Update(mu)
+			if m.cfg.EstimateServiceCV && op.Sampled > 1 && op.BusySqSeconds > 0 {
+				n := float64(op.Sampled)
+				mean := busy.Seconds() / n
+				variance := op.BusySqSeconds/n - mean*mean
+				if variance < 0 {
+					variance = 0
+				}
+				m.cv2s[i].Update(variance / (mean * mean))
+			}
+		}
+	}
+	if rep.SojournCount > 0 {
+		m.sojourn.Update(rep.SojournTotal.Seconds() / float64(rep.SojournCount))
+	}
+	m.ready = true
+	return nil
+}
+
+// Snapshot produces the controller input from the current smoothed series.
+// Alloc and Kmax are the caller's to fill in (the measurer does not know
+// the scheduler state). It returns ErrNotReady until the first interval
+// and an error if any operator still lacks a service-rate estimate.
+func (m *Measurer) Snapshot() (core.Snapshot, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.ready {
+		return core.Snapshot{}, ErrNotReady
+	}
+	s := core.Snapshot{
+		Lambda0:         m.lambda0.Value(),
+		MeasuredSojourn: m.sojourn.Value(),
+		Ops:             make([]core.OpRates, len(m.cfg.OperatorNames)),
+	}
+	for i, name := range m.cfg.OperatorNames {
+		if !m.mus[i].Ready() {
+			return core.Snapshot{}, fmt.Errorf("metrics: operator %q has no service-rate samples yet", name)
+		}
+		s.Ops[i] = core.OpRates{
+			Name:   name,
+			Lambda: m.lambda[i].Value(),
+			Mu:     m.mus[i].Value(),
+		}
+		if m.cfg.EstimateServiceCV && m.cv2s[i].Ready() {
+			s.Ops[i].ServiceCV2 = m.cv2s[i].Value()
+		}
+	}
+	return s, nil
+}
+
+// Reset clears all smoothed state (used after a rebalance, when the old
+// rates no longer describe the new configuration).
+func (m *Measurer) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.lambda0.Reset()
+	m.sojourn.Reset()
+	for i := range m.lambda {
+		m.lambda[i].Reset()
+		m.mus[i].Reset()
+		m.cv2s[i].Reset()
+	}
+	m.ready = false
+}

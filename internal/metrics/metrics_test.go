@@ -1,0 +1,335 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMA(t *testing.T) {
+	s, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ready() {
+		t.Error("fresh smoother must not be ready")
+	}
+	if got := s.Update(10); got != 10 {
+		t.Errorf("first update = %g, want 10 (seed)", got)
+	}
+	if got := s.Update(20); got != 15 {
+		t.Errorf("second update = %g, want 15", got)
+	}
+	if got := s.Update(15); got != 15 {
+		t.Errorf("third update = %g, want 15", got)
+	}
+	s.Reset()
+	if s.Ready() || s.Value() != 0 {
+		t.Error("Reset must clear state")
+	}
+}
+
+func TestEWMAAlphaValidation(t *testing.T) {
+	for _, alpha := range []float64{-0.1, 1.0, 1.5} {
+		if _, err := NewEWMA(alpha); err == nil {
+			t.Errorf("alpha %g should be rejected", alpha)
+		}
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s, err := NewWindow(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Update(3)
+	if got := s.Value(); got != 3 {
+		t.Errorf("value = %g, want 3", got)
+	}
+	s.Update(6)
+	s.Update(9)
+	if got := s.Value(); got != 6 {
+		t.Errorf("full window mean = %g, want 6", got)
+	}
+	s.Update(12) // evicts 3
+	if got := s.Value(); got != 9 {
+		t.Errorf("rolled window mean = %g, want 9", got)
+	}
+	s.Reset()
+	if s.Ready() {
+		t.Error("Reset must clear window")
+	}
+}
+
+func TestWindowValidation(t *testing.T) {
+	if _, err := NewWindow(0); err == nil {
+		t.Error("window 0 should be rejected")
+	}
+}
+
+func TestSmoothingSpec(t *testing.T) {
+	for _, spec := range []SmoothingSpec{
+		{},
+		{Kind: "none"},
+		{Kind: "ewma", Alpha: 0.8},
+		{Kind: "window", Window: 4},
+	} {
+		if _, err := spec.New(); err != nil {
+			t.Errorf("spec %+v: %v", spec, err)
+		}
+	}
+	if _, err := (SmoothingSpec{Kind: "fourier"}).New(); err == nil {
+		t.Error("unknown kind should be rejected")
+	}
+	// Raw pass-through.
+	s, _ := SmoothingSpec{}.New()
+	s.Update(5)
+	if got := s.Update(9); got != 9 {
+		t.Errorf("raw smoother = %g, want 9", got)
+	}
+}
+
+func TestProbeSamplingEveryNm(t *testing.T) {
+	p := NewExecutorProbe(10)
+	for i := 0; i < 100; i++ {
+		p.TupleArrived()
+		p.TupleServed(5 * time.Millisecond)
+	}
+	c := p.Drain()
+	if c.Arrivals != 100 || c.Served != 100 {
+		t.Errorf("arrivals/served = %d/%d, want 100/100", c.Arrivals, c.Served)
+	}
+	if c.Sampled != 10 {
+		t.Errorf("sampled = %d, want 10 (every 10th of 100)", c.Sampled)
+	}
+	if c.BusyTime != 50*time.Millisecond {
+		t.Errorf("busy = %v, want 50ms", c.BusyTime)
+	}
+	// Drain resets.
+	if c2 := p.Drain(); c2.Arrivals != 0 || c2.Sampled != 0 {
+		t.Errorf("second drain not empty: %+v", c2)
+	}
+}
+
+func TestProbeNmFloor(t *testing.T) {
+	p := NewExecutorProbe(0) // clamps to 1: sample everything
+	p.TupleServed(time.Millisecond)
+	p.TupleServed(time.Millisecond)
+	if c := p.Drain(); c.Sampled != 2 {
+		t.Errorf("sampled = %d, want 2", c.Sampled)
+	}
+}
+
+func TestProbeConcurrency(t *testing.T) {
+	p := NewExecutorProbe(1)
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.TupleArrived()
+				p.TupleServed(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	c := p.Drain()
+	if c.Arrivals != goroutines*per || c.Served != goroutines*per {
+		t.Errorf("counters lost updates: %+v", c)
+	}
+	if c.BusyTime != goroutines*per*time.Microsecond {
+		t.Errorf("busy = %v", c.BusyTime)
+	}
+}
+
+func newTestMeasurer(t *testing.T, spec SmoothingSpec) *Measurer {
+	t.Helper()
+	m, err := NewMeasurer(MeasurerConfig{
+		OperatorNames: []string{"extract", "match"},
+		Smoothing:     spec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func makeReport(dur time.Duration, ext int64, ops []OpInterval, sojournN int64, sojournTotal time.Duration) IntervalReport {
+	return IntervalReport{
+		Duration: dur, ExternalArrivals: ext, Ops: ops,
+		SojournCount: sojournN, SojournTotal: sojournTotal,
+	}
+}
+
+func TestMeasurerDerivesRates(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{})
+	rep := makeReport(2*time.Second, 26, []OpInterval{
+		{Arrivals: 26, Served: 26, Sampled: 13, BusyTime: 13 * 450 * time.Millisecond},
+		{Arrivals: 1040, Served: 1040, Sampled: 104, BusyTime: 104 * 12 * time.Millisecond},
+	}, 20, 20*900*time.Millisecond)
+	if err := m.AddInterval(rep); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Lambda0-13) > 1e-9 {
+		t.Errorf("lambda0 = %g, want 13", s.Lambda0)
+	}
+	if math.Abs(s.Ops[0].Lambda-13) > 1e-9 || math.Abs(s.Ops[1].Lambda-520) > 1e-9 {
+		t.Errorf("lambdas = %g, %g; want 13, 520", s.Ops[0].Lambda, s.Ops[1].Lambda)
+	}
+	if math.Abs(s.Ops[0].Mu-1/0.45) > 1e-9 {
+		t.Errorf("mu0 = %g, want %g", s.Ops[0].Mu, 1/0.45)
+	}
+	if math.Abs(s.Ops[1].Mu-1/0.012) > 1e-6 {
+		t.Errorf("mu1 = %g, want %g", s.Ops[1].Mu, 1/0.012)
+	}
+	if math.Abs(s.MeasuredSojourn-0.9) > 1e-9 {
+		t.Errorf("sojourn = %g, want 0.9", s.MeasuredSojourn)
+	}
+	if s.Ops[0].Name != "extract" {
+		t.Errorf("name = %q", s.Ops[0].Name)
+	}
+}
+
+func TestMeasurerNotReady(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{})
+	if _, err := m.Snapshot(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("err = %v, want ErrNotReady", err)
+	}
+}
+
+func TestMeasurerRejectsBadReports(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{})
+	if err := m.AddInterval(IntervalReport{Duration: 0, Ops: make([]OpInterval, 2)}); err == nil {
+		t.Error("zero duration should be rejected")
+	}
+	if err := m.AddInterval(IntervalReport{Duration: time.Second, Ops: make([]OpInterval, 3)}); err == nil {
+		t.Error("wrong operator count should be rejected")
+	}
+}
+
+func TestMeasurerMissingServiceSamples(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{})
+	// Second operator never served anything: snapshot must refuse.
+	rep := makeReport(time.Second, 10, []OpInterval{
+		{Arrivals: 10, Served: 10, Sampled: 5, BusyTime: time.Second},
+		{Arrivals: 0},
+	}, 0, 0)
+	if err := m.AddInterval(rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Snapshot(); err == nil {
+		t.Error("snapshot without mu estimate should error")
+	}
+}
+
+func TestMeasurerIdleIntervalKeepsLastMu(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{})
+	busy := makeReport(time.Second, 10, []OpInterval{
+		{Arrivals: 10, Served: 10, Sampled: 10, BusyTime: time.Second},
+		{Arrivals: 40, Served: 40, Sampled: 4, BusyTime: 40 * time.Millisecond},
+	}, 5, 500*time.Millisecond)
+	if err := m.AddInterval(busy); err != nil {
+		t.Fatal(err)
+	}
+	idle := makeReport(time.Second, 0, []OpInterval{{}, {}}, 0, 0)
+	if err := m.AddInterval(idle); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ops[0].Mu != 10 {
+		t.Errorf("mu lost on idle interval: %g", s.Ops[0].Mu)
+	}
+	if s.Ops[0].Lambda != 0 {
+		t.Errorf("lambda should reflect the idle interval: %g", s.Ops[0].Lambda)
+	}
+}
+
+func TestMeasurerSmoothingApplied(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{Kind: "ewma", Alpha: 0.5})
+	ops := func(arr int64) []OpInterval {
+		return []OpInterval{
+			{Arrivals: arr, Served: arr, Sampled: 1, BusyTime: 100 * time.Millisecond},
+			{Arrivals: arr, Served: arr, Sampled: 1, BusyTime: 100 * time.Millisecond},
+		}
+	}
+	_ = m.AddInterval(makeReport(time.Second, 10, ops(10), 1, time.Second))
+	_ = m.AddInterval(makeReport(time.Second, 20, ops(20), 1, 2*time.Second))
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Lambda0-15) > 1e-9 { // 0.5*10 + 0.5*20
+		t.Errorf("smoothed lambda0 = %g, want 15", s.Lambda0)
+	}
+	if math.Abs(s.MeasuredSojourn-1.5) > 1e-9 {
+		t.Errorf("smoothed sojourn = %g, want 1.5", s.MeasuredSojourn)
+	}
+}
+
+func TestMeasurerOutlierClipping(t *testing.T) {
+	m, err := NewMeasurer(MeasurerConfig{
+		OperatorNames:  []string{"a"},
+		MaxServiceTime: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average sample of 10s per tuple gets clipped to 100ms -> mu = 10.
+	rep := makeReport(time.Second, 1, []OpInterval{
+		{Arrivals: 1, Served: 1, Sampled: 1, BusyTime: 10 * time.Second},
+	}, 0, 0)
+	if err := m.AddInterval(rep); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Ops[0].Mu-10) > 1e-9 {
+		t.Errorf("clipped mu = %g, want 10", s.Ops[0].Mu)
+	}
+}
+
+func TestMeasurerReset(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{})
+	_ = m.AddInterval(makeReport(time.Second, 5, []OpInterval{
+		{Arrivals: 5, Served: 5, Sampled: 5, BusyTime: time.Second},
+		{Arrivals: 5, Served: 5, Sampled: 5, BusyTime: time.Second},
+	}, 1, time.Second))
+	m.Reset()
+	if _, err := m.Snapshot(); !errors.Is(err, ErrNotReady) {
+		t.Errorf("after Reset: err = %v, want ErrNotReady", err)
+	}
+}
+
+func TestMeasurerConfigValidation(t *testing.T) {
+	if _, err := NewMeasurer(MeasurerConfig{}); err == nil {
+		t.Error("empty operator list should be rejected")
+	}
+	if _, err := NewMeasurer(MeasurerConfig{
+		OperatorNames: []string{"a"},
+		Smoothing:     SmoothingSpec{Kind: "bogus"},
+	}); err == nil {
+		t.Error("bad smoothing spec should be rejected")
+	}
+}
+
+func TestOpIntervalMerge(t *testing.T) {
+	a := OpInterval{Arrivals: 1, Served: 2, Sampled: 3, BusyTime: time.Second}
+	b := OpInterval{Arrivals: 10, Served: 20, Sampled: 30, BusyTime: 2 * time.Second}
+	a.Merge(b)
+	if a.Arrivals != 11 || a.Served != 22 || a.Sampled != 33 || a.BusyTime != 3*time.Second {
+		t.Errorf("merge = %+v", a)
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// ExecutorProbe instruments one executor (one processor instance of an
+// operator) with the paper's first sampling layer: arrivals are counted at
+// the tail of the input queue (Appendix C notes the position matters), and
+// the service duration of every Nm-th tuple is recorded. All methods are
+// safe for concurrent use and cheap enough for per-tuple call sites —
+// two atomic adds on the fast path.
+type ExecutorProbe struct {
+	nm int64
+
+	arrivals    atomic.Int64
+	served      atomic.Int64
+	servedTotal atomic.Int64
+	sampled     atomic.Int64
+	busyNanos   atomic.Int64
+	// busySqMicros accumulates squared sampled durations in µs², for the
+	// optional service-CV² estimate (M/G/k correction). Microseconds keep
+	// the running sum within int64 for realistic service times.
+	busySqMicros atomic.Int64
+}
+
+// NewExecutorProbe builds a probe sampling every nm-th served tuple
+// (nm >= 1; 1 samples everything).
+func NewExecutorProbe(nm int) *ExecutorProbe {
+	if nm < 1 {
+		nm = 1
+	}
+	return &ExecutorProbe{nm: int64(nm)}
+}
+
+// TupleArrived counts one tuple entering this executor's input queue.
+func (p *ExecutorProbe) TupleArrived() {
+	p.arrivals.Add(1)
+}
+
+// TupleServed counts one completed tuple; the service duration is recorded
+// only for every Nm-th completion.
+func (p *ExecutorProbe) TupleServed(d time.Duration) {
+	p.servedTotal.Add(1)
+	n := p.served.Add(1)
+	if n%p.nm == 0 {
+		p.sampled.Add(1)
+		p.busyNanos.Add(int64(d))
+		us := d.Microseconds()
+		p.busySqMicros.Add(us * us)
+	}
+}
+
+// ProbeCounters is one drained reading of a probe.
+type ProbeCounters struct {
+	// Arrivals and Served count tuples since the last drain.
+	Arrivals, Served int64
+	// Sampled counts service-time samples; BusyTime is their total duration.
+	Sampled  int64
+	BusyTime time.Duration
+	// BusySqSeconds is the sum of squared sampled durations (seconds²),
+	// the second moment behind the service-CV² estimate.
+	BusySqSeconds float64
+}
+
+// ServedTotal reports the cumulative served-tuple count across the
+// probe's lifetime, unaffected by Drain — used for load-skew diagnostics.
+func (p *ExecutorProbe) ServedTotal() int64 {
+	return p.servedTotal.Load()
+}
+
+// Drain atomically reads and resets the counters — the pull step of the
+// paper's bi-layer collection.
+func (p *ExecutorProbe) Drain() ProbeCounters {
+	const us2PerS2 = 1e12
+	return ProbeCounters{
+		Arrivals:      p.arrivals.Swap(0),
+		Served:        p.served.Swap(0),
+		Sampled:       p.sampled.Swap(0),
+		BusyTime:      time.Duration(p.busyNanos.Swap(0)),
+		BusySqSeconds: float64(p.busySqMicros.Swap(0)) / us2PerS2,
+	}
+}
+
+// merge adds o into c (operator-level aggregation across executors).
+func (c *ProbeCounters) merge(o ProbeCounters) {
+	c.Arrivals += o.Arrivals
+	c.Served += o.Served
+	c.Sampled += o.Sampled
+	c.BusyTime += o.BusyTime
+	c.BusySqSeconds += o.BusySqSeconds
+}

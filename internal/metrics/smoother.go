@@ -1,0 +1,143 @@
+// Package metrics implements the DRS measurer module (paper §IV and
+// Appendix B): low-overhead collection of per-operator arrival and service
+// rates and of per-tuple total sojourn times, aggregation from the
+// executor (instance) level to the operator level, and result smoothing.
+//
+// The paper's bi-layer sampling is kept: each executor records the service
+// time of every Nm-th tuple only (ExecutorProbe), and the central measurer
+// pulls and aggregates the counters every Tm seconds (Measurer.AddInterval).
+// Smoothing supports both options from Appendix B: α-weighted averaging
+// D(n) = α·D(n−1) + (1−α)·d(n), and window averaging over the last w
+// intervals.
+package metrics
+
+import (
+	"fmt"
+)
+
+// Smoother turns a sequence of per-interval raw measurements d(n) into
+// smoothed values D(n). Implementations are not safe for concurrent use.
+type Smoother interface {
+	// Update feeds one raw measurement and returns the new smoothed value.
+	Update(x float64) float64
+	// Value returns the current smoothed value (0 before any update).
+	Value() float64
+	// Ready reports whether at least one measurement has been seen.
+	Ready() bool
+	// Reset clears all state.
+	Reset()
+}
+
+// NewEWMA returns the paper's α-weighted smoother. alpha in [0, 1) controls
+// the fading rate of old measurements; 0 means no smoothing.
+func NewEWMA(alpha float64) (Smoother, error) {
+	if alpha < 0 || alpha >= 1 {
+		return nil, fmt.Errorf("metrics: alpha %g out of [0, 1)", alpha)
+	}
+	return &ewma{alpha: alpha}, nil
+}
+
+type ewma struct {
+	alpha float64
+	v     float64
+	ready bool
+}
+
+func (e *ewma) Update(x float64) float64 {
+	if !e.ready {
+		e.v = x
+		e.ready = true
+		return e.v
+	}
+	e.v = e.alpha*e.v + (1-e.alpha)*x
+	return e.v
+}
+
+func (e *ewma) Value() float64 { return e.v }
+
+func (e *ewma) Ready() bool { return e.ready }
+
+func (e *ewma) Reset() { e.v, e.ready = 0, false }
+
+// NewWindow returns the paper's window-averaging smoother over the last w
+// intervals (w >= 1).
+func NewWindow(w int) (Smoother, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("metrics: window size %d must be >= 1", w)
+	}
+	return &window{buf: make([]float64, 0, w), w: w}, nil
+}
+
+type window struct {
+	buf  []float64
+	w    int
+	next int
+	sum  float64
+}
+
+func (s *window) Update(x float64) float64 {
+	if len(s.buf) < s.w {
+		s.buf = append(s.buf, x)
+		s.sum += x
+	} else {
+		s.sum += x - s.buf[s.next]
+		s.buf[s.next] = x
+	}
+	s.next = (s.next + 1) % s.w
+	return s.Value()
+}
+
+func (s *window) Value() float64 {
+	if len(s.buf) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.buf))
+}
+
+func (s *window) Ready() bool { return len(s.buf) > 0 }
+
+func (s *window) Reset() {
+	s.buf = s.buf[:0]
+	s.next, s.sum = 0, 0
+}
+
+// SmoothingSpec selects and parameterizes a smoother; the zero value means
+// no smoothing (raw pass-through).
+type SmoothingSpec struct {
+	// Kind is "none", "ewma" or "window".
+	Kind string
+	// Alpha is the EWMA fading parameter (Kind == "ewma").
+	Alpha float64
+	// Window is the averaging width in intervals (Kind == "window").
+	Window int
+}
+
+// New builds a smoother from the spec.
+func (s SmoothingSpec) New() (Smoother, error) {
+	switch s.Kind {
+	case "", "none":
+		return &raw{}, nil
+	case "ewma":
+		return NewEWMA(s.Alpha)
+	case "window":
+		return NewWindow(s.Window)
+	default:
+		return nil, fmt.Errorf("metrics: unknown smoothing kind %q", s.Kind)
+	}
+}
+
+type raw struct {
+	v     float64
+	ready bool
+}
+
+func (r *raw) Update(x float64) float64 {
+	r.v, r.ready = x, true
+	return x
+}
+
+func (r *raw) Value() float64 { return r.v }
+
+func (r *raw) Ready() bool { return r.ready }
+
+func (r *raw) Reset() { r.v, r.ready = 0, false }

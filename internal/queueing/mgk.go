@@ -1,0 +1,58 @@
+package queueing
+
+import "math"
+
+// M/G/k extension (the paper's stated future work: "improving performance
+// model accuracy with more sophisticated queuing theory").
+//
+// The plain model assumes exponential service. When the real service-time
+// distribution has a squared coefficient of variation CV² ≠ 1 (lognormal
+// frame costs, constant-cost kernels, ...), the Allen-Cunneen approximation
+// corrects the queueing delay:
+//
+//	Wq(M/G/k) ≈ Wq(M/M/k) · (1 + CV²) / 2
+//
+// CV² = 1 recovers M/M/k exactly; CV² = 0 (deterministic service) halves
+// the wait, matching the known M/D/1 result at k = 1.
+
+// ExpectedWaitCorrected returns the Allen-Cunneen approximation of the
+// expected queueing delay for arrival rate lambda, per-server service rate
+// mu, k servers and service-time squared coefficient of variation cv2.
+// Conventions follow ExpectedWait: +Inf when unstable, NaN on bad input.
+func ExpectedWaitCorrected(lambda, mu float64, k int, cv2 float64) float64 {
+	if cv2 < 0 || math.IsNaN(cv2) {
+		return math.NaN()
+	}
+	w := ExpectedWait(lambda, mu, k)
+	if math.IsNaN(w) || math.IsInf(w, 1) {
+		return w
+	}
+	return w * (1 + cv2) / 2
+}
+
+// ExpectedSojournCorrected is ExpectedWaitCorrected plus the mean service
+// time — Equation (1) with the Allen-Cunneen wait.
+func ExpectedSojournCorrected(lambda, mu float64, k int, cv2 float64) float64 {
+	w := ExpectedWaitCorrected(lambda, mu, k, cv2)
+	if math.IsNaN(w) {
+		return w
+	}
+	return w + 1/mu
+}
+
+// MarginalBenefitCorrected is MarginalBenefit under the corrected sojourn.
+// Because the correction scales the (convex, decreasing) wait by a positive
+// constant, convexity — and with it Theorem 1's greedy optimality — is
+// preserved.
+func MarginalBenefitCorrected(lambda, mu float64, k int, cv2 float64) float64 {
+	cur := ExpectedSojournCorrected(lambda, mu, k, cv2)
+	next := ExpectedSojournCorrected(lambda, mu, k+1, cv2)
+	switch {
+	case math.IsInf(next, 1):
+		return 0
+	case math.IsInf(cur, 1):
+		return math.Inf(1)
+	default:
+		return lambda * (cur - next)
+	}
+}

@@ -1,0 +1,103 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sojourn-tail analysis. The paper's real-time constraint bounds the
+// *expected* sojourn E[T] ≤ Tmax; an operator often wants the stronger
+// quantile form "99% of tuples within Tmax". For an FCFS M/M/k station the
+// sojourn distribution is known in closed form, so both are cheap:
+//
+//	P(W > t) = C(k, a) · e^{−θt},  θ = kµ − λ   (Erlang-C tail)
+//	T = W + S,  S ~ Exp(µ) independent
+//	P(T > t) = C·e^{−θt} + (1−C)·e^{−µt} + Cθ·(e^{−θt} − e^{−µt})/(µ−θ)
+//
+// with the θ = µ limit handled separately. Tests validate the formula
+// against both numerical integration (its mean must equal Equation (1))
+// and simulated quantiles.
+
+// SojournTail returns P(T > t) for an M/M/k station: the probability a
+// tuple's queueing-plus-service time exceeds t seconds. It returns 1 for
+// any finite t when the station is unstable and NaN on invalid input.
+func SojournTail(lambda, mu float64, k int, t float64) float64 {
+	if lambda < 0 || mu <= 0 || math.IsNaN(lambda) || math.IsNaN(mu) || t < 0 || math.IsNaN(t) {
+		return math.NaN()
+	}
+	if lambda == 0 {
+		return math.Exp(-mu * t) // pure service
+	}
+	a := lambda / mu
+	if float64(k) <= a {
+		return 1
+	}
+	c := ErlangC(k, a)
+	theta := float64(k)*mu - lambda
+	if math.Abs(theta-mu) < 1e-12*mu {
+		// Degenerate case θ = µ: P(T>t) = e^{−µt}·(1 + C·µ·t).
+		return math.Exp(-mu*t) * (1 + c*mu*t)
+	}
+	et, em := math.Exp(-theta*t), math.Exp(-mu*t)
+	return c*et + (1-c)*em + c*theta*(et-em)/(mu-theta)
+}
+
+// SojournQuantile returns the q-quantile (0 < q < 1) of the sojourn time:
+// the smallest t with P(T ≤ t) ≥ q, found by bisection on the closed-form
+// tail. +Inf when unstable, NaN on invalid input.
+func SojournQuantile(lambda, mu float64, k int, q float64) float64 {
+	if q <= 0 || q >= 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if lambda < 0 || mu <= 0 {
+		return math.NaN()
+	}
+	if lambda > 0 && float64(k) <= lambda/mu {
+		return math.Inf(1)
+	}
+	tail := 1 - q
+	// Bracket: expand hi until the tail drops below target.
+	lo, hi := 0.0, 1/mu
+	for SojournTail(lambda, mu, k, hi) > tail {
+		hi *= 2
+		if hi > 1e12 {
+			return math.Inf(1)
+		}
+	}
+	for i := 0; i < 200 && hi-lo > 1e-12*hi; i++ {
+		mid := (lo + hi) / 2
+		if SojournTail(lambda, mu, k, mid) > tail {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// MinServersForQuantile returns the smallest k such that the q-quantile of
+// the sojourn time is at most target seconds — the quantile analogue of
+// Program (6)'s per-operator building block. Errors if the target is below
+// the bare service quantile (unreachable with any k).
+func MinServersForQuantile(lambda, mu, target, q float64) (int, error) {
+	if lambda < 0 || mu <= 0 {
+		return 0, ErrInvalidRates
+	}
+	if q <= 0 || q >= 1 {
+		return 0, fmt.Errorf("queueing: quantile %g out of (0, 1)", q)
+	}
+	// With infinite servers the sojourn is the bare service time; its
+	// q-quantile −ln(1−q)/µ is the floor.
+	floor := -math.Log(1-q) / mu
+	if target < floor {
+		return 0, fmt.Errorf("queueing: target %g below service %g-quantile %g", target, q, floor)
+	}
+	k, err := MinStableServers(lambda, mu)
+	if err != nil {
+		return 0, err
+	}
+	for SojournQuantile(lambda, mu, k, q) > target {
+		k++
+	}
+	return k, nil
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"errors"
+
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+// Trace support: the paper replays a recorded tweet stream; this file lets
+// any arrival process be captured once and replayed bit-identically, so an
+// experiment can be re-run against the exact same arrival sequence while
+// varying everything else (allocation, seeds of service times, ...).
+
+// TraceArrivals replays a recorded sequence of inter-arrival gaps. When
+// the trace is exhausted it cycles, which keeps long runs going while
+// preserving the recorded burst structure.
+type TraceArrivals struct {
+	gaps []float64
+	pos  int
+}
+
+// NewTraceArrivals validates and wraps recorded gaps (seconds).
+func NewTraceArrivals(gaps []float64) (*TraceArrivals, error) {
+	if len(gaps) == 0 {
+		return nil, errors.New("sim: empty arrival trace")
+	}
+	total := 0.0
+	for _, g := range gaps {
+		if g < 0 {
+			return nil, errors.New("sim: negative gap in arrival trace")
+		}
+		total += g
+	}
+	if total <= 0 {
+		return nil, errors.New("sim: arrival trace has zero duration")
+	}
+	return &TraceArrivals{gaps: append([]float64(nil), gaps...)}, nil
+}
+
+// NextInterArrival replays the next recorded gap.
+func (t *TraceArrivals) NextInterArrival(*stats.RNG) float64 {
+	g := t.gaps[t.pos]
+	t.pos = (t.pos + 1) % len(t.gaps)
+	return g
+}
+
+// MeanRate reports the trace's average arrivals per second.
+func (t *TraceArrivals) MeanRate() float64 {
+	total := 0.0
+	for _, g := range t.gaps {
+		total += g
+	}
+	return float64(len(t.gaps)) / total
+}
+
+// RecordArrivals samples n inter-arrival gaps from any arrival process,
+// producing a replayable trace.
+func RecordArrivals(p ArrivalProcess, n int, seed uint64) (*TraceArrivals, error) {
+	if n <= 0 {
+		return nil, errors.New("sim: trace length must be positive")
+	}
+	rng := stats.NewRNG(seed)
+	gaps := make([]float64, n)
+	for i := range gaps {
+		gaps[i] = p.NextInterArrival(rng)
+	}
+	return NewTraceArrivals(gaps)
+}

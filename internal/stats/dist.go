@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dist is a sampleable non-negative distribution. It is the abstraction the
+// simulator uses for inter-arrival times and service times, so that an
+// experiment can swap exponential for uniform, lognormal or deterministic
+// variants (the paper deliberately runs the model outside its exponential
+// assumptions, e.g. uniform frame rates in §V).
+type Dist interface {
+	// Sample draws one value using the provided generator.
+	Sample(r *RNG) float64
+	// Mean reports the distribution's expected value.
+	Mean() float64
+	// String describes the distribution for logs and reports.
+	String() string
+}
+
+// Exponential is an exponential distribution with the given Rate (mean 1/Rate).
+type Exponential struct {
+	Rate float64
+}
+
+// Sample draws an exponential variate.
+func (e Exponential) Sample(r *RNG) float64 { return r.Exp(e.Rate) }
+
+// Mean returns 1/Rate.
+func (e Exponential) Mean() float64 { return 1 / e.Rate }
+
+func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", e.Rate) }
+
+// Deterministic always returns Value.
+type Deterministic struct {
+	Value float64
+}
+
+// Sample returns the constant value.
+func (d Deterministic) Sample(*RNG) float64 { return d.Value }
+
+// Mean returns the constant value.
+func (d Deterministic) Mean() float64 { return d.Value }
+
+func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
+
+// Uniform is a uniform distribution on [Lo, Hi).
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// Sample draws a uniform variate in [Lo, Hi).
+func (u Uniform) Sample(r *RNG) float64 { return r.Uniform(u.Lo, u.Hi) }
+
+// Mean returns (Lo+Hi)/2.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
+
+// LogNormal is a lognormal distribution, exp(N(Mu, Sigma)). Heavy-tailed
+// service times (e.g. per-frame SIFT cost) are modeled with it.
+type LogNormal struct {
+	Mu, Sigma float64
+}
+
+// Sample draws a lognormal variate.
+func (l LogNormal) Sample(r *RNG) float64 { return r.LogNormal(l.Mu, l.Sigma) }
+
+// Mean returns exp(Mu + Sigma^2/2).
+func (l LogNormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+
+func (l LogNormal) String() string { return fmt.Sprintf("LogNormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
+
+// Shifted wraps a distribution and adds a constant offset to every sample,
+// useful for "fixed overhead plus variable part" service models.
+type Shifted struct {
+	Offset float64
+	Base   Dist
+}
+
+// Sample returns Offset + Base.Sample.
+func (s Shifted) Sample(r *RNG) float64 { return s.Offset + s.Base.Sample(r) }
+
+// Mean returns Offset + Base.Mean.
+func (s Shifted) Mean() float64 { return s.Offset + s.Base.Mean() }
+
+func (s Shifted) String() string { return fmt.Sprintf("%g+%s", s.Offset, s.Base) }

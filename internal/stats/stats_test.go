@@ -1,0 +1,335 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	r := NewRNG(7)
+	s1 := r.Split(1)
+	r2 := NewRNG(7)
+	s2 := r2.Split(1)
+	for i := 0; i < 50; i++ {
+		if s1.Float64() != s2.Float64() {
+			t.Fatal("Split must be deterministic given seed and id")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(1)
+	const rate = 2.5
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.Exp(rate))
+	}
+	if got, want := s.Mean(), 1/rate; math.Abs(got-want) > 0.01*want {
+		t.Errorf("Exp mean = %g, want ~%g", got, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRNG(2)
+	for _, mean := range []float64{0.5, 4, 12, 50} { // spans Knuth and normal-approx branches
+		var s Summary
+		for i := 0; i < 100000; i++ {
+			s.Add(float64(r.Poisson(mean)))
+		}
+		if math.Abs(s.Mean()-mean) > 0.03*mean+0.02 {
+			t.Errorf("Poisson(%g) sample mean = %g", mean, s.Mean())
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) = %g out of range", v)
+		}
+	}
+}
+
+func TestDistMeans(t *testing.T) {
+	r := NewRNG(4)
+	dists := []Dist{
+		Exponential{Rate: 4},
+		Deterministic{Value: 0.7},
+		Uniform{Lo: 1, Hi: 25},
+		LogNormal{Mu: -1, Sigma: 0.5},
+		Shifted{Offset: 2, Base: Exponential{Rate: 1}},
+	}
+	for _, d := range dists {
+		var s Summary
+		for i := 0; i < 150000; i++ {
+			s.Add(d.Sample(r))
+		}
+		want := d.Mean()
+		if math.Abs(s.Mean()-want) > 0.02*want+1e-9 {
+			t.Errorf("%s: sample mean %g, analytic mean %g", d, s.Mean(), want)
+		}
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var s Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varr := 0.0
+	for _, x := range xs {
+		varr += (x - mean) * (x - mean)
+	}
+	varr /= float64(len(xs) - 1)
+	if math.Abs(s.Mean()-mean) > 1e-12 {
+		t.Errorf("mean %g, want %g", s.Mean(), mean)
+	}
+	if math.Abs(s.Var()-varr) > 1e-12 {
+		t.Errorf("var %g, want %g", s.Var(), varr)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 1/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	f := func(raw []float64) bool {
+		var whole, left, right Summary
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				// Magnitudes whose squared deltas overflow float64 are out
+				// of scope for sojourn-time statistics.
+				return true
+			}
+			whole.Add(x)
+			if i%2 == 0 {
+				left.Add(x)
+			} else {
+				right.Add(x)
+			}
+		}
+		left.Merge(right)
+		if whole.Count() != left.Count() {
+			return false
+		}
+		if whole.Count() == 0 {
+			return true
+		}
+		tol := 1e-9 * (1 + math.Abs(whole.Mean()))
+		return math.Abs(whole.Mean()-left.Mean()) < tol &&
+			math.Abs(whole.Var()-left.Var()) < 1e-6*(1+whole.Var())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	var s Summary
+	s.Add(5)
+	s.Reset()
+	if s.Count() != 0 || s.Mean() != 0 {
+		t.Error("Reset did not clear the summary")
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var p Sample
+	for i := 1; i <= 100; i++ {
+		p.Add(float64(i))
+	}
+	tests := []struct{ q, want float64 }{
+		{0, 1}, {1, 100}, {0.5, 50.5}, {0.25, 25.75}, {0.99, 99.01},
+	}
+	for _, tt := range tests {
+		if got := p.Quantile(tt.q); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tt.q, got, tt.want)
+		}
+	}
+	if p.Count() != 100 {
+		t.Errorf("Count = %d", p.Count())
+	}
+}
+
+func TestSampleMeanStdDev(t *testing.T) {
+	var p Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		p.Add(x)
+	}
+	if got := p.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean %g, want 5", got)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if got := p.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("stddev %g, want %g", got, want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.999, 10, 55} {
+		h.Add(x)
+	}
+	if h.Underflow != 1 || h.Overflow != 2 {
+		t.Errorf("under/over = %d/%d, want 1/2", h.Underflow, h.Overflow)
+	}
+	if h.Buckets[0] != 2 { // 0 and 1.9
+		t.Errorf("bucket0 = %d, want 2", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[4] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Total() != 7 {
+		t.Errorf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestHistogramPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic for hi <= lo")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("perfect line: r = %g, want 1", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r+1) > 1e-12 {
+		t.Errorf("anti-correlated: r = %g, want -1", r)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Pearson([]float64{1}, []float64{2}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{2, 3}); err == nil {
+		t.Error("zero variance should error")
+	}
+}
+
+func TestSpearmanMonotoneNonlinear(t *testing.T) {
+	// Monotone but nonlinear relation: Spearman is exactly 1.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Spearman = %g, want 1", r)
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	xs := []float64{1, 2, 2, 3}
+	ys := []float64{1, 2, 2, 3}
+	r, err := Spearman(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Errorf("Spearman with ties = %g, want 1", r)
+	}
+}
+
+func TestFitLinear(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 5 exactly
+	fit, err := FitLinear(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-5) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 5", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Errorf("R2 = %g, want 1", fit.R2)
+	}
+}
+
+func TestIsMonotone(t *testing.T) {
+	tests := []struct {
+		name   string
+		xs, ys []float64
+		want   bool
+	}{
+		{"increasing", []float64{1, 2, 3}, []float64{4, 5, 9}, true},
+		{"unsorted x still monotone", []float64{3, 1, 2}, []float64{9, 4, 5}, true},
+		{"violation", []float64{1, 2, 3}, []float64{4, 9, 5}, false},
+		{"tie is not strict", []float64{1, 2}, []float64{4, 4}, false},
+		{"too short", []float64{1}, []float64{4}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := IsMonotone(tt.xs, tt.ys); got != tt.want {
+				t.Errorf("IsMonotone = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(9)
+	z := NewZipf(r, 1.5, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("Zipf sample %d out of range", v)
+		}
+		counts[v]++
+	}
+	if counts[0] <= counts[1] || counts[1] <= counts[3] {
+		t.Errorf("Zipf counts not skewed: c0=%d c1=%d c3=%d", counts[0], counts[1], counts[3])
+	}
+}
