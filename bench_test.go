@@ -13,6 +13,7 @@ import (
 	"github.com/drs-repro/drs/internal/apps/vld"
 	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/experiments"
+	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/metrics"
 	"github.com/drs-repro/drs/internal/queueing"
 	"github.com/drs-repro/drs/internal/sim"
@@ -385,5 +386,62 @@ func BenchmarkAblationBaseline(b *testing.B) {
 		if _, err := experiments.RunBaseline(experiments.VLD, opts); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchTarget is a steady-state supervisor target: a fixed interval report
+// and an allocation that accepts whatever the loop applies.
+type benchTarget struct {
+	alloc map[string]int
+	rep   metrics.IntervalReport
+}
+
+func (t *benchTarget) DrainInterval() metrics.IntervalReport { return t.rep }
+func (t *benchTarget) Allocation() map[string]int            { return t.alloc }
+func (t *benchTarget) Rebalance(alloc map[string]int, _ time.Duration) error {
+	for k, v := range alloc {
+		t.alloc[k] = v
+	}
+	return nil
+}
+
+// BenchmarkSupervisorTick measures one full control round of the closed
+// loop (DESIGN.md §5): measurer ingest, snapshot, model build, Algorithm 1
+// solve, and the hold/apply verdict — the per-Tm cost a live deployment
+// pays.
+func BenchmarkSupervisorTick(b *testing.B) {
+	names := []string{"extract", "match", "aggregate"}
+	target := &benchTarget{
+		alloc: map[string]int{"extract": 10, "match": 11, "aggregate": 1},
+		rep: metrics.IntervalReport{
+			Duration:         10 * time.Second,
+			ExternalArrivals: 130,
+			Ops: []metrics.OpInterval{
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.45 * float64(time.Second))},
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.50 * float64(time.Second))},
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.01 * float64(time.Second))},
+			},
+			SojournCount: 120,
+			SojournTotal: 120 * time.Second,
+		},
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{Mode: core.ModeMinLatency, Kmax: 22, MinGain: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sup, err := loop.New(loop.Config{
+		Target:    target,
+		Operators: names,
+		Stepper:   ctrl,
+		Pool:      loop.FixedPool(22),
+		Interval:  10 * time.Second,
+		Cooldown:  time.Nanosecond, // decide every round: measure the full path
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sup.Tick()
 	}
 }

@@ -1,7 +1,9 @@
 // Command drsctl applies the DRS model to a user-supplied topology
 // description: it estimates sojourn times, recommends allocations under a
-// processor budget (Program (4)) or a latency target (Program (6)), and can
-// validate a recommendation with a discrete-event simulation.
+// processor budget (Program (4)) or a latency target (Program (6)), can
+// validate a recommendation with a discrete-event simulation, and can run
+// the topology live under the DRS Supervisor — the closed §IV control
+// loop: measure, re-solve, rebalance.
 //
 // Usage:
 //
@@ -9,6 +11,8 @@
 //	drsctl -topology topo.json recommend -kmax 22
 //	drsctl -topology topo.json recommend -tmax-ms 500
 //	drsctl -topology topo.json simulate -alloc 10,11,1 -duration 600
+//	drsctl -topology topo.json supervise -tmax-ms 500 -duration 30
+//	drsctl -topology topo.json supervise -kmax 8 -duration 30
 //
 // The topology file format:
 //
@@ -90,6 +94,8 @@ func run(args []string) error {
 		return cmdRecommend(model, rest)
 	case "simulate":
 		return cmdSimulate(model, topo, tf, rest)
+	case "supervise":
+		return cmdSupervise(tf, rest)
 	case "quantile":
 		return cmdQuantile(model, rest)
 	default:

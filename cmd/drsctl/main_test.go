@@ -93,6 +93,39 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// fastTopo has millisecond-scale services so a live supervised run stays
+// short enough for a test.
+const fastTopo = `{
+  "operators": [
+    {"name": "extract", "service_rate": 200, "external_rate": 40},
+    {"name": "match", "service_rate": 150}
+  ],
+  "edges": [
+    {"from": "extract", "to": "match", "selectivity": 1.0}
+  ]
+}`
+
+func TestSuperviseSubcommand(t *testing.T) {
+	path := writeTopo(t, fastTopo)
+	if err := run([]string{"-topology", path, "supervise",
+		"-kmax", "4", "-duration", "2", "-interval-ms", "200"}); err != nil {
+		t.Errorf("supervise -kmax: %v", err)
+	}
+	if err := run([]string{"-topology", path, "supervise",
+		"-tmax-ms", "50", "-duration", "2", "-interval-ms", "200"}); err != nil {
+		t.Errorf("supervise -tmax-ms: %v", err)
+	}
+	for _, bad := range [][]string{
+		{"-topology", path, "supervise"},                                 // no mode
+		{"-topology", path, "supervise", "-kmax", "4", "-tmax-ms", "50"}, // both modes
+		{"-topology", path, "supervise", "-kmax", "1", "-duration", "1"}, // budget below initial alloc
+	} {
+		if err := run(bad); err == nil {
+			t.Errorf("run(%v) should error", bad)
+		}
+	}
+}
+
 func TestQuantileSubcommand(t *testing.T) {
 	path := writeTopo(t, validTopo)
 	if err := run([]string{"-topology", path, "quantile", "-q", "0.95", "-target-ms", "2500"}); err != nil {

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"math"
+	"math/rand"
+	"os"
+	"time"
+
+	drs "github.com/drs-repro/drs"
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/loop"
+)
+
+// cmdSupervise materializes the topology file as a live engine run —
+// Poisson spouts for the external rates, executors that busy an
+// exponential service time per tuple, per-edge fractional forwarding —
+// and puts the DRS Supervisor in charge of it for the requested duration.
+// It is the closed §IV loop as a CLI: measure, re-solve, rebalance.
+func cmdSupervise(tf topoFile, args []string) error {
+	fs := flag.NewFlagSet("supervise", flag.ContinueOnError)
+	kmax := fs.Int("kmax", 0, "fixed processor budget: supervise in min-latency mode (Program (4))")
+	tmaxMS := fs.Float64("tmax-ms", 0, "latency target in ms: supervise in min-resource mode (Program (6))")
+	duration := fs.Float64("duration", 30, "wall-clock seconds to run")
+	intervalMS := fs.Int("interval-ms", 1000, "measurement cadence Tm in ms")
+	allocStr := fs.String("alloc", "", "initial executors per operator (default 1 each)")
+	tasks := fs.Int("tasks", 16, "tasks per operator (caps executor parallelism)")
+	slots := fs.Int("slots", 4, "executor slots per machine (min-resource mode)")
+	reserved := fs.Int("reserved-slots", 1, "slots reserved off the pool (min-resource mode)")
+	maxMachines := fs.Int("max-machines", 8, "machine cap the negotiator may provision")
+	seed := fs.Int64("seed", 1, "workload seed")
+	verbose := fs.Bool("v", false, "log every loop event")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*kmax > 0) == (*tmaxMS > 0) {
+		return fmt.Errorf("pass exactly one of -kmax or -tmax-ms")
+	}
+
+	initial := make([]int, len(tf.Operators))
+	for i := range initial {
+		initial[i] = 1
+	}
+	if *allocStr != "" {
+		var err error
+		if initial, err = parseAlloc(*allocStr, len(tf.Operators)); err != nil {
+			return err
+		}
+	}
+
+	// Tasks cap executor parallelism per operator, and the optimizer may
+	// concentrate nearly the whole budget on one operator — a decision the
+	// engine would then reject round after round until it is suppressed.
+	// Grow the default to cover the worst case; an explicit -tasks below
+	// the budget is a user error worth stopping on.
+	maxBudget := *kmax
+	if *tmaxMS > 0 {
+		maxBudget = *slots**maxMachines - *reserved
+	}
+	tasksSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "tasks" {
+			tasksSet = true
+		}
+	})
+	if *tasks < maxBudget {
+		if tasksSet {
+			return fmt.Errorf("-tasks %d cannot absorb the %d-processor budget a decision may assign one operator; raise -tasks or shrink the pool", *tasks, maxBudget)
+		}
+		*tasks = maxBudget
+	}
+
+	run, names, err := startLiveTopology(tf, initial, *tasks, *seed)
+	if err != nil {
+		return err
+	}
+	defer run.Stop()
+
+	var pool drs.SupervisorPool
+	var ctrlCfg drs.ControllerConfig
+	total := 0
+	for _, k := range initial {
+		total += k
+	}
+	if *kmax > 0 {
+		if total > *kmax {
+			return fmt.Errorf("initial allocation needs %d processors, budget is %d", total, *kmax)
+		}
+		pool = drs.FixedPool(*kmax)
+		ctrlCfg = drs.ControllerConfig{Mode: drs.ModeMinLatency, Kmax: *kmax, MinGain: 0.05}
+	} else {
+		machines := (total + *reserved + *slots - 1) / *slots
+		cp, err := cluster.NewPool(cluster.PoolConfig{
+			SlotsPerMachine: *slots,
+			ReservedSlots:   *reserved,
+			MaxMachines:     *maxMachines,
+			Costs: cluster.CostModel{
+				Rebalance:        200 * time.Millisecond,
+				MachineColdStart: 500 * time.Millisecond,
+				MachineRelease:   200 * time.Millisecond,
+			},
+		}, machines)
+		if err != nil {
+			return err
+		}
+		pool = cp
+		ctrlCfg = drs.ControllerConfig{
+			Mode:                  drs.ModeMinResource,
+			Tmax:                  *tmaxMS / 1e3,
+			MinGain:               0.05,
+			ScaleInSlack:          0.35,
+			MaxScaleInUtilization: 0.9,
+			SlotsPerMachine:       *slots,
+			ReservedSlots:         *reserved,
+		}
+	}
+	ctrl, err := drs.NewController(ctrlCfg)
+	if err != nil {
+		return err
+	}
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	sup, err := drs.NewSupervisor(drs.SupervisorConfig{
+		Target:    loop.EngineTarget(run),
+		Operators: names,
+		Stepper:   ctrl,
+		Pool:      pool,
+		Interval:  time.Duration(*intervalMS) * time.Millisecond,
+		Logger:    slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("supervising %d operators for %.0fs (Tm = %dms, %s), Kmax = %d, alloc = %v\n",
+		len(names), *duration, *intervalMS, ctrlCfg.Mode, pool.Kmax(), initial)
+	if err := sup.Start(); err != nil {
+		return err
+	}
+	time.Sleep(secondsDuration(*duration))
+	sup.Stop()
+
+	fmt.Printf("\n%d control rounds, decision history:\n", sup.Rounds())
+	events := sup.History()
+	if len(events) == 0 {
+		fmt.Println("  (none: the loop held steady every round)")
+	}
+	for _, ev := range events {
+		fmt.Printf("  %s\n", ev)
+	}
+	if snap, ok := sup.LastSnapshot(); ok {
+		fmt.Printf("\nfinal: lambda0 = %.2f tuples/s, measured E[T] = %.1f ms, Kmax = %d, alloc = %v\n",
+			snap.Lambda0, snap.MeasuredSojourn*1e3, pool.Kmax(), run.Allocation())
+	}
+	return nil
+}
+
+// startLiveTopology builds and starts the engine realization of the
+// topology file: one Poisson spout per operator with an external rate, one
+// sleeping M/M/k bolt per operator, and a named stream per edge so each
+// edge applies its own selectivity independently.
+func startLiveTopology(tf topoFile, initial []int, tasks int, seed int64) (*engine.Run, []string, error) {
+	type outEdge struct {
+		stream      string
+		selectivity float64
+	}
+	outs := make(map[string][]outEdge)
+	for i, e := range tf.Edges {
+		outs[e.From] = append(outs[e.From], outEdge{stream: fmt.Sprintf("e%d", i), selectivity: e.Selectivity})
+	}
+	b := engine.NewTopology()
+	names := make([]string, len(tf.Operators))
+	alloc := make(map[string]int, len(tf.Operators))
+	for i, op := range tf.Operators {
+		op := op
+		names[i] = op.Name
+		alloc[op.Name] = initial[i]
+		edges := outs[op.Name]
+		taskSeed := seed + int64(i)*1009
+		b.Bolt(op.Name, tasks, func(task int) engine.Bolt {
+			rng := rand.New(rand.NewSource(taskSeed + int64(task)))
+			return engine.BoltFunc(func(_ engine.Tuple, emit engine.Emit) error {
+				time.Sleep(time.Duration(rng.ExpFloat64() / op.ServiceRate * float64(time.Second)))
+				for _, e := range edges {
+					n := int(math.Floor(e.selectivity))
+					if rng.Float64() < e.selectivity-math.Floor(e.selectivity) {
+						n++
+					}
+					to := emit.To(e.stream)
+					for j := 0; j < n; j++ {
+						to(engine.Values{0})
+					}
+				}
+				return nil
+			})
+		})
+		if op.ExternalRate > 0 {
+			spoutName := "src-" + op.Name
+			rate := op.ExternalRate
+			spoutSeed := seed + int64(i)*7919
+			b.Spout(spoutName, 1, func(int) engine.Spout {
+				return &ratedSpout{rate: rate, seed: spoutSeed}
+			})
+			b.Shuffle(spoutName, op.Name)
+		}
+	}
+	for i, e := range tf.Edges {
+		b.ShuffleOn(fmt.Sprintf("e%d", i), e.From, e.To)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 30 * time.Second})
+	if err != nil {
+		return nil, nil, err
+	}
+	return run, names, nil
+}
+
+// ratedSpout emits tuples with exponential inter-arrival times.
+type ratedSpout struct {
+	rate float64
+	seed int64
+}
+
+func (s *ratedSpout) Run(ctx engine.SpoutContext) error {
+	rng := rand.New(rand.NewSource(s.seed))
+	for {
+		wait := time.Duration(rng.ExpFloat64() / s.rate * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(wait):
+			if !ctx.Paused() {
+				ctx.Emit(engine.Values{0})
+			}
+		}
+	}
+}
+
+func secondsDuration(sec float64) time.Duration {
+	return time.Duration(sec * float64(time.Second))
+}

@@ -18,6 +18,12 @@
 //     smoothing, and a Controller that turns measurement snapshots into
 //     rebalance / scale-out / scale-in decisions, including the Appendix-B
 //     cost/benefit guard.
+//   - The closed loop, live (§IV's DRS daemon): a Supervisor that owns a
+//     running topology, drains its measurements every Tm seconds, steps
+//     the controller and actuates the verdicts through the resource pool —
+//     with cooldown hysteresis between actions and suppression of
+//     repeatedly-failing rebalances. examples/autoscale runs it against
+//     the built-in engine under a shifting arrival rate.
 //
 // A minimal session:
 //
@@ -40,8 +46,10 @@
 package drs
 
 import (
+	"github.com/drs-repro/drs/internal/cluster"
 	"github.com/drs-repro/drs/internal/config"
 	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/metrics"
 	"github.com/drs-repro/drs/internal/topology"
 )
@@ -166,6 +174,55 @@ func NewMeasurer(cfg MeasurerConfig) (*Measurer, error) {
 
 // NewExecutorProbe builds a probe sampling every nm-th served tuple.
 func NewExecutorProbe(nm int) *ExecutorProbe { return metrics.NewExecutorProbe(nm) }
+
+// Supervisor closes the DRS control loop of §IV against a live system: it
+// polls its target's measurements on a configurable cadence, feeds them
+// through the decision policy, and actuates rebalance/scale verdicts —
+// with cooldown hysteresis between actions and suppression of
+// repeatedly-failing ones. It is the paper's DRS daemon (the component
+// that "periodically pulls metrics, re-solves the allocation, and
+// rebalances when the model says it pays off").
+type Supervisor = loop.Supervisor
+
+// SupervisorConfig assembles a supervisor: the target, the operator order,
+// the decision policy, the resource pool, and the loop cadence Tm.
+type SupervisorConfig = loop.Config
+
+// SupervisorEvent is one decision round that mattered: an applied action,
+// a failed apply, or a suppressed retry.
+type SupervisorEvent = loop.Event
+
+// SupervisorTarget is the system under supervision: measurement intervals
+// out, allocations in. Implement it over your own runtime, or use the
+// built-in engine through internal/loop.EngineTarget (as examples/autoscale
+// and drsctl supervise do).
+type SupervisorTarget = loop.Target
+
+// SupervisorPool is the resource negotiator the supervisor charges
+// transitions to (the paper's Appendix-B negotiator). *cluster.Pool
+// implements it; FixedPool serves constant-budget deployments.
+type SupervisorPool = loop.Pool
+
+// PoolTransition describes one applied resource-pool change and its
+// modeled service-disruption pause (the §V transition costs) — the value
+// a SupervisorPool implementation returns.
+type PoolTransition = cluster.Transition
+
+// SupervisorClock abstracts time for deterministic tests and virtual-time
+// (simulator) driving of the loop.
+type SupervisorClock = loop.Clock
+
+// NewSupervisor validates the config, fills defaults (a windowed Measurer
+// over the named operators, 4·Interval cooldown, 3-failure suppression)
+// and builds a supervisor.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	return loop.New(cfg)
+}
+
+// FixedPool returns a SupervisorPool with a constant processor budget and
+// free rebalances — the ModeMinLatency deployment where only the split is
+// negotiable.
+func FixedPool(kmax int) SupervisorPool { return loop.FixedPool(kmax) }
 
 // Config is the full DRS parameter set (the configuration-reader module),
 // with JSON load/save.

@@ -1,11 +1,16 @@
-// Autoscaling demo (the paper's Figure 10, compressed): DRS in
-// min-resource mode drives the simulated VLD pipeline against a latency
-// target, negotiating whole machines from the cluster pool.
+// Autoscaling demo, live: the DRS Supervisor closes the paper's §IV
+// control loop against the built-in goroutine engine under a shifting
+// arrival rate.
 //
-// Phase 1 starts under-provisioned (4 machines, Kmax=17) with a tight
-// target: DRS scales out to 5 machines and re-spreads to (10:11:1). Phase 2
-// relaxes the target: DRS releases the machine again. Both transitions pay
-// their modeled pause (cold-start vs release), visible as a latency spike.
+// A two-operator pipeline (extract -> match, exponential service times)
+// starts on one machine (Kmax = 3) under a light load that the small pool
+// handles comfortably. A third of the way in, the arrival rate steps from
+// 30 to 120 tuples/s — beyond what one extract executor can serve — and
+// the measured sojourn blows through the 80 ms target. The supervisor's
+// min-resource controller (Program (6)) detects the violation from live
+// measurements, negotiates a second machine from the pool, rebalances onto
+// it, and the measured sojourn returns under the target. When the load
+// drops back, the scale-in hysteresis releases the machine again.
 //
 // Run:
 //
@@ -15,111 +20,199 @@ package main
 import (
 	"fmt"
 	"log"
+	"log/slog"
 	"math"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
 
 	drs "github.com/drs-repro/drs"
-	"github.com/drs-repro/drs/internal/apps/vld"
 	"github.com/drs-repro/drs/internal/cluster"
-	"github.com/drs-repro/drs/internal/sim"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/loop"
 )
 
-func main() {
-	pool, err := cluster.PaperPool(4) // Kmax 17
-	if err != nil {
-		log.Fatal(err)
-	}
-	cfg, err := vld.SimConfig(vld.SmallPoolAllocation(), 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s, err := sim.New(cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s.EnableSeries(30)
+// Demo parameters: millisecond-scale services keep the whole run under a
+// minute of wall time while preserving the paper's dynamics.
+const (
+	muExtract = 100.0 // tuples/s one extract executor serves (10 ms mean)
+	muMatch   = 80.0  // tuples/s one match executor serves (12.5 ms mean)
+	tmax      = 0.080 // the real-time constraint, seconds
 
-	meas, err := drs.NewMeasurer(drs.MeasurerConfig{
-		OperatorNames: vld.OperatorNames(),
-		Smoothing:     drs.SmoothingSpec{Kind: "window", Window: 6},
+	lowRate  = 30.0  // phase 1/3 arrivals, tuples/s
+	highRate = 120.0 // phase 2 arrivals — saturates one extract executor
+
+	phase1 = 15 * time.Second // low load, small pool
+	phase2 = 20 * time.Second // step load: supervisor must scale out
+	phase3 = 20 * time.Second // load drops: supervisor may scale in
+)
+
+// poissonSpout emits tuples with exponential inter-arrival times at a
+// switchable rate.
+type poissonSpout struct {
+	rate *atomic.Uint64 // math.Float64bits of tuples/s
+	rng  *rand.Rand
+}
+
+func (s *poissonSpout) Run(ctx engine.SpoutContext) error {
+	for {
+		rate := math.Float64frombits(s.rate.Load())
+		wait := time.Duration(s.rng.ExpFloat64() / rate * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(wait):
+			if !ctx.Paused() {
+				ctx.Emit(engine.Values{0})
+			}
+		}
+	}
+}
+
+// serviceBolt sleeps an exponential service time and forwards the tuple —
+// an M/M/k server when run across k executors.
+func serviceBolt(mu float64) engine.BoltFactory {
+	return func(task int) engine.Bolt {
+		rng := rand.New(rand.NewSource(int64(task) + 1))
+		return engine.BoltFunc(func(_ engine.Tuple, emit engine.Emit) error {
+			time.Sleep(time.Duration(rng.ExpFloat64() / mu * float64(time.Second)))
+			emit(engine.Values{0})
+			return nil
+		})
+	}
+}
+
+func main() {
+	// The cluster: 4-slot machines, one slot reserved, scaled-down
+	// transition costs so the pauses stay visible but short.
+	pool, err := cluster.NewPool(cluster.PoolConfig{
+		SlotsPerMachine: 4,
+		ReservedSlots:   1,
+		MaxMachines:     4,
+		Costs: cluster.CostModel{
+			Rebalance:        200 * time.Millisecond,
+			MachineColdStart: 500 * time.Millisecond,
+			MachineRelease:   200 * time.Millisecond,
+		},
+	}, 1) // one machine: Kmax = 3
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rate := &atomic.Uint64{}
+	rate.Store(math.Float64bits(lowRate))
+	topo, err := engine.NewTopology().
+		Spout("source", 1, func(int) engine.Spout {
+			return &poissonSpout{rate: rate, rng: rand.New(rand.NewSource(42))}
+		}).
+		// 16 tasks per bolt: above the largest budget the pool can offer
+		// (4 machines × 4 slots − 1 = 15), so the engine can absorb any
+		// allocation the controller negotiates, even if a backlog-inflated
+		// measurement concentrates the whole pool on one operator.
+		Bolt("extract", 16, serviceBolt(muExtract)).
+		Bolt("match", 16, serviceBolt(muMatch)).
+		Shuffle("source", "extract").
+		Shuffle("extract", "match").
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := topo.Start(engine.RunConfig{
+		Alloc:          map[string]int{"extract": 1, "match": 2},
+		QuiesceTimeout: 20 * time.Second,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer run.Stop()
 
-	phase := func(name string, tmax, from, until float64) {
-		ctrl, err := drs.NewController(drs.ControllerConfig{
-			Mode:                  drs.ModeMinResource,
-			Tmax:                  tmax,
-			MinGain:               0.05,
-			ScaleInSlack:          0.35,
-			MaxScaleInUtilization: 0.9,
-			SlotsPerMachine:       5,
-			ReservedSlots:         3,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\n== %s: Tmax = %.0f ms, %d machines, Kmax = %d, alloc %v\n",
-			name, tmax*1e3, pool.Machines(), pool.Kmax(), s.Allocation())
-		cooldown := 0.0
-		for t := from + 10; t <= until; t += 10 {
-			s.RunUntil(t)
-			if err := meas.AddInterval(s.DrainInterval()); err != nil {
-				log.Fatal(err)
-			}
-			if t < cooldown {
-				continue
-			}
-			snap, err := meas.Snapshot()
-			if err != nil {
-				continue
-			}
-			snap.Alloc = s.Allocation()
-			snap.Kmax = pool.Kmax()
-			d, err := ctrl.Step(snap)
-			if err != nil {
-				log.Printf("controller: %v", err)
-				continue
-			}
-			if d.Action == drs.ActionNone {
-				continue
-			}
-			var tr cluster.Transition
-			switch d.Action {
-			case drs.ActionRebalance:
-				tr = pool.Rebalance()
-			default:
-				if tr, err = pool.Resize(d.TargetKmax); err != nil {
-					log.Printf("negotiator: %v", err)
-					continue
-				}
-			}
-			fmt.Printf("t=%4.0fs %-9s -> machines=%d Kmax=%d alloc=%v pause=%.1fs\n    %s\n",
-				t, d.Action, pool.Machines(), pool.Kmax(), d.Target, tr.Pause.Seconds(), d.Reason)
-			if err := s.SetAllocation(d.Target, tr.Pause.Seconds()); err != nil {
-				log.Fatal(err)
-			}
-			meas.Reset()
-			cooldown = t + 40
+	ctrl, err := drs.NewController(drs.ControllerConfig{
+		Mode:                  drs.ModeMinResource,
+		Tmax:                  tmax,
+		MinGain:               0.05,
+		ScaleInSlack:          0.35,
+		MaxScaleInUtilization: 0.9,
+		SlotsPerMachine:       4,
+		ReservedSlots:         1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sup, err := drs.NewSupervisor(drs.SupervisorConfig{
+		Target:    loop.EngineTarget(run),
+		Operators: run.BoltNames(),
+		Stepper:   ctrl,
+		Pool:      pool,
+		Interval:  time.Second,
+		Cooldown:  4 * time.Second,
+		Logger:    slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer sup.Stop()
+
+	fmt.Printf("target E[T] <= %.0f ms; machines=%d Kmax=%d alloc=%v\n\n",
+		tmax*1e3, pool.Machines(), pool.Kmax(), run.Allocation())
+	start := time.Now()
+
+	fmt.Printf("phase 1: lambda0 = %.0f tuples/s\n", lowRate)
+	reportLoop(sup, run, pool, start, phase1)
+
+	fmt.Printf("\nphase 2: lambda0 steps to %.0f tuples/s\n", highRate)
+	rate.Store(math.Float64bits(highRate))
+	reportLoop(sup, run, pool, start, phase1+phase2)
+
+	fmt.Printf("\nphase 3: lambda0 drops back to %.0f tuples/s\n", lowRate)
+	rate.Store(math.Float64bits(lowRate))
+	reportLoop(sup, run, pool, start, phase1+phase2+phase3)
+
+	sup.Stop()
+	fmt.Println("\ndecision history:")
+	scaledOut := false
+	for _, ev := range sup.History() {
+		fmt.Printf("  t=%4.1fs %s\n", ev.At.Sub(start).Seconds(), ev)
+		if ev.Action == drs.ActionScaleOut && ev.Applied {
+			scaledOut = true
 		}
 	}
+	snap, ok := sup.LastSnapshot()
+	converged := ok && snap.MeasuredSojourn > 0 && snap.MeasuredSojourn <= tmax
+	if ok {
+		fmt.Printf("\nfinal: machines=%d Kmax=%d alloc=%v measured E[T]=%.1f ms\n",
+			pool.Machines(), pool.Kmax(), run.Allocation(), snap.MeasuredSojourn*1e3)
+	} else {
+		fmt.Println("\nfinal: no measurement snapshot was ever produced")
+	}
+	fmt.Printf("scaled out under load: %v; converged under target: %v\n", scaledOut, converged)
+	if !scaledOut || !converged {
+		os.Exit(1)
+	}
+}
 
-	phase("phase 1 (scale out)", 1.25, 0, 420)
-	phase("phase 2 (scale in)", 2.0, 420, 840)
-
-	fmt.Println("\nper-30s mean sojourn (ms):")
-	for _, pt := range s.Series() {
-		bar := int(pt.MeanSojourn * 20)
-		if math.IsNaN(pt.MeanSojourn) {
+// reportLoop prints the supervisor's live view every 2 s until the demo
+// clock reaches until.
+func reportLoop(sup *drs.Supervisor, run interface{ Allocation() map[string]int },
+	pool *cluster.Pool, start time.Time, until time.Duration) {
+	for time.Since(start) < until {
+		time.Sleep(2 * time.Second)
+		snap, ok := sup.LastSnapshot()
+		if !ok {
+			fmt.Printf("  t=%4.1fs warming up\n", time.Since(start).Seconds())
 			continue
 		}
+		bar := int(snap.MeasuredSojourn * 250)
 		if bar > 60 {
 			bar = 60
 		}
-		fmt.Printf("%5.0fs %6.0f %s\n", pt.Start, pt.MeanSojourn*1e3, barString(bar))
+		fmt.Printf("  t=%4.1fs E[T]=%6.1f ms lambda0=%5.1f/s machines=%d alloc=%v %s\n",
+			time.Since(start).Seconds(), snap.MeasuredSojourn*1e3, snap.Lambda0,
+			pool.Machines(), run.Allocation(), barString(bar))
 	}
-	fmt.Printf("\nfinal: %d machines, Kmax=%d, alloc %v\n",
-		pool.Machines(), pool.Kmax(), s.Allocation())
 }
 
 func barString(n int) string {

@@ -1,0 +1,3 @@
+module github.com/drs-repro/drs
+
+go 1.22

@@ -94,6 +94,24 @@ type Decision struct {
 	Reason string
 }
 
+// AllocMap renders the decision's target allocation as an operator-name ->
+// processor-count map, the form an engine rebalance takes. names must be
+// the topology-ordered operator names the snapshot was built over. It
+// returns nil for decisions without a target (ActionNone).
+func (d Decision) AllocMap(names []string) (map[string]int, error) {
+	if d.Target == nil {
+		return nil, nil
+	}
+	if len(names) != len(d.Target) {
+		return nil, fmt.Errorf("%w: %d names for %d targets", ErrDimensionMismatch, len(names), len(d.Target))
+	}
+	out := make(map[string]int, len(names))
+	for i, name := range names {
+		out[name] = d.Target[i]
+	}
+	return out, nil
+}
+
 // ControllerConfig tunes the decision logic.
 type ControllerConfig struct {
 	// Mode picks Program (4) or Program (6).

@@ -81,6 +81,7 @@ type Run struct {
 	spoutLastErr  atomic.Pointer[error]
 	timeouts      *timeoutWatch
 
+	drainMu   sync.Mutex // serializes DrainInterval; guards lastDrain
 	lastDrain time.Time
 
 	mu        sync.Mutex // serializes Rebalance/Stop; guards lastMoves
@@ -386,10 +387,17 @@ func (r *Run) Completions() (count int64, meanSojourn time.Duration) {
 	return n, total / time.Duration(n)
 }
 
+// BoltNames returns the bolt names in declaration order — the operator
+// order of DrainInterval reports and of model allocation vectors.
+func (r *Run) BoltNames() []string { return r.topo.BoltNames() }
+
 // DrainInterval collects one measurement interval in measurer form:
 // per-bolt probe aggregates (operator level), external arrival count and
-// completed sojourns since the previous drain.
+// completed sojourns since the previous drain. Concurrent drains are
+// serialized; each interval's counters are reported exactly once.
 func (r *Run) DrainInterval() metrics.IntervalReport {
+	r.drainMu.Lock()
+	defer r.drainMu.Unlock()
 	now := time.Now()
 	rep := metrics.IntervalReport{
 		Duration:         now.Sub(r.lastDrain),

@@ -1,11 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
+	"sync"
+	"time"
 
 	"github.com/drs-repro/drs/internal/cluster"
 	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/metrics"
 	"github.com/drs-repro/drs/internal/sim"
 )
@@ -41,10 +46,103 @@ type controlLoopConfig struct {
 	stepper core.Stepper
 }
 
-// runControlled simulates the application with DRS attached: every
-// interval the simulator's measurements flow through the production
-// measurer, and (once enabled) the controller's decisions are applied with
-// their cluster-modeled pauses — the Figures 9 and 10 machinery.
+// simEpoch anchors the virtual clock: simulated second t maps to
+// simEpoch + t on the supervisor's Clock.
+var simEpoch = time.Unix(0, 0).UTC()
+
+// simClock adapts simulated seconds to the supervisor's Clock.
+type simClock struct {
+	mu  sync.Mutex
+	sec float64
+}
+
+func (c *simClock) set(sec float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sec = sec
+}
+
+func (c *simClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return simEpoch.Add(secondsToDuration(c.sec))
+}
+
+// simTarget adapts the discrete-event simulator to the supervisor's Target:
+// the same loop that drives the goroutine engine live drives the simulator
+// in virtual time, with the cluster-modeled pause injected on rebalance.
+type simTarget struct {
+	s     *sim.Sim
+	names []string
+}
+
+func (t simTarget) DrainInterval() metrics.IntervalReport { return t.s.DrainInterval() }
+
+func (t simTarget) Allocation() map[string]int {
+	k := t.s.Allocation()
+	out := make(map[string]int, len(t.names))
+	for i, name := range t.names {
+		out[name] = k[i]
+	}
+	return out
+}
+
+func (t simTarget) Rebalance(alloc map[string]int, pause time.Duration) error {
+	k := make([]int, len(t.names))
+	for i, name := range t.names {
+		k[i] = alloc[name]
+	}
+	return t.s.SetAllocation(k, pause.Seconds())
+}
+
+// loopFailures is a slog.Handler that captures the supervisor's first
+// warning as an error. A live daemon degrades to holding on errors; an
+// experiment must fail loudly instead of silently producing wrong figures,
+// matching the old inline loop's fatal-error behavior. (Capacity refusals
+// never reach Warn: the supervisor treats ErrNoCapacity as a plain hold.)
+type loopFailures struct {
+	mu    sync.Mutex
+	first error
+}
+
+func (c *loopFailures) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.first
+}
+
+func (c *loopFailures) Enabled(_ context.Context, l slog.Level) bool { return l >= slog.LevelWarn }
+func (c *loopFailures) WithAttrs([]slog.Attr) slog.Handler           { return c }
+func (c *loopFailures) WithGroup(string) slog.Handler                { return c }
+
+func (c *loopFailures) Handle(_ context.Context, r slog.Record) error {
+	var cause error
+	r.Attrs(func(a slog.Attr) bool {
+		if a.Key == "err" {
+			if e, ok := a.Value.Any().(error); ok {
+				cause = e
+			}
+			return false
+		}
+		return true
+	})
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.first == nil {
+		if cause != nil {
+			c.first = fmt.Errorf("%s: %w", r.Message, cause)
+		} else {
+			c.first = errors.New(r.Message)
+		}
+	}
+	return nil
+}
+
+// runControlled simulates the application with DRS attached: the
+// production supervisor (internal/loop) owns the simulator as its target,
+// polling the measurer every interval and applying decisions with their
+// cluster-modeled pauses — the Figures 9 and 10 machinery, on the same
+// loop the live engine uses.
 func runControlled(c controlLoopConfig) (*sim.Sim, []Transition, error) {
 	cfg, err := c.profile.simConfig(c.initial, c.seed)
 	if err != nil {
@@ -55,81 +153,54 @@ func runControlled(c controlLoopConfig) (*sim.Sim, []Transition, error) {
 		return nil, nil, err
 	}
 	s.EnableSeries(60) // per-minute curves, as plotted in the paper
-	meas, err := metrics.NewMeasurer(metrics.MeasurerConfig{
-		OperatorNames: c.profile.names,
-		Smoothing:     metrics.SmoothingSpec{Kind: "window", Window: 6},
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	var ctrl core.Stepper = c.stepper
-	if ctrl == nil {
+	stepper := c.stepper
+	if stepper == nil {
 		drsCtrl, err := core.NewController(c.ctrl)
 		if err != nil {
 			return nil, nil, err
 		}
-		ctrl = drsCtrl
+		stepper = drsCtrl
 	}
-	var transitions []Transition
-	cooldownUntil := 0.0
+	clock := &simClock{}
+	failures := &loopFailures{}
+	sup, err := loop.New(loop.Config{
+		Target:    simTarget{s: s, names: c.profile.names},
+		Operators: c.profile.names,
+		Stepper:   stepper,
+		Pool:      c.pool,
+		Interval:  secondsToDuration(c.interval),
+		Cooldown:  secondsToDuration(4 * c.interval),
+		Clock:     clock,
+		Logger:    slog.New(failures),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	for t := c.interval; t <= c.duration+1e-9; t += c.interval {
 		s.RunUntil(t)
-		if err := meas.AddInterval(s.DrainInterval()); err != nil {
-			return nil, nil, err
-		}
-		if t < c.enableAt || t < cooldownUntil {
+		clock.set(t)
+		if t < c.enableAt {
+			sup.Observe() // measure, but leave the controller disabled
 			continue
 		}
-		snap, err := meas.Snapshot()
-		if err != nil {
-			if errors.Is(err, metrics.ErrNotReady) {
-				continue
-			}
-			// Idle operators can lack service samples early on.
+		sup.Tick()
+	}
+	if err := failures.err(); err != nil {
+		return nil, nil, fmt.Errorf("experiments: supervised run: %w", err)
+	}
+	var transitions []Transition
+	for _, ev := range sup.History() {
+		if !ev.Applied {
 			continue
-		}
-		snap.Alloc = s.Allocation()
-		snap.Kmax = c.pool.Kmax()
-		d, err := ctrl.Step(snap)
-		if err != nil {
-			if errors.Is(err, core.ErrUnreachableTarget) {
-				// Measured rates say Tmax is below the service-time floor;
-				// no allocation helps, so hold and re-measure next round.
-				continue
-			}
-			return nil, nil, fmt.Errorf("experiments: controller step at t=%.0fs: %w", t, err)
-		}
-		if d.Action == core.ActionNone {
-			continue
-		}
-		var tr cluster.Transition
-		switch d.Action {
-		case core.ActionRebalance:
-			tr = c.pool.Rebalance()
-		case core.ActionScaleOut, core.ActionScaleIn:
-			tr, err = c.pool.Resize(d.TargetKmax)
-			if err != nil {
-				if errors.Is(err, cluster.ErrNoCapacity) {
-					continue // provider cap reached; keep running as-is
-				}
-				return nil, nil, err
-			}
-		}
-		if err := s.SetAllocation(d.Target, tr.Pause.Seconds()); err != nil {
-			return nil, nil, err
 		}
 		transitions = append(transitions, Transition{
-			AtSeconds:    t,
-			Action:       d.Action,
-			Alloc:        append([]int(nil), d.Target...),
-			Kmax:         c.pool.Kmax(),
-			PauseSeconds: tr.Pause.Seconds(),
-			Reason:       d.Reason,
+			AtSeconds:    ev.At.Sub(simEpoch).Seconds(),
+			Action:       ev.Action,
+			Alloc:        append([]int(nil), ev.Target...),
+			Kmax:         ev.Kmax,
+			PauseSeconds: ev.Pause.Seconds(),
+			Reason:       ev.Reason,
 		})
-		// Old measurements do not describe the new configuration; start
-		// clean and hold off while the transition backlog drains.
-		meas.Reset()
-		cooldownUntil = t + 4*c.interval
 	}
 	return s, transitions, nil
 }

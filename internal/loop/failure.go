@@ -1,0 +1,88 @@
+package loop
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// failureRecord tracks repeated failures of one action kind.
+type failureRecord struct {
+	count   int
+	lastErr error
+	lastAt  time.Time
+}
+
+// failureTracker suppresses actions that keep failing: a rebalance that
+// times out quiescing (engine.ErrQuiesceTimeout) or a resize the provider
+// refuses will usually fail the same way on the very next round, so after
+// threshold failures inside the window the supervisor skips that action
+// kind until the window expires. A success clears the record. Thread-safe;
+// the caller supplies the clock so virtual-time drivers work.
+type failureTracker struct {
+	threshold int
+	window    time.Duration
+	logger    *slog.Logger
+
+	mu      sync.Mutex
+	records map[string]*failureRecord
+}
+
+func newFailureTracker(threshold int, window time.Duration, logger *slog.Logger) *failureTracker {
+	return &failureTracker{
+		threshold: threshold,
+		window:    window,
+		logger:    logger,
+		records:   make(map[string]*failureRecord),
+	}
+}
+
+// shouldSkip reports whether the action kind has failed enough times within
+// the window to be suppressed.
+func (ft *failureTracker) shouldSkip(kind string, now time.Time) bool {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	rec, ok := ft.records[kind]
+	if !ok {
+		return false
+	}
+	if now.Sub(rec.lastAt) > ft.window {
+		delete(ft.records, kind) // stale: forget and let it try again
+		return false
+	}
+	return rec.count >= ft.threshold
+}
+
+// recordFailure increments the failure counter for an action kind.
+func (ft *failureTracker) recordFailure(kind string, err error, now time.Time) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	rec, ok := ft.records[kind]
+	if !ok {
+		rec = &failureRecord{}
+		ft.records[kind] = rec
+	}
+	if now.Sub(rec.lastAt) > ft.window {
+		rec.count = 0
+	}
+	rec.count++
+	rec.lastErr = err
+	rec.lastAt = now
+	if rec.count == ft.threshold {
+		// The error travels as a value (not a string) so slog handlers
+		// can classify it with errors.Is.
+		ft.logger.Warn("action suppressed after repeated failures",
+			slog.String("action", kind),
+			slog.Int("failures", rec.count),
+			slog.Any("err", rec.lastErr),
+			slog.Duration("window", ft.window),
+		)
+	}
+}
+
+// recordSuccess clears the failure record for an action kind.
+func (ft *failureTracker) recordSuccess(kind string) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	delete(ft.records, kind)
+}

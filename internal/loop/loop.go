@@ -1,0 +1,521 @@
+// Package loop closes the DRS control loop of §IV: it wires the measurer
+// module (λ̂/µ̂ aggregation, internal/metrics), the decision module (the
+// Program (4)/(6) optimizers behind core.Controller) and the actuation
+// layer (engine rebalance + cluster negotiator) into one supervisor that
+// runs against a live system. The paper's DRS daemon polls Storm every Tm
+// seconds, re-solves the allocation and rebalances when the model says it
+// pays off; Supervisor is that daemon for this repository's substrates —
+// the goroutine engine (internal/engine) and the discrete-event simulator
+// (internal/sim, driven in virtual time via Observe/Tick).
+package loop
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/metrics"
+)
+
+// ErrRunning is returned by Start when the supervisor is already running.
+var ErrRunning = errors.New("loop: supervisor already started")
+
+// ErrFixedPool is returned when a scale decision reaches a FixedPool.
+var ErrFixedPool = errors.New("loop: fixed pool cannot resize")
+
+// Clock abstracts time so tests and virtual-time drivers (the simulator)
+// can step the supervisor deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// wallClock is the production clock.
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Target is the running system under supervision: it yields measurement
+// intervals, reports the allocation in force, and applies a new one.
+// EngineTarget adapts the live engine; the experiments package adapts the
+// simulator.
+type Target interface {
+	// DrainInterval returns the counters accumulated since the last drain.
+	DrainInterval() metrics.IntervalReport
+	// Allocation reports the executor count per operator currently in force.
+	Allocation() map[string]int
+	// Rebalance applies a new allocation. pause is the modeled service
+	// disruption from the cluster cost model — live targets pay their real
+	// pause and may ignore it; simulated targets inject it.
+	Rebalance(alloc map[string]int, pause time.Duration) error
+}
+
+// engineTarget adapts *engine.Run. The live engine pays its real quiesce
+// pause, so the modeled pause is dropped.
+type engineTarget struct{ r *engine.Run }
+
+func (t engineTarget) DrainInterval() metrics.IntervalReport { return t.r.DrainInterval() }
+func (t engineTarget) Allocation() map[string]int            { return t.r.Allocation() }
+func (t engineTarget) Rebalance(alloc map[string]int, _ time.Duration) error {
+	return t.r.Rebalance(alloc)
+}
+
+// EngineTarget adapts a started engine topology for supervision.
+func EngineTarget(r *engine.Run) Target { return engineTarget{r} }
+
+// Pool is the resource negotiator the supervisor charges transitions to:
+// it prices rebalances and grows/shrinks the processor budget for scale
+// decisions (the paper's Appendix-B negotiator). *cluster.Pool implements
+// it; FixedPool serves budget-only (Program (4)) deployments.
+type Pool interface {
+	// Kmax is the processor budget currently on offer.
+	Kmax() int
+	// Rebalance records an executor remap and returns its modeled pause.
+	Rebalance() cluster.Transition
+	// Resize negotiates the pool to cover targetKmax processors.
+	Resize(targetKmax int) (cluster.Transition, error)
+}
+
+var _ Pool = (*cluster.Pool)(nil)
+
+// fixedPool is a Pool with an immutable budget and free rebalances.
+type fixedPool int
+
+func (p fixedPool) Kmax() int                     { return int(p) }
+func (p fixedPool) Rebalance() cluster.Transition { return cluster.Transition{Kind: "rebalance"} }
+func (p fixedPool) Resize(int) (cluster.Transition, error) {
+	return cluster.Transition{}, ErrFixedPool
+}
+
+// FixedPool returns a Pool with a constant processor budget and free,
+// instantaneous rebalances — the ModeMinLatency deployment where the
+// cluster is whatever it is and only the split is negotiable.
+func FixedPool(kmax int) Pool { return fixedPool(kmax) }
+
+// Source turns interval reports into controller snapshots.
+// *metrics.Measurer is the production implementation; tests may script one.
+type Source interface {
+	AddInterval(metrics.IntervalReport) error
+	Snapshot() (core.Snapshot, error)
+	Reset()
+}
+
+var _ Source = (*metrics.Measurer)(nil)
+
+// Config assembles a supervisor.
+type Config struct {
+	// Target is the system under supervision (required).
+	Target Target
+	// Operators are the topology-ordered operator names; they fix the
+	// layout of snapshots and allocation vectors (required).
+	Operators []string
+	// Stepper is the decision policy — *core.Controller for DRS, or the
+	// threshold baseline (required).
+	Stepper core.Stepper
+	// Pool is the resource negotiator (required; use FixedPool for a
+	// constant budget).
+	Pool Pool
+	// Source produces snapshots from interval reports. Nil builds a
+	// metrics.Measurer over Operators with the paper's 6-interval window.
+	Source Source
+	// Interval is the measurement cadence Tm used by Start (required).
+	Interval time.Duration
+	// Cooldown is how long after an applied (or failed) action the
+	// supervisor only observes: the post-transition backlog drains and the
+	// reset measurer re-warms before the next decision. Default 4·Interval,
+	// matching the paper's guidance that Tm spans several collection
+	// rounds after a reconfiguration.
+	Cooldown time.Duration
+	// FailureThreshold is how many failures of one action kind within
+	// FailureWindow suppress that kind (default 3).
+	FailureThreshold int
+	// FailureWindow bounds how long failures are remembered and how long a
+	// suppression lasts (default 10·Cooldown).
+	FailureWindow time.Duration
+	// MaxHistory caps the retained Event log; the oldest events are
+	// dropped past it, keeping a long-lived daemon's memory bounded
+	// (default 1024).
+	MaxHistory int
+	// Logger receives structured loop events; nil discards them.
+	Logger *slog.Logger
+	// Clock defaults to the wall clock.
+	Clock Clock
+}
+
+// Event is one decision round that mattered: an applied action, a failed
+// apply, or the start of a suppression episode. Pure holds (ActionNone,
+// cooldown, warmup) are not recorded — they happen every few seconds
+// forever — and for the same reason an ongoing suppression is recorded
+// once when it begins, not on every suppressed round.
+type Event struct {
+	// At is the supervisor clock time of the round.
+	At time.Time
+	// Action is what the controller asked for.
+	Action core.Action
+	// Target is the allocation the decision carried (topology order).
+	Target []int
+	// Kmax is the pool budget after the round.
+	Kmax int
+	// Estimated is the model's E[T] for Target, in seconds.
+	Estimated float64
+	// Pause is the modeled transition pause charged by the pool.
+	Pause time.Duration
+	// Reason is the controller's justification.
+	Reason string
+	// Applied reports whether the allocation was put in force.
+	Applied bool
+	// Suppressed reports a decision skipped by the failure tracker.
+	Suppressed bool
+	// Err is the apply failure, when there was one.
+	Err error
+}
+
+// Supervisor owns one supervised run: on every tick it drains a
+// measurement interval into the source, asks the stepper for a decision,
+// and actuates rebalance/scale verdicts through the pool and the target —
+// with cooldown hysteresis between actions and suppression of
+// repeatedly-failing ones. Drive it with Start/Stop against the wall
+// clock, or call Observe/Tick yourself in virtual time.
+type Supervisor struct {
+	cfg   Config
+	clock Clock
+	log   *slog.Logger
+	fails *failureTracker
+
+	mu            sync.Mutex
+	cooldownUntil time.Time
+	lastSnap      core.Snapshot
+	haveSnap      bool
+	history       []Event
+	rounds        int64
+	suppressing   map[string]bool // action kinds in an ongoing suppression episode
+
+	runMu   sync.Mutex
+	stop    chan struct{}
+	stopped chan struct{}
+}
+
+// New validates the config, fills defaults and builds a supervisor.
+func New(cfg Config) (*Supervisor, error) {
+	if cfg.Target == nil {
+		return nil, errors.New("loop: Target is required")
+	}
+	if len(cfg.Operators) == 0 {
+		return nil, errors.New("loop: Operators is required")
+	}
+	if cfg.Stepper == nil {
+		return nil, errors.New("loop: Stepper is required")
+	}
+	if cfg.Pool == nil {
+		return nil, errors.New("loop: Pool is required")
+	}
+	if cfg.Interval <= 0 {
+		return nil, errors.New("loop: Interval must be positive")
+	}
+	if cfg.Cooldown < 0 || cfg.FailureThreshold < 0 || cfg.FailureWindow < 0 || cfg.MaxHistory < 0 {
+		return nil, errors.New("loop: negative hysteresis parameters")
+	}
+	if cfg.Cooldown == 0 {
+		cfg.Cooldown = 4 * cfg.Interval
+	}
+	if cfg.FailureThreshold == 0 {
+		cfg.FailureThreshold = 3
+	}
+	if cfg.FailureWindow == 0 {
+		cfg.FailureWindow = 10 * cfg.Cooldown
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = 1024
+	}
+	if cfg.Source == nil {
+		m, err := metrics.NewMeasurer(metrics.MeasurerConfig{
+			OperatorNames: cfg.Operators,
+			Smoothing:     metrics.SmoothingSpec{Kind: "window", Window: 6},
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Source = m
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = wallClock{}
+	}
+	return &Supervisor{
+		cfg:         cfg,
+		clock:       cfg.Clock,
+		log:         cfg.Logger,
+		fails:       newFailureTracker(cfg.FailureThreshold, cfg.FailureWindow, cfg.Logger),
+		suppressing: make(map[string]bool),
+	}, nil
+}
+
+// Start launches the wall-clock loop: one Tick every Interval until Stop.
+// It does not own the target's lifecycle — stop the engine separately.
+func (s *Supervisor) Start() error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.stop != nil {
+		return ErrRunning
+	}
+	s.stop = make(chan struct{})
+	s.stopped = make(chan struct{})
+	go s.run(s.stop, s.stopped)
+	s.log.Info("supervisor started", slog.Duration("interval", s.cfg.Interval),
+		slog.Duration("cooldown", s.cfg.Cooldown))
+	return nil
+}
+
+func (s *Supervisor) run(stop <-chan struct{}, stopped chan<- struct{}) {
+	defer close(stopped)
+	tick := time.NewTicker(s.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			s.Tick()
+		}
+	}
+}
+
+// Stop halts the wall-clock loop and waits for the in-flight tick. It is a
+// no-op when the supervisor is not running.
+func (s *Supervisor) Stop() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if s.stop == nil {
+		return
+	}
+	close(s.stop)
+	<-s.stopped
+	s.stop, s.stopped = nil, nil
+	s.log.Info("supervisor stopped", slog.Int64("rounds", s.Rounds()))
+}
+
+// Observe ingests one measurement interval without deciding — the passive
+// half of a round, used while the controller is disabled (the experiments'
+// warmup phases) or before handing control to Start.
+func (s *Supervisor) Observe() {
+	rep := s.cfg.Target.DrainInterval()
+	if err := s.cfg.Source.AddInterval(rep); err != nil {
+		s.log.Warn("bad interval report", slog.Any("err", err))
+	}
+}
+
+// Tick runs one full control round: observe, snapshot, decide, actuate.
+// Callers driving virtual time call it directly; Start calls it on a
+// wall-clock ticker. Ticks must not run concurrently with each other or
+// with Observe.
+func (s *Supervisor) Tick() {
+	s.Observe()
+	s.mu.Lock()
+	s.rounds++
+	cooldownUntil := s.cooldownUntil
+	s.mu.Unlock()
+
+	now := s.clock.Now()
+	if now.Before(cooldownUntil) {
+		return
+	}
+	snap, err := s.cfg.Source.Snapshot()
+	if err != nil {
+		// Warmup is not an error: the measurer fills in over the first
+		// intervals (and after every post-action Reset).
+		if !errors.Is(err, metrics.ErrNotReady) && !errors.Is(err, metrics.ErrIncomplete) {
+			s.log.Warn("snapshot failed", slog.Any("err", err))
+		}
+		return
+	}
+	alloc, ok := s.allocVector()
+	if !ok {
+		return
+	}
+	snap.Alloc = alloc
+	snap.Kmax = s.cfg.Pool.Kmax()
+	s.mu.Lock()
+	s.lastSnap, s.haveSnap = snap, true
+	s.mu.Unlock()
+
+	d, err := s.cfg.Stepper.Step(snap)
+	if err != nil {
+		// The measured rates put Tmax below the service-time floor: no
+		// allocation helps, so hold and re-measure next round.
+		if errors.Is(err, core.ErrUnreachableTarget) {
+			s.log.Debug("target unreachable; holding", slog.Any("err", err))
+			return
+		}
+		s.log.Warn("controller step failed", slog.Any("err", err))
+		return
+	}
+	if d.Action == core.ActionNone {
+		s.log.Debug("holding", slog.String("reason", d.Reason))
+		return
+	}
+	kind := d.Action.String()
+	if s.fails.shouldSkip(kind, now) {
+		s.mu.Lock()
+		ongoing := s.suppressing[kind]
+		s.suppressing[kind] = true
+		s.mu.Unlock()
+		if !ongoing { // record the episode once, not every suppressed round
+			s.record(Event{At: now, Action: d.Action, Target: d.Target, Kmax: snap.Kmax,
+				Estimated: d.Estimated, Reason: d.Reason, Suppressed: true})
+			s.log.Info("decision suppressed", slog.String("action", kind), slog.String("reason", d.Reason))
+		}
+		return
+	}
+	s.mu.Lock()
+	delete(s.suppressing, kind)
+	s.mu.Unlock()
+	s.apply(now, d)
+}
+
+// apply actuates one decision: charge the pool, rebalance the target, and
+// on success reset measurements and enter cooldown. Failures are recorded
+// for suppression and still start a cooldown — after a failed quiesce the
+// engine just spent its timeout paused, and an immediate retry would too.
+func (s *Supervisor) apply(now time.Time, d core.Decision) {
+	kind := d.Action.String()
+	kmaxBefore := s.cfg.Pool.Kmax()
+	var tr cluster.Transition
+	var err error
+	switch d.Action {
+	case core.ActionRebalance:
+		tr = s.cfg.Pool.Rebalance()
+	default:
+		tr, err = s.cfg.Pool.Resize(d.TargetKmax)
+		if err != nil {
+			// A capacity refusal is a negotiation outcome, not a loop
+			// failure: nothing was disturbed and no pause was paid, so
+			// hold this round — without cooldown or failure tracking — and
+			// re-evaluate next tick (a within-pool rebalance decided then
+			// must not sit out a cooldown the refusal never earned).
+			if errors.Is(err, cluster.ErrNoCapacity) {
+				s.log.Info("pool at capacity; holding", slog.String("action", kind),
+					slog.Int("target_kmax", d.TargetKmax), slog.Any("err", err))
+				return
+			}
+			s.fails.recordFailure(kind, err, now)
+			s.finishRound(Event{At: now, Action: d.Action, Target: d.Target,
+				Kmax: kmaxBefore, Estimated: d.Estimated, Reason: d.Reason, Err: err})
+			s.log.Warn("pool resize refused", slog.String("action", kind),
+				slog.Int("target_kmax", d.TargetKmax), slog.Any("err", err))
+			return
+		}
+	}
+	alloc, err := d.AllocMap(s.cfg.Operators)
+	if err == nil {
+		err = s.cfg.Target.Rebalance(alloc, tr.Pause)
+	}
+	if err != nil {
+		s.fails.recordFailure(kind, err, now)
+		// Best-effort pool rollback: the allocation never changed, so the
+		// machines the resize negotiated should not stay charged.
+		if tr.MachinesBefore != tr.MachinesAfter {
+			if _, rbErr := s.cfg.Pool.Resize(kmaxBefore); rbErr != nil {
+				s.log.Warn("pool rollback failed", slog.Any("err", rbErr))
+			}
+		}
+		s.finishRound(Event{At: now, Action: d.Action, Target: d.Target,
+			Kmax: s.cfg.Pool.Kmax(), Estimated: d.Estimated, Pause: tr.Pause,
+			Reason: d.Reason, Err: err})
+		s.log.Warn("rebalance failed", slog.String("action", kind), slog.Any("err", err))
+		return
+	}
+	s.fails.recordSuccess(kind)
+	// Old measurements do not describe the new configuration.
+	s.cfg.Source.Reset()
+	s.finishRound(Event{At: now, Action: d.Action, Target: d.Target,
+		Kmax: s.cfg.Pool.Kmax(), Estimated: d.Estimated, Pause: tr.Pause,
+		Reason: d.Reason, Applied: true})
+	s.log.Info("decision applied", slog.String("action", kind),
+		slog.Any("alloc", d.Target), slog.Int("kmax", s.cfg.Pool.Kmax()),
+		slog.Duration("pause", tr.Pause), slog.String("reason", d.Reason))
+}
+
+// finishRound records an event and starts the cooldown. The cooldown is
+// anchored at the current clock time, not the round's start: a live
+// rebalance can block for its whole quiesce timeout, and anchoring earlier
+// would let the apply consume its own cooldown and retry immediately.
+func (s *Supervisor) finishRound(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cooldownUntil = s.clock.Now().Add(s.cfg.Cooldown)
+	s.appendLocked(ev)
+}
+
+// record appends an event without touching the cooldown.
+func (s *Supervisor) record(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.appendLocked(ev)
+}
+
+// appendLocked appends under s.mu, dropping the oldest events past
+// MaxHistory so a long-lived daemon's memory stays bounded.
+func (s *Supervisor) appendLocked(ev Event) {
+	s.history = append(s.history, ev)
+	if over := len(s.history) - s.cfg.MaxHistory; over > 0 {
+		s.history = append(s.history[:0:0], s.history[over:]...)
+	}
+}
+
+// allocVector reads the target's current allocation in operator order.
+func (s *Supervisor) allocVector() ([]int, bool) {
+	m := s.cfg.Target.Allocation()
+	out := make([]int, len(s.cfg.Operators))
+	for i, name := range s.cfg.Operators {
+		n, ok := m[name]
+		if !ok {
+			s.log.Warn("target allocation missing operator", slog.String("operator", name))
+			return nil, false
+		}
+		out[i] = n
+	}
+	return out, true
+}
+
+// History returns a copy of every recorded event, in order.
+func (s *Supervisor) History() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.history...)
+}
+
+// LastSnapshot returns the most recent snapshot handed to the stepper —
+// a live view of λ̂0, per-operator rates and measured sojourn for
+// dashboards — and whether one exists yet.
+func (s *Supervisor) LastSnapshot() (core.Snapshot, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastSnap, s.haveSnap
+}
+
+// Rounds reports how many control rounds have run (Ticks, not Observes).
+func (s *Supervisor) Rounds() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rounds
+}
+
+// String renders one event line, for operator logs and demo output.
+func (e Event) String() string {
+	status := "applied"
+	switch {
+	case e.Suppressed:
+		status = "suppressed"
+	case e.Err != nil:
+		status = "failed: " + e.Err.Error()
+	}
+	return fmt.Sprintf("%-9s -> %v Kmax=%d est=%.1fms pause=%.1fs [%s] %s",
+		e.Action, e.Target, e.Kmax, e.Estimated*1e3, e.Pause.Seconds(), status, e.Reason)
+}

@@ -1,0 +1,598 @@
+package loop
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/metrics"
+)
+
+// fakeClock is a manually-stepped Clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(0, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// fakeTarget scripts the supervised system: it serves a fixed interval
+// report, tracks the allocation in force, and can be told to fail
+// rebalances.
+type fakeTarget struct {
+	mu           sync.Mutex
+	alloc        map[string]int
+	rep          metrics.IntervalReport
+	rebalanceErr error
+	calls        []map[string]int
+	pauses       []time.Duration
+}
+
+func (t *fakeTarget) DrainInterval() metrics.IntervalReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rep
+}
+
+func (t *fakeTarget) Allocation() map[string]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int, len(t.alloc))
+	for k, v := range t.alloc {
+		out[k] = v
+	}
+	return out
+}
+
+func (t *fakeTarget) Rebalance(alloc map[string]int, pause time.Duration) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.calls = append(t.calls, alloc)
+	t.pauses = append(t.pauses, pause)
+	if t.rebalanceErr != nil {
+		return t.rebalanceErr
+	}
+	for k, v := range alloc {
+		t.alloc[k] = v
+	}
+	return nil
+}
+
+func (t *fakeTarget) rebalances() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.calls)
+}
+
+// fakeStepper returns a scripted decision every round.
+type fakeStepper struct {
+	mu    sync.Mutex
+	d     core.Decision
+	err   error
+	steps int
+}
+
+func (f *fakeStepper) Step(core.Snapshot) (core.Decision, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.steps++
+	return f.d, f.err
+}
+
+// fakeSource is always ready with a scripted snapshot.
+type fakeSource struct {
+	mu     sync.Mutex
+	snap   core.Snapshot
+	err    error
+	resets int
+}
+
+func (s *fakeSource) AddInterval(metrics.IntervalReport) error { return nil }
+
+func (s *fakeSource) Snapshot() (core.Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap, s.err
+}
+
+func (s *fakeSource) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.resets++
+}
+
+// steadyReport builds the interval report of a system running at fixed
+// rates: lambda0 external tuples/s, and per operator (arrival rate,
+// service rate) pairs.
+func steadyReport(dur time.Duration, lambda0 float64, rates [][2]float64) metrics.IntervalReport {
+	secs := dur.Seconds()
+	rep := metrics.IntervalReport{
+		Duration:         dur,
+		ExternalArrivals: int64(lambda0 * secs),
+		Ops:              make([]metrics.OpInterval, len(rates)),
+	}
+	for i, r := range rates {
+		served := int64(r[0] * secs)
+		rep.Ops[i] = metrics.OpInterval{
+			Arrivals: served,
+			Served:   served,
+			Sampled:  served,
+			BusyTime: time.Duration(float64(served) / r[1] * float64(time.Second)),
+		}
+	}
+	return rep
+}
+
+// TestRebalanceConvergence closes the full production loop: real measurer,
+// real controller. The target starts on a lopsided split; the supervisor
+// must rebalance it to the model optimum exactly once and then hold.
+func TestRebalanceConvergence(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{
+		alloc: map[string]int{"extract": 2, "match": 6},
+		rep:   steadyReport(10*time.Second, 10, [][2]float64{{10, 5}, {10, 5}}),
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{Mode: core.ModeMinLatency, Kmax: 8, MinGain: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"extract", "match"},
+		Stepper:   ctrl,
+		Pool:      FixedPool(8),
+		Interval:  10 * time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		sup.Tick()
+		clock.advance(10 * time.Second)
+	}
+	hist := sup.History()
+	if len(hist) != 1 {
+		t.Fatalf("want exactly one event, got %d: %v", len(hist), hist)
+	}
+	ev := hist[0]
+	if ev.Action != core.ActionRebalance || !ev.Applied {
+		t.Fatalf("want applied rebalance, got %+v", ev)
+	}
+	want := []int{4, 4} // symmetric rates: the optimum is the even split
+	for i, k := range want {
+		if ev.Target[i] != k {
+			t.Fatalf("want target %v, got %v", want, ev.Target)
+		}
+	}
+	if got := target.Allocation(); got["extract"] != 4 || got["match"] != 4 {
+		t.Fatalf("allocation not applied: %v", got)
+	}
+	if snap, ok := sup.LastSnapshot(); !ok || snap.Lambda0 == 0 {
+		t.Fatalf("missing last snapshot: %v %v", snap, ok)
+	}
+}
+
+// TestCooldown verifies the hysteresis: after an applied action the
+// supervisor only observes until Cooldown has elapsed on its clock.
+func TestCooldown(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 1}}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionRebalance, Target: []int{2}, TargetKmax: 4, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 1, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a"},
+		Stepper:   stepper,
+		Pool:      FixedPool(4),
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  40 * time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick() // applies immediately
+	if n := target.rebalances(); n != 1 {
+		t.Fatalf("want 1 rebalance, got %d", n)
+	}
+	for i := 0; i < 39; i++ { // every tick inside the cooldown window holds
+		clock.advance(time.Second)
+		sup.Tick()
+	}
+	if n := target.rebalances(); n != 1 {
+		t.Fatalf("cooldown violated: %d rebalances", n)
+	}
+	clock.advance(time.Second) // cooldown expires exactly now
+	sup.Tick()
+	if n := target.rebalances(); n != 2 {
+		t.Fatalf("want rebalance after cooldown, got %d", n)
+	}
+	if src.resets != 2 {
+		t.Fatalf("want a measurer reset per applied action, got %d", src.resets)
+	}
+}
+
+// TestFailureSuppression drives repeated ErrQuiesceTimeout failures: after
+// FailureThreshold of them the supervisor must stop trying that action
+// kind until FailureWindow expires, then probe again.
+func TestFailureSuppression(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{
+		alloc:        map[string]int{"a": 1},
+		rebalanceErr: engine.ErrQuiesceTimeout,
+	}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionRebalance, Target: []int{2}, TargetKmax: 4, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 1, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:           target,
+		Operators:        []string{"a"},
+		Stepper:          stepper,
+		Pool:             FixedPool(4),
+		Source:           src,
+		Interval:         time.Second,
+		Cooldown:         time.Second,
+		FailureThreshold: 3,
+		FailureWindow:    time.Minute,
+		Clock:            clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sup.Tick()
+		clock.advance(time.Second)
+	}
+	if n := target.rebalances(); n != 3 {
+		t.Fatalf("want exactly FailureThreshold=3 attempts, got %d", n)
+	}
+	var failed, suppressed int
+	for _, ev := range sup.History() {
+		switch {
+		case ev.Suppressed:
+			suppressed++
+		case ev.Err != nil:
+			if !errors.Is(ev.Err, engine.ErrQuiesceTimeout) {
+				t.Fatalf("unexpected event error: %v", ev.Err)
+			}
+			failed++
+		}
+	}
+	if failed != 3 || suppressed != 1 {
+		t.Fatalf("want 3 failures and one suppression-episode event, got %d/%d", failed, suppressed)
+	}
+	// Past the window the tracker forgets and the supervisor probes again.
+	clock.advance(2 * time.Minute)
+	sup.Tick()
+	if n := target.rebalances(); n != 4 {
+		t.Fatalf("want a fresh attempt after the window, got %d attempts", n)
+	}
+}
+
+// TestScaleOutChargesPool verifies scale decisions negotiate the pool and
+// that a failed apply rolls the machines back.
+func TestScaleOutChargesPool(t *testing.T) {
+	clock := newFakeClock()
+	pool, err := cluster.PaperPool(4) // Kmax 17
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &fakeTarget{alloc: map[string]int{"a": 17}}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionScaleOut, Target: []int{22}, TargetKmax: 22, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 1, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}},
+	}}
+	cfg := Config{
+		Target:    target,
+		Operators: []string{"a"},
+		Stepper:   stepper,
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  time.Second,
+		Clock:     clock,
+	}
+	sup, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick()
+	if pool.Machines() != 5 || pool.Kmax() != 22 {
+		t.Fatalf("pool not grown: %d machines, Kmax %d", pool.Machines(), pool.Kmax())
+	}
+	hist := sup.History()
+	if len(hist) != 1 || !hist[0].Applied || hist[0].Pause <= 0 {
+		t.Fatalf("want applied scale-out with modeled pause, got %+v", hist)
+	}
+
+	// Same decision, but the target refuses: the pool must end unchanged.
+	pool2, err := cluster.PaperPool(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Pool = pool2
+	cfg.Target = &fakeTarget{alloc: map[string]int{"a": 17}, rebalanceErr: engine.ErrQuiesceTimeout}
+	sup2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2.Tick()
+	if pool2.Machines() != 4 {
+		t.Fatalf("pool not rolled back after failed apply: %d machines", pool2.Machines())
+	}
+	hist = sup2.History()
+	if len(hist) != 1 || hist[0].Applied || hist[0].Err == nil {
+		t.Fatalf("want failed event, got %+v", hist)
+	}
+}
+
+// slowRebalanceTarget simulates a live rebalance whose quiesce takes real
+// time by advancing the clock during the apply.
+type slowRebalanceTarget struct {
+	fakeTarget
+	clock *fakeClock
+	took  time.Duration
+}
+
+func (t *slowRebalanceTarget) Rebalance(alloc map[string]int, pause time.Duration) error {
+	t.clock.advance(t.took)
+	return t.fakeTarget.Rebalance(alloc, pause)
+}
+
+// TestCooldownAnchoredAfterApply guards against a slow (or
+// quiesce-timeout) apply consuming its own cooldown: the hold must start
+// when the apply finishes, not when the round began.
+func TestCooldownAnchoredAfterApply(t *testing.T) {
+	clock := newFakeClock()
+	target := &slowRebalanceTarget{
+		fakeTarget: fakeTarget{alloc: map[string]int{"a": 1}, rebalanceErr: engine.ErrQuiesceTimeout},
+		clock:      clock,
+		took:       20 * time.Second, // quiesce burns far longer than the cooldown
+	}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionRebalance, Target: []int{2}, TargetKmax: 4, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 1, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a"},
+		Stepper:   stepper,
+		Pool:      FixedPool(4),
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  4 * time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick() // fails after 20 simulated seconds
+	if n := target.rebalances(); n != 1 {
+		t.Fatalf("want 1 attempt, got %d", n)
+	}
+	for i := 0; i < 3; i++ { // the next ticks land inside the post-apply cooldown
+		clock.advance(time.Second)
+		sup.Tick()
+	}
+	if n := target.rebalances(); n != 1 {
+		t.Fatalf("failed apply consumed its own cooldown: %d attempts", n)
+	}
+	clock.advance(2 * time.Second) // cooldown over: retry is allowed again
+	sup.Tick()
+	if n := target.rebalances(); n != 2 {
+		t.Fatalf("want retry after post-apply cooldown, got %d attempts", n)
+	}
+}
+
+// TestHistoryCap verifies the event log stays bounded on a long-lived
+// supervisor that keeps acting.
+func TestHistoryCap(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 1}}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionRebalance, Target: []int{2}, TargetKmax: 4, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 1, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:     target,
+		Operators:  []string{"a"},
+		Stepper:    stepper,
+		Pool:       FixedPool(4),
+		Source:     src,
+		Interval:   time.Second,
+		Cooldown:   time.Second,
+		MaxHistory: 8,
+		Clock:      clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sup.Tick()
+		clock.advance(time.Second)
+	}
+	if n := len(sup.History()); n != 8 {
+		t.Fatalf("history not capped: %d events", n)
+	}
+}
+
+// TestNoCapacityHolds verifies a provider capacity refusal is a plain
+// hold: no cooldown, no failure tracking, no event — the loop re-evaluates
+// every round, exactly as when the pool simply has nothing more to give.
+func TestNoCapacityHolds(t *testing.T) {
+	clock := newFakeClock()
+	pool, err := cluster.PaperPool(5) // at the provider cap already
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := &fakeTarget{alloc: map[string]int{"a": 22}}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionScaleOut, Target: []int{40}, TargetKmax: 40, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 1, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a"},
+		Stepper:   stepper,
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  40 * time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		sup.Tick()
+		clock.advance(time.Second)
+	}
+	if stepper.steps != 10 {
+		t.Fatalf("capacity refusals must not start cooldowns: %d of 10 rounds decided", stepper.steps)
+	}
+	if n := len(sup.History()); n != 0 {
+		t.Fatalf("capacity refusals must not be recorded: %d events", n)
+	}
+	if n := target.rebalances(); n != 0 {
+		t.Fatalf("no allocation should be applied: %d rebalances", n)
+	}
+}
+
+// TestWarmupHolds verifies ErrNotReady/ErrIncomplete snapshots hold
+// silently instead of stepping the controller.
+func TestWarmupHolds(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 1}}
+	stepper := &fakeStepper{}
+	src := &fakeSource{err: metrics.ErrNotReady}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a"},
+		Stepper:   stepper,
+		Pool:      FixedPool(4),
+		Source:    src,
+		Interval:  time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick()
+	src.mu.Lock()
+	src.err = metrics.ErrIncomplete
+	src.mu.Unlock()
+	sup.Tick()
+	if stepper.steps != 0 {
+		t.Fatalf("stepper consulted during warmup: %d steps", stepper.steps)
+	}
+	if len(sup.History()) != 0 {
+		t.Fatalf("warmup holds must not be recorded: %v", sup.History())
+	}
+}
+
+// slowSpout emits tuples at a fixed rate until stopped.
+type slowSpout struct{ every time.Duration }
+
+func (s *slowSpout) Run(ctx engine.SpoutContext) error {
+	tick := time.NewTicker(s.every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+			if !ctx.Paused() {
+				ctx.Emit(engine.Values{1})
+			}
+		}
+	}
+}
+
+// TestLiveEngine exercises the wall-clock path end to end: a real engine
+// run supervised by Start/Stop with a real controller and measurer.
+func TestLiveEngine(t *testing.T) {
+	topo, err := engine.NewTopology().
+		Spout("src", 1, func(int) engine.Spout { return &slowSpout{every: 2 * time.Millisecond} }).
+		Bolt("work", 8, func(int) engine.Bolt {
+			return engine.BoltFunc(func(engine.Tuple, engine.Emit) error {
+				time.Sleep(500 * time.Microsecond)
+				return nil
+			})
+		}).
+		Shuffle("src", "work").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := topo.Start(engine.RunConfig{Alloc: map[string]int{"work": 1}, QuiesceTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer run.Stop()
+	ctrl, err := core.NewController(core.ControllerConfig{Mode: core.ModeMinLatency, Kmax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := New(Config{
+		Target:    EngineTarget(run),
+		Operators: run.BoltNames(),
+		Stepper:   ctrl,
+		Pool:      FixedPool(4),
+		Interval:  20 * time.Millisecond,
+		Cooldown:  40 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sup.Start(); !errors.Is(err, ErrRunning) {
+		t.Fatalf("want ErrRunning on double start, got %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for sup.Rounds() < 10 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	sup.Stop()
+	sup.Stop() // idempotent
+	if sup.Rounds() < 10 {
+		t.Fatalf("supervisor barely ran: %d rounds", sup.Rounds())
+	}
+	if _, ok := sup.LastSnapshot(); !ok {
+		t.Fatal("no snapshot observed from live engine")
+	}
+}

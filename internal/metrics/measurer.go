@@ -13,6 +13,13 @@ import (
 // has been ingested.
 var ErrNotReady = errors.New("metrics: no measurements ingested yet")
 
+// ErrIncomplete is returned by Snapshot when intervals have been ingested
+// but some operator still lacks a service-rate estimate (µ̂_i needs at least
+// one sampled service time, which an idle operator never produces). Callers
+// polling a warming-up system should treat it like ErrNotReady: hold and
+// re-measure next round.
+var ErrIncomplete = errors.New("metrics: operator lacks service-rate samples")
+
 // OpInterval is the operator-level aggregate of one collection interval:
 // the sum of the drained probe counters over the operator's executors
 // (Appendix B: metrics must be aggregated to the operator level because
@@ -174,7 +181,7 @@ func (m *Measurer) Snapshot() (core.Snapshot, error) {
 	}
 	for i, name := range m.cfg.OperatorNames {
 		if !m.mus[i].Ready() {
-			return core.Snapshot{}, fmt.Errorf("metrics: operator %q has no service-rate samples yet", name)
+			return core.Snapshot{}, fmt.Errorf("%w: operator %q has produced none yet", ErrIncomplete, name)
 		}
 		s.Ops[i] = core.OpRates{
 			Name:   name,
