@@ -1,0 +1,24 @@
+# Development targets for the DRS reproduction.
+
+GO ?= go
+
+.PHONY: test race bench build vet
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrent fast paths (engine queues, pooled trees, supervisor).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/...
+
+# Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh).
+PR ?= 2
+BENCHTIME ?= 2s
+bench:
+	sh scripts/bench.sh $(PR) $(BENCHTIME)

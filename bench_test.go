@@ -12,6 +12,7 @@ import (
 	"github.com/drs-repro/drs/internal/apps/fpd"
 	"github.com/drs-repro/drs/internal/apps/vld"
 	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/engine"
 	"github.com/drs-repro/drs/internal/experiments"
 	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/metrics"
@@ -361,6 +362,161 @@ func BenchmarkSimThroughput(b *testing.B) {
 			b.Fatal("no completions")
 		}
 	}
+}
+
+// gateSpout emits its share of a fixed tuple budget as fast as possible
+// once released, then idles until stopped. Instance i of k emits
+// total/k (+1 for the first total%k instances), so the instances together
+// emit exactly total tuples.
+type gateSpout struct {
+	total     int
+	instances int
+	instance  int
+	batch     int // >0: emit via EmitBatch in chunks of this size
+	gate      <-chan struct{}
+}
+
+func (s *gateSpout) Run(ctx engine.SpoutContext) error {
+	select {
+	case <-s.gate:
+	case <-ctx.Done():
+		return nil
+	}
+	n := s.total / s.instances
+	if s.instance < s.total%s.instances {
+		n++
+	}
+	payload := engine.Values{1}
+	if s.batch > 0 {
+		// Source micro-batching path: hand the engine chunks of tuples.
+		chunk := make([]engine.Values, s.batch)
+		for i := range chunk {
+			chunk[i] = payload
+		}
+		for n > 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+			}
+			k := s.batch
+			if k > n {
+				k = n
+			}
+			ctx.EmitBatch(chunk[:k])
+			n -= k
+		}
+		<-ctx.Done()
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		ctx.Emit(payload)
+	}
+	<-ctx.Done()
+	return nil
+}
+
+// runEngineThroughput starts the topology, releases the spouts, and times
+// the drain of exactly b.N external tuples: ns/op is the per-external-tuple
+// cost of the full data plane (emit, route, enqueue, process, ack).
+func runEngineThroughput(b *testing.B, topo *engine.Topology, alloc map[string]int, gate chan struct{}) {
+	b.Helper()
+	run, err := topo.Start(engine.RunConfig{Alloc: alloc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer run.Stop()
+	b.ResetTimer()
+	close(gate)
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		n, _ := run.Completions()
+		if n >= int64(b.N) {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("stalled: %d of %d tuples completed", n, b.N)
+		}
+		time.Sleep(20 * time.Microsecond) // poll off the hot path
+	}
+	b.StopTimer()
+}
+
+// BenchmarkEngineThroughput measures the live engine's data-plane rate on
+// two shapes: a minimal spout->bolt pipe (queue + ack overhead dominates)
+// and a VLD-shaped 3-stage pipeline with fan-out (routing + tree overhead).
+// ns/op is per external tuple.
+func BenchmarkEngineThroughput(b *testing.B) {
+	noop := func(int) engine.Bolt {
+		return engine.BoltFunc(func(engine.Tuple, engine.Emit) error { return nil })
+	}
+	b.Run("single-bolt", func(b *testing.B) {
+		gate := make(chan struct{})
+		const spouts = 4
+		topo, err := engine.NewTopology().
+			Spout("src", spouts, func(i int) engine.Spout {
+				return &gateSpout{total: b.N, instances: spouts, instance: i, gate: gate}
+			}).
+			Bolt("sink", 8, noop).
+			Shuffle("src", "sink").
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runEngineThroughput(b, topo, map[string]int{"sink": 4}, gate)
+	})
+	b.Run("single-bolt-batch", func(b *testing.B) {
+		gate := make(chan struct{})
+		const spouts = 4
+		topo, err := engine.NewTopology().
+			Spout("src", spouts, func(i int) engine.Spout {
+				return &gateSpout{total: b.N, instances: spouts, instance: i, batch: 64, gate: gate}
+			}).
+			Bolt("sink", 8, noop).
+			Shuffle("src", "sink").
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runEngineThroughput(b, topo, map[string]int{"sink": 4}, gate)
+	})
+	b.Run("vld", func(b *testing.B) {
+		gate := make(chan struct{})
+		const spouts = 2
+		fan := func(int) engine.Bolt {
+			return engine.BoltFunc(func(t engine.Tuple, emit engine.Emit) error {
+				emit(t.Values)
+				emit(t.Values)
+				return nil
+			})
+		}
+		fwd := func(int) engine.Bolt {
+			return engine.BoltFunc(func(t engine.Tuple, emit engine.Emit) error {
+				emit(t.Values)
+				return nil
+			})
+		}
+		topo, err := engine.NewTopology().
+			Spout("src", spouts, func(i int) engine.Spout {
+				return &gateSpout{total: b.N, instances: spouts, instance: i, gate: gate}
+			}).
+			Bolt("extract", 16, fan).
+			Bolt("match", 16, fwd).
+			Bolt("aggregate", 4, noop).
+			Shuffle("src", "extract").
+			Shuffle("extract", "match").
+			Fields("match", "aggregate", func(v engine.Values) uint64 { return uint64(v[0].(int)) }).
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		runEngineThroughput(b, topo, map[string]int{"extract": 10, "match": 11, "aggregate": 1}, gate)
+	})
 }
 
 func kmaxName(k int) string {

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// popBatchSize bounds how many queued tuples an executor moves out of its
+// input queue per lock round.
+const popBatchSize = 256
+
+// destBatch accumulates the tuples one emit scope routed to one executor.
+type destBatch struct {
+	ex    *executor
+	items []queueItem
+}
+
+// emitterSeq staggers the shuffle cursors of successive emitters so they do
+// not all start at task 0.
+var emitterSeq atomic.Uint64
+
+// emitter is the goroutine-local fan-out buffer of one producer (an
+// executor or a spout instance). Within one emit scope — a bolt's Process
+// call or a spout's Emit — every emitted child is routed immediately but
+// enqueued lazily: flush groups the children by destination executor and
+// delivers each group with a single batched enqueue, so a fan-out of N
+// costs one lock round per destination executor instead of N.
+//
+// The emitter also owns a private shuffle round-robin cursor per
+// destination bolt, so shuffle routing never touches shared state.
+type emitter struct {
+	r        *Run
+	tree     *ackTree // tree of the tuple currently being processed
+	children int      // tuples buffered across dests
+	rootMark int      // children count when the current root scope opened
+	ndests   int      // live prefix of dests
+	dests    []destBatch
+	cursors  []uint64 // per destination bolt shuffle cursor
+}
+
+func newEmitter(r *Run) *emitter {
+	em := &emitter{r: r, cursors: make([]uint64, len(r.bolts))}
+	seed := emitterSeq.Add(1)
+	for i := range em.cursors {
+		em.cursors[i] = seed
+	}
+	return em
+}
+
+// begin opens an emit scope for one tuple's processing.
+func (em *emitter) begin(tree *ackTree) { em.tree = tree }
+
+// emit routes one payload along the given edges whose stream matches.
+// A leading streamTag (from Emit.To) selects the stream and is stripped
+// before delivery. Children are buffered until flush.
+func (em *emitter) emit(edges []int, v Values) {
+	if em.tree == nil {
+		return
+	}
+	r := em.r
+	stream := ""
+	if len(v) > 0 {
+		if tag, ok := v[0].(streamTag); ok {
+			stream = string(tag)
+			v = v[1:]
+		}
+	}
+	for _, ei := range edges {
+		e := &r.topo.edges[ei]
+		if e.stream != stream {
+			continue
+		}
+		br := r.bolts[e.to]
+		rt := br.route.Load()
+		switch e.kind {
+		case GroupShuffle:
+			c := em.cursors[e.to]
+			em.cursors[e.to]++
+			em.add(rt, int(c%uint64(br.spec.tasks)), v)
+		case GroupFields:
+			em.add(rt, int(e.key(v)%uint64(br.spec.tasks)), v)
+		case GroupBroadcast:
+			for task := 0; task < br.spec.tasks; task++ {
+				em.add(rt, task, v)
+			}
+		}
+	}
+}
+
+// add buffers one child for the executor owning task in rt.
+func (em *emitter) add(rt *routeTable, task int, v Values) {
+	ex := rt.execs[rt.assign[task]]
+	it := queueItem{task: task, tup: Tuple{Values: v, tree: em.tree}}
+	for i := 0; i < em.ndests; i++ {
+		if em.dests[i].ex == ex {
+			em.dests[i].items = append(em.dests[i].items, it)
+			em.children++
+			return
+		}
+	}
+	if em.ndests == len(em.dests) {
+		em.dests = append(em.dests, destBatch{})
+	}
+	d := &em.dests[em.ndests]
+	em.ndests++
+	d.ex = ex
+	d.items = append(d.items[:0], it)
+	em.children++
+}
+
+// flush closes the emit scope of a processed tuple: it registers all
+// buffered children on the processing tree (before any enqueue, so a
+// partial delivery can never complete the tree early), then hands each
+// destination executor its batch in one enqueue.
+func (em *emitter) flush() {
+	if em.children > 0 {
+		em.tree.fork(em.children)
+		em.pushDests()
+	}
+	em.tree = nil
+}
+
+// beginRoot opens the emit scope of a fresh root whose pending count will
+// be installed by sealRoot. Several root scopes may accumulate into the
+// same destination batches before one pushDests delivers them all
+// (EmitBatch's source micro-batching).
+func (em *emitter) beginRoot(tree *ackTree) {
+	em.tree = tree
+	em.rootMark = em.children
+}
+
+// sealRoot closes a root scope: the tree's pending count is set to the
+// scope's child count directly — none of its children are enqueued yet, so
+// no ack can race — skipping the root's own fork/ack round trip. A
+// childless root (no subscribers) completes on the spot.
+func (em *emitter) sealRoot(now time.Time) {
+	tree := em.tree
+	em.tree = nil
+	n := em.children - em.rootMark
+	if n == 0 {
+		tree.complete(now)
+		return
+	}
+	tree.pending.Store(int64(n))
+}
+
+// pushDests delivers every buffered destination batch with one enqueue
+// each. Children whose queue closed during shutdown are resolved on the
+// spot, as an immediate delivery would have been (lazily stamped — the
+// drop path is rare and only a tree's completing ack reads a clock).
+// Items carry their own tree reference, so batches may mix several
+// roots' children.
+func (em *emitter) pushDests() {
+	for i := 0; i < em.ndests; i++ {
+		d := &em.dests[i]
+		d.ex.probe.TuplesArrived(int64(len(d.items)))
+		if !d.ex.q.pushBatch(d.items) {
+			for j := range d.items {
+				d.items[j].tup.tree.ackLazy()
+			}
+		}
+		clear(d.items) // release payload references; keep capacity
+		d.items = d.items[:0]
+		d.ex = nil
+	}
+	em.children = 0
+	em.ndests = 0
+}

@@ -13,7 +13,10 @@
 // on completion — the quantity the paper's measurer feeds to the optimizer.
 package engine
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+)
 
 // queueItem pairs a tuple with the task that must process it.
 type queueItem struct {
@@ -21,18 +24,39 @@ type queueItem struct {
 	tup  Tuple
 }
 
-// queue is an unbounded MPSC blocking queue. Unbounded matters: with loop
+// queue shrink policy: a ring above shrinkCap capacity whose burst peak
+// since the last empty point used less than a quarter of it is released,
+// so a queue that grew during a burst does not pin burst-peak memory for
+// the rest of a long run.
+const shrinkCap = 1024
+
+// yieldDepth is the cooperative-backpressure mark: a producer that leaves
+// a queue deeper than this yields its processor slice so consumers can
+// drain. The queue stays unbounded (no deadlock on self-loops — a yield
+// always returns), but on saturated schedulers the in-flight window stays
+// small enough to be cache-resident instead of growing a full scheduler
+// quantum's worth of cold tuples.
+const yieldDepth = 512
+
+// queue is an unbounded MPSC blocking queue, batch-aware on both ends:
+// producers can push a slice of items under one lock round, and the
+// consumer drains up to a buffer's worth per lock round. Storage is a
+// power-of-two ring, so steady-state traffic recirculates one buffer
+// instead of growing an append-only slice. Unbounded matters: with loop
 // topologies (FPD's detector notifies itself) a bounded queue lets an
-// executor block on emitting to itself — a deadlock the paper's Storm setup
-// avoids with large buffers. Memory pressure is the accepted trade, as in
-// the paper ("errors when the queue reaches its size limit" is the overload
-// failure mode we surface through latency instead).
+// executor block on emitting to itself — a deadlock the paper's Storm
+// setup avoids with large buffers. Memory pressure is the accepted trade,
+// as in the paper ("errors when the queue reaches its size limit" is the
+// overload failure mode we surface through latency instead).
 type queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []queueItem
-	head   int
-	closed bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buf     []queueItem // power-of-two ring
+	head    int         // index of the oldest item
+	n       int         // live item count
+	peak    int         // max live count since the queue last went empty
+	waiting int         // poppers parked in cond.Wait
+	closed  bool
 }
 
 func newQueue() *queue {
@@ -41,45 +65,185 @@ func newQueue() *queue {
 	return q
 }
 
+// growLocked ensures room for need more items, doubling the ring.
+func (q *queue) growLocked(need int) {
+	want := q.n + need
+	newCap := cap(q.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	for newCap < want {
+		newCap *= 2
+	}
+	if newCap == cap(q.buf) {
+		return
+	}
+	nb := make([]queueItem, newCap)
+	q.copyOutLocked(nb[:q.n])
+	q.buf = nb
+	q.head = 0
+}
+
+// copyOutLocked copies the oldest len(dst) items into dst in FIFO order.
+func (q *queue) copyOutLocked(dst []queueItem) {
+	first := q.head
+	if tail := len(q.buf) - first; tail < len(dst) {
+		copy(dst, q.buf[first:])
+		copy(dst[tail:], q.buf[:len(dst)-tail])
+	} else {
+		copy(dst, q.buf[first:first+len(dst)])
+	}
+}
+
 // push enqueues one item; returns false if the queue is closed.
 func (q *queue) push(it queueItem) bool {
+	var buf [1]queueItem
+	buf[0] = it
+	return q.pushBatch(buf[:])
+}
+
+// pushBatch enqueues a slice of items under a single lock round; the items
+// are copied, so the caller may reuse its buffer immediately. Returns false
+// (enqueuing nothing) if the queue is closed.
+func (q *queue) pushBatch(its []queueItem) bool {
+	if len(its) == 0 {
+		return true
+	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.closed {
+		q.mu.Unlock()
 		return false
 	}
-	q.items = append(q.items, it)
-	q.cond.Signal()
+	if q.n+len(its) > cap(q.buf) {
+		q.growLocked(len(its))
+	}
+	mask := cap(q.buf) - 1
+	tail := (q.head + q.n) & mask
+	if room := cap(q.buf) - tail; room < len(its) {
+		copy(q.buf[tail:], its[:room])
+		copy(q.buf, its[room:])
+	} else {
+		copy(q.buf[tail:tail+len(its)], its)
+	}
+	q.n += len(its)
+	if q.n > q.peak {
+		q.peak = q.n
+	}
+	// A parked popper implies the queue was empty, so one signal per
+	// empty->non-empty transition suffices: whoever wakes drains to empty
+	// before parking again.
+	wake := q.n == len(its) && q.waiting > 0
+	deep := q.n > yieldDepth
+	q.mu.Unlock()
+	if wake {
+		q.cond.Signal()
+	}
+	if deep {
+		runtime.Gosched()
+	}
 	return true
+}
+
+// popAll blocks until items are available (or the queue is closed and
+// empty), then takes the entire ring in O(1): the queue keeps spare as its
+// new (empty) ring, and the caller gets the old one to iterate in place —
+// no copy happens under the lock. spare must be a cleared full-length ring
+// from a previous popAll (or nil). The returned items live at
+// ring[(head+i) % len(ring)] for i in [0, n).
+func (q *queue) popAll(spare []queueItem) (ring []queueItem, head, n int, ok bool) {
+	q.mu.Lock()
+	for {
+		if q.n > 0 {
+			ring, head, n = q.buf, q.head, q.n
+			if cap(spare) > shrinkCap && q.peak*4 < cap(spare) {
+				spare = nil // shrink: drop an oversized burst-era ring
+			}
+			q.buf = spare[:cap(spare)]
+			q.head = 0
+			q.n = 0
+			q.peak = 0
+			q.mu.Unlock()
+			return ring, head, n, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, 0, 0, false
+		}
+		q.waiting++
+		q.cond.Wait()
+		q.waiting--
+	}
 }
 
 // pop blocks until an item is available or the queue is closed and empty.
 func (q *queue) pop() (queueItem, bool) {
+	var buf [1]queueItem
+	out, ok := q.popBatch(buf[:0])
+	if !ok {
+		return queueItem{}, false
+	}
+	return out[0], true
+}
+
+// popBatch blocks until items are available (or the queue is closed and
+// empty), then moves up to cap(buf) of them into buf under one lock round.
+// The returned slice aliases buf.
+func (q *queue) popBatch(buf []queueItem) ([]queueItem, bool) {
+	max := cap(buf)
+	if max == 0 {
+		max = 1
+		buf = make([]queueItem, 0, 1)
+	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	for {
-		if q.head < len(q.items) {
-			it := q.items[q.head]
-			q.items[q.head] = queueItem{} // release references
-			q.head++
-			if q.head == len(q.items) {
-				q.items = q.items[:0]
-				q.head = 0
+		if q.n > 0 {
+			take := q.n
+			if take > max {
+				take = max
 			}
-			return it, true
+			out := buf[:take]
+			q.copyOutLocked(out)
+			// Release the ring's references to the moved items.
+			first := q.head
+			if tail := cap(q.buf) - first; tail < take {
+				clear(q.buf[first:])
+				clear(q.buf[:take-tail])
+			} else {
+				clear(q.buf[first : first+take])
+			}
+			q.head = (first + take) & (cap(q.buf) - 1)
+			q.n -= take
+			if q.n == 0 {
+				q.resetLocked()
+			}
+			q.mu.Unlock()
+			return out, true
 		}
 		if q.closed {
-			return queueItem{}, false
+			q.mu.Unlock()
+			return nil, false
 		}
+		q.waiting++
 		q.cond.Wait()
+		q.waiting--
 	}
+}
+
+// resetLocked rewinds an emptied queue, releasing an oversized ring whose
+// burst peak no longer justifies its capacity.
+func (q *queue) resetLocked() {
+	q.head = 0
+	if cap(q.buf) > shrinkCap && q.peak*4 < cap(q.buf) {
+		q.buf = nil
+	}
+	q.peak = 0
 }
 
 // close wakes all poppers; pending items are still drained by pop.
 func (q *queue) close() {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	q.closed = true
+	q.mu.Unlock()
 	q.cond.Broadcast()
 }
 
@@ -87,5 +251,5 @@ func (q *queue) close() {
 func (q *queue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items) - q.head
+	return q.n
 }

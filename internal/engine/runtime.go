@@ -47,12 +47,12 @@ type routeTable struct {
 	assign []int // task -> index into execs
 }
 
-// boltRuntime is the running state of one bolt.
+// boltRuntime is the running state of one bolt. Shuffle round-robin
+// cursors live in each emitter, not here, so routing is contention-free.
 type boltRuntime struct {
 	spec      boltSpec
 	instances []Bolt // one per task; owned by whichever executor holds the task
 	route     atomic.Pointer[routeTable]
-	rr        atomic.Uint64 // shuffle round-robin cursor
 	outEdges  []int
 	errCount  atomic.Int64
 	lastErr   atomic.Pointer[error]
@@ -72,17 +72,19 @@ type Run struct {
 	bolts  []*boltRuntime
 	spouts []*spoutRuntime
 
-	completions completionLog
-	pending     pendingRoots
-	external    atomic.Int64
-	paused      atomic.Bool
+	roots  rootLog
+	paused atomic.Bool
 
 	spoutErrCount atomic.Int64
 	spoutLastErr  atomic.Pointer[error]
 	timeouts      *timeoutWatch
 
-	drainMu   sync.Mutex // serializes DrainInterval; guards lastDrain
+	drainMu   sync.Mutex // serializes DrainInterval; guards the last* fields
 	lastDrain time.Time
+	// last root-log fold of the previous drain; intervals are differences.
+	lastStarted   int64
+	lastCompleted int64
+	lastNanos     int64
 
 	mu        sync.Mutex // serializes Rebalance/Stop; guards lastMoves
 	lastMoves map[string]int
@@ -185,22 +187,73 @@ func (r *Run) installExecutors(br *boltRuntime, n int) int {
 	return moved
 }
 
+// runExecutor is the executor hot loop: it drains its input queue in
+// batches (one lock round per batch) and processes each tuple with a
+// reusable emitter, so a bolt's fan-out costs one enqueue per destination
+// executor. Clock reads follow the Nm sampling stride: only sampled
+// tuples are timed (their end stamp also serves as the ack time and, at
+// Nm = 1, the next tuple's start), so raising Nm sheds measurement
+// overhead exactly as the paper intends.
 func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
 	defer r.execWG.Done()
 	defer close(ex.done)
+	em := newEmitter(r)
+	emit := Emit(func(v Values) { em.emit(br.outEdges, v) })
+	var spare []queueItem // cleared ring handed back to the queue each round
+	nm := ex.probe.SampleStride()
+	var sinceSample int64 // stride phase, carried across batches
+	var now time.Time     // start-of-service mark, valid only when chained
+	chained := false      // now holds the previous sampled tuple's end
 	for {
-		it, ok := ex.q.pop()
+		ring, head, n, ok := ex.q.popAll(spare)
 		if !ok {
 			return
 		}
-		start := time.Now()
-		emit := func(v Values) { r.emitFrom(br.outEdges, v, it.tup.tree) }
-		if err := br.instances[it.task].Process(it.tup, emit); err != nil {
-			br.errCount.Add(1)
-			br.lastErr.Store(&err)
+		chained = false // popAll may have blocked; the old end is stale
+		mask := len(ring) - 1
+		// Probe observations accumulate locally and fold into the shared
+		// probe once per batch.
+		var sampled, busyNanos, busySqMicros int64
+		for i := 0; i < n; i++ {
+			it := &ring[(head+i)&mask]
+			// A sampled duration must cover exactly one tuple: read a fresh
+			// start unless the previous tuple was sampled too (Nm = 1), in
+			// which case its end is this tuple's start. Unsampled tuples
+			// pay no clock read at all.
+			sampleThis := sinceSample+1 == nm
+			if sampleThis && !chained {
+				now = time.Now()
+			}
+			em.begin(it.tup.tree)
+			if err := br.instances[it.task].Process(it.tup, emit); err != nil {
+				br.errCount.Add(1)
+				heldErr := err // escapes only on the error path
+				br.lastErr.Store(&heldErr)
+			}
+			em.flush()
+			tree := it.tup.tree
+			*it = queueItem{} // release references before handing the ring back
+			if sampleThis {
+				sinceSample = 0
+				end := time.Now()
+				d := end.Sub(now)
+				sampled++
+				busyNanos += int64(d)
+				us := d.Microseconds()
+				busySqMicros += us * us
+				tree.ack(end)
+				now = end
+				chained = nm == 1
+			} else {
+				sinceSample++
+				chained = false
+				// The tree reads its own clock in the rare case this ack
+				// completes it.
+				tree.ackLazy()
+			}
 		}
-		ex.probe.TupleServed(time.Since(start))
-		it.tup.tree.ack(time.Now())
+		ex.probe.TuplesServed(int64(n), sampled, busyNanos, busySqMicros)
+		spare = ring
 	}
 }
 
@@ -209,7 +262,8 @@ func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
 // is retained for inspection.
 func (r *Run) runSpout(si, instance int, spout Spout) {
 	defer r.wg.Done()
-	sc := &spoutCtx{run: r, spoutIdx: si, instance: instance}
+	sc := &spoutCtx{run: r, spoutIdx: si, instance: instance,
+		shard: treeShardSeq.Add(1), em: newEmitter(r)}
 	if err := spout.Run(sc); err != nil && !errors.Is(err, ErrStopped) {
 		r.spoutErrCount.Add(1)
 		r.spoutLastErr.Store(&err)
@@ -220,25 +274,51 @@ type spoutCtx struct {
 	run      *Run
 	spoutIdx int
 	instance int
+	shard    uint32 // root-log shard for batch start accounting
+	em       *emitter
 }
 
-// Emit injects an external tuple: a new processing tree rooted now.
+// Emit injects an external tuple: a new processing tree rooted now. The
+// root's children are delivered through the spout's emitter, batched per
+// destination executor.
 func (c *spoutCtx) Emit(v Values) {
 	r := c.run
 	if r.stopped.Load() {
 		return
 	}
-	r.pending.inc()
-	r.external.Add(1)
 	now := time.Now()
 	entry := r.timeouts.watch(now)
-	tree := newRoot(now, func(sojourn time.Duration) {
-		r.timeouts.resolve(entry, time.Now())
-		r.completions.record(sojourn)
-		r.pending.dec()
-	})
-	r.emitFrom(r.spouts[c.spoutIdx].outEdges, v, tree)
-	tree.ack(time.Now()) // the root "tuple" itself needs no processing
+	tree := newRootFor(r, now, entry)
+	r.roots.start(tree.shard)
+	c.em.beginRoot(tree)
+	c.em.emit(r.spouts[c.spoutIdx].outEdges, v)
+	c.em.sealRoot(now) // the root "tuple" itself needs no processing
+	c.em.pushDests()
+}
+
+// EmitBatch injects a batch of external tuples, each its own processing
+// tree, sharing one clock read and — the point — one enqueue per
+// destination executor for the whole batch. This is the source
+// micro-batching path: a spout reading a partitioned log can hand the
+// engine tens of tuples per call and pay the per-enqueue costs once.
+func (c *spoutCtx) EmitBatch(vs []Values) {
+	r := c.run
+	if len(vs) == 0 || r.stopped.Load() {
+		return
+	}
+	now := time.Now()
+	edges := r.spouts[c.spoutIdx].outEdges
+	// Count the whole batch as started before any root can complete
+	// (a childless root completes inside its seal).
+	r.roots.startN(c.shard, int64(len(vs)))
+	for _, v := range vs {
+		entry := r.timeouts.watch(now)
+		tree := newRootFor(r, now, entry)
+		c.em.beginRoot(tree)
+		c.em.emit(edges, v)
+		c.em.sealRoot(now)
+	}
+	c.em.pushDests()
 }
 
 // Done exposes the stop signal.
@@ -249,52 +329,6 @@ func (c *spoutCtx) Paused() bool { return c.run.paused.Load() }
 
 // Instance reports the spout instance index.
 func (c *spoutCtx) Instance() int { return c.instance }
-
-// emitFrom routes one payload along the given edges whose stream matches.
-// A leading streamTag (from Emit.To) selects the stream and is stripped
-// before delivery. tree may be nil only if the payload is dropped
-// (defensive; normal paths always have a tree).
-func (r *Run) emitFrom(edges []int, v Values, tree *ackTree) {
-	if tree == nil {
-		return
-	}
-	stream := ""
-	if len(v) > 0 {
-		if tag, ok := v[0].(streamTag); ok {
-			stream = string(tag)
-			v = v[1:]
-		}
-	}
-	for _, ei := range edges {
-		e := r.topo.edges[ei]
-		if e.stream != stream {
-			continue
-		}
-		br := r.bolts[e.to]
-		rt := br.route.Load()
-		switch e.kind {
-		case GroupShuffle:
-			task := int(br.rr.Add(1) % uint64(br.spec.tasks))
-			r.deliver(br, rt, task, v, tree)
-		case GroupFields:
-			task := int(e.key(v) % uint64(br.spec.tasks))
-			r.deliver(br, rt, task, v, tree)
-		case GroupBroadcast:
-			for task := 0; task < br.spec.tasks; task++ {
-				r.deliver(br, rt, task, v, tree)
-			}
-		}
-	}
-}
-
-func (r *Run) deliver(br *boltRuntime, rt *routeTable, task int, v Values, tree *ackTree) {
-	tree.fork(1)
-	ex := rt.execs[rt.assign[task]]
-	ex.probe.TupleArrived()
-	if !ex.q.push(queueItem{task: task, tup: Tuple{Values: v, tree: tree}}) {
-		tree.ack(time.Now()) // queue closed during shutdown: resolve the node
-	}
-}
 
 // Allocation reports the current executor count per bolt.
 func (r *Run) Allocation() map[string]int {
@@ -380,11 +414,11 @@ func (r *Run) SpoutErrors() (int64, error) {
 // Completions reports the cumulative completed-tuple count and mean total
 // sojourn time.
 func (r *Run) Completions() (count int64, meanSojourn time.Duration) {
-	n, total := r.completions.totals()
+	_, n, nanos := r.roots.totals()
 	if n == 0 {
 		return 0, 0
 	}
-	return n, total / time.Duration(n)
+	return n, time.Duration(nanos / n)
 }
 
 // BoltNames returns the bolt names in declaration order — the operator
@@ -399,25 +433,27 @@ func (r *Run) DrainInterval() metrics.IntervalReport {
 	r.drainMu.Lock()
 	defer r.drainMu.Unlock()
 	now := time.Now()
+	started, completed, nanos := r.roots.totals()
 	rep := metrics.IntervalReport{
 		Duration:         now.Sub(r.lastDrain),
-		ExternalArrivals: r.external.Swap(0),
+		ExternalArrivals: started - r.lastStarted,
 		Ops:              make([]metrics.OpInterval, len(r.bolts)),
+		SojournCount:     completed - r.lastCompleted,
+		SojournTotal:     time.Duration(nanos - r.lastNanos),
 	}
 	r.lastDrain = now
+	r.lastStarted, r.lastCompleted, r.lastNanos = started, completed, nanos
 	for i, br := range r.bolts {
-		var agg metrics.OpInterval
+		var agg metrics.ProbeCounters
 		for _, ex := range br.route.Load().execs {
-			c := ex.probe.Drain()
-			agg.Merge(metrics.OpInterval{
-				Arrivals: c.Arrivals, Served: c.Served,
-				Sampled: c.Sampled, BusyTime: c.BusyTime,
-				BusySqSeconds: c.BusySqSeconds,
-			})
+			agg.Merge(ex.probe.Drain())
 		}
-		rep.Ops[i] = agg
+		rep.Ops[i] = metrics.OpInterval{
+			Arrivals: agg.Arrivals, Served: agg.Served,
+			Sampled: agg.Sampled, BusyTime: agg.BusyTime,
+			BusySqSeconds: agg.BusySqSeconds,
+		}
 	}
-	rep.SojournCount, rep.SojournTotal = r.completions.drain()
 	return rep
 }
 
@@ -485,7 +521,7 @@ func (r *Run) LastRebalanceMoves() map[string]int {
 // quiesce waits until no external tuple trees are pending.
 func (r *Run) quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
-	for r.pending.value() > 0 {
+	for r.roots.pending() > 0 {
 		if time.Now().After(deadline) {
 			return false
 		}

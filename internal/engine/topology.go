@@ -11,10 +11,17 @@ type Spout interface {
 	Run(ctx SpoutContext) error
 }
 
-// SpoutContext is passed to a running spout instance.
+// SpoutContext is passed to a running spout instance. Its methods must be
+// called from the spout's Run goroutine only (each instance owns an
+// unsynchronized emitter; see the Spout doc).
 type SpoutContext interface {
 	// Emit injects one external tuple into the topology.
 	Emit(v Values)
+	// EmitBatch injects a batch of external tuples — each becomes its own
+	// processing tree, but the whole batch shares one timestamp and one
+	// enqueue per destination executor (source micro-batching; use it when
+	// the source naturally yields tuples in chunks).
+	EmitBatch(vs []Values)
 	// Done is closed when the spout must stop.
 	Done() <-chan struct{}
 	// Paused reports whether ingestion is currently suspended (during a

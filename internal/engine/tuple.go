@@ -20,16 +20,37 @@ type Tuple struct {
 // ackTree tracks one external tuple's processing tree: it completes when
 // every derived tuple has been processed — the paper's definition of
 // "fully processed", measured by Storm through its acking mechanism.
+//
+// Trees are pooled: the last ack is a unique release point (pending hits
+// zero exactly once, and no fork can race with it because forks only
+// happen while the forking node is itself pending), so the completing
+// goroutine can recycle the tree after recording the sojourn.
 type ackTree struct {
 	arrived time.Time
 	pending atomic.Int64
-	done    func(sojourn time.Duration)
+	run     *Run
+	entry   *timeoutEntry
+	// shard is a fixed rootLog shard, assigned once when the tree object
+	// is first allocated; distinct pool objects land on distinct shards,
+	// spreading concurrent completions across cache lines.
+	shard uint32
 }
 
-// newRoot starts a tree with one pending node (the root tuple itself).
-func newRoot(now time.Time, done func(time.Duration)) *ackTree {
-	t := &ackTree{arrived: now, done: done}
-	t.pending.Store(1)
+var treeShardSeq atomic.Uint32
+
+var treePool = sync.Pool{New: func() any {
+	return &ackTree{shard: treeShardSeq.Add(1)}
+}}
+
+// newRootFor starts a pooled tree completing into r's root log and
+// timeout watch. pending is zero here (both for fresh and recycled trees —
+// completion leaves it at zero); the emitter's sealRoot installs the
+// child count before any child is enqueued.
+func newRootFor(r *Run, now time.Time, entry *timeoutEntry) *ackTree {
+	t := treePool.Get().(*ackTree)
+	t.arrived = now
+	t.run = r
+	t.entry = entry
 	return t
 }
 
@@ -41,50 +62,93 @@ func (t *ackTree) fork(n int) {
 	}
 }
 
-// ack resolves one node; the last ack fires the completion callback.
+// ack resolves one node; the last ack completes the tree and recycles it.
 func (t *ackTree) ack(now time.Time) {
 	if t.pending.Add(-1) == 0 {
-		if t.done != nil {
-			t.done(now.Sub(t.arrived))
-		}
+		t.complete(now)
 	}
 }
 
-// completionLog accumulates total sojourn times, concurrently, with both a
-// per-interval view (drained into measurer reports) and a cumulative one.
-type completionLog struct {
-	mu sync.Mutex
-
-	intervalCount int64
-	intervalTotal time.Duration
-
-	totalCount int64
-	totalSum   time.Duration
+// ackLazy resolves one node without a timestamp in hand, reading the clock
+// only if this ack completes the tree — the common non-completing ack of a
+// fan-out tree costs no clock call.
+func (t *ackTree) ackLazy() {
+	if t.pending.Add(-1) == 0 {
+		t.complete(time.Now())
+	}
 }
 
-func (c *completionLog) record(sojourn time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.intervalCount++
-	c.intervalTotal += sojourn
-	c.totalCount++
-	c.totalSum += sojourn
+func (t *ackTree) complete(now time.Time) {
+	r := t.run
+	sojourn := now.Sub(t.arrived)
+	r.timeouts.resolve(t.entry, now)
+	r.roots.complete(t.shard, sojourn)
+	t.run, t.entry = nil, nil
+	treePool.Put(t)
 }
 
-// drain returns and resets the per-interval counters.
-func (c *completionLog) drain() (count int64, total time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	count, total = c.intervalCount, c.intervalTotal
-	c.intervalCount, c.intervalTotal = 0, 0
-	return count, total
+// logShards is the shard count of the hot per-root counters (power of two).
+const logShards = 16
+
+// rootShard is one padded shard of the root log: three monotonic counters
+// on their own cache line, so roots on different shards never contend.
+type rootShard struct {
+	started   atomic.Int64 // roots created (external arrivals)
+	completed atomic.Int64 // roots whose tree completed
+	nanos     atomic.Int64 // summed total sojourn of completed roots
+	_         [5]int64     // pad to a 64-byte line
 }
 
-// totals returns the cumulative counters.
-func (c *completionLog) totals() (count int64, total time.Duration) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.totalCount, c.totalSum
+// rootLog is the single hot-path account of external tuples: one sharded
+// add when a root starts, two on the shard's own line when it completes.
+// Everything else is derived: external arrivals and per-interval sojourn
+// sums are differences between folds (the drainer keeps the previous fold
+// under its own lock), and the pending count — the rebalance quiescence
+// signal — is started minus completed. All counters are monotonic, so no
+// drain ever races a record.
+type rootLog struct {
+	shards [logShards]rootShard
+}
+
+func (c *rootLog) start(shard uint32) {
+	c.shards[shard%logShards].started.Add(1)
+}
+
+// startN counts a whole source batch in one add. The start shard need not
+// match the trees' completion shards: started and completed are
+// independent monotonic sums.
+func (c *rootLog) startN(shard uint32, n int64) {
+	c.shards[shard%logShards].started.Add(n)
+}
+
+func (c *rootLog) complete(shard uint32, sojourn time.Duration) {
+	s := &c.shards[shard%logShards]
+	s.completed.Add(1)
+	s.nanos.Add(int64(sojourn))
+}
+
+// totals folds the shards into cumulative counts.
+func (c *rootLog) totals() (started, completed, nanos int64) {
+	for i := range c.shards {
+		started += c.shards[i].started.Load()
+		completed += c.shards[i].completed.Load()
+		nanos += c.shards[i].nanos.Load()
+	}
+	return started, completed, nanos
+}
+
+// pending reports in-flight roots. All completed counters are read before
+// any started counter: every observed completion's start (which preceded
+// it) is then also observed, so concurrency can only overestimate — the
+// quiescence check stays conservative.
+func (c *rootLog) pending() (n int64) {
+	for i := range c.shards {
+		n -= c.shards[i].completed.Load()
+	}
+	for i := range c.shards {
+		n += c.shards[i].started.Load()
+	}
+	return n
 }
 
 // timeoutWatch tracks tuple-tree completion deadlines, like Storm's
@@ -109,12 +173,16 @@ type timeoutEntry struct {
 	resolved atomic.Bool
 }
 
+var entryPool = sync.Pool{New: func() any { return new(timeoutEntry) }}
+
 // watch registers a new root; returns nil when timeouts are disabled.
 func (w *timeoutWatch) watch(now time.Time) *timeoutEntry {
 	if w == nil || w.timeout <= 0 {
 		return nil
 	}
-	e := &timeoutEntry{deadline: now.Add(w.timeout)}
+	e := entryPool.Get().(*timeoutEntry)
+	e.deadline = now.Add(w.timeout)
+	e.resolved.Store(false)
 	w.mu.Lock()
 	w.entries = append(w.entries, e)
 	w.expireLocked(now)
@@ -123,20 +191,23 @@ func (w *timeoutWatch) watch(now time.Time) *timeoutEntry {
 }
 
 // resolve records a tree completion, counting it late if past deadline.
+// The deadline is read before the CAS: once the CAS lands, the expirer may
+// recycle the entry concurrently.
 func (w *timeoutWatch) resolve(e *timeoutEntry, now time.Time) {
 	if w == nil || e == nil {
 		return
 	}
-	if e.resolved.CompareAndSwap(false, true) && now.After(e.deadline) {
+	deadline := e.deadline
+	if e.resolved.CompareAndSwap(false, true) && now.After(deadline) {
 		w.late.Add(1)
 	}
 }
 
-// expireLocked pops expired leading entries; any still unresolved will be
-// counted late at their (eventual) completion, so the expirer only trims
-// the queue and counts trees marked resolved-on-time or not at all. To
-// keep "stuck forever" trees visible too, unresolved expired entries are
-// counted here and marked, which resolve's CAS then skips.
+// expireLocked pops expired leading entries. An entry already resolved at
+// trim time has no remaining referent and is recycled; an unresolved one is
+// counted late here (keeping "stuck forever" trees visible), marked so
+// resolve's CAS skips it, and left to the GC — its tree still holds the
+// pointer and may resolve much later.
 func (w *timeoutWatch) expireLocked(now time.Time) {
 	i := 0
 	for ; i < len(w.entries); i++ {
@@ -146,7 +217,10 @@ func (w *timeoutWatch) expireLocked(now time.Time) {
 		}
 		if e.resolved.CompareAndSwap(false, true) {
 			w.late.Add(1)
+		} else {
+			entryPool.Put(e)
 		}
+		w.entries[i] = nil
 	}
 	if i > 0 {
 		w.entries = append(w.entries[:0], w.entries[i:]...)
@@ -163,15 +237,3 @@ func (w *timeoutWatch) lateCount(now time.Time) int64 {
 	w.mu.Unlock()
 	return w.late.Load()
 }
-
-// pendingRoots counts external tuples whose trees have not completed —
-// the quiescence signal for rebalancing.
-type pendingRoots struct {
-	n atomic.Int64
-}
-
-func (p *pendingRoots) inc() { p.n.Add(1) }
-
-func (p *pendingRoots) dec() { p.n.Add(-1) }
-
-func (p *pendingRoots) value() int64 { return p.n.Load() }

@@ -191,7 +191,8 @@ type Supervisor struct {
 	cooldownUntil time.Time
 	lastSnap      core.Snapshot
 	haveSnap      bool
-	history       []Event
+	history       []Event // ring once MaxHistory is reached
+	histStart     int     // oldest event's index once the ring is full
 	rounds        int64
 	suppressing   map[string]bool // action kinds in an ongoing suppression episode
 
@@ -460,13 +461,16 @@ func (s *Supervisor) record(ev Event) {
 	s.appendLocked(ev)
 }
 
-// appendLocked appends under s.mu, dropping the oldest events past
-// MaxHistory so a long-lived daemon's memory stays bounded.
+// appendLocked appends under s.mu. Once MaxHistory events exist the slice
+// becomes a ring and the oldest event is overwritten in place — O(1) per
+// event, so a long-lived daemon neither grows nor re-copies its log.
 func (s *Supervisor) appendLocked(ev Event) {
-	s.history = append(s.history, ev)
-	if over := len(s.history) - s.cfg.MaxHistory; over > 0 {
-		s.history = append(s.history[:0:0], s.history[over:]...)
+	if len(s.history) < s.cfg.MaxHistory {
+		s.history = append(s.history, ev)
+		return
 	}
+	s.history[s.histStart] = ev
+	s.histStart = (s.histStart + 1) % len(s.history)
 }
 
 // allocVector reads the target's current allocation in operator order.
@@ -488,7 +492,10 @@ func (s *Supervisor) allocVector() ([]int, bool) {
 func (s *Supervisor) History() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return append([]Event(nil), s.history...)
+	out := make([]Event, len(s.history))
+	n := copy(out, s.history[s.histStart:])
+	copy(out[n:], s.history[:s.histStart])
+	return out
 }
 
 // LastSnapshot returns the most recent snapshot handed to the stepper —

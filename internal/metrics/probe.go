@@ -39,6 +39,12 @@ func (p *ExecutorProbe) TupleArrived() {
 	p.arrivals.Add(1)
 }
 
+// TuplesArrived counts n tuples entering this executor's input queue in
+// one batch — one atomic add for a whole batched enqueue.
+func (p *ExecutorProbe) TuplesArrived(n int64) {
+	p.arrivals.Add(n)
+}
+
 // TupleServed counts one completed tuple; the service duration is recorded
 // only for every Nm-th completion.
 func (p *ExecutorProbe) TupleServed(d time.Duration) {
@@ -49,6 +55,24 @@ func (p *ExecutorProbe) TupleServed(d time.Duration) {
 		p.busyNanos.Add(int64(d))
 		us := d.Microseconds()
 		p.busySqMicros.Add(us * us)
+	}
+}
+
+// SampleStride reports Nm, for callers that accumulate observations
+// locally and apply the sampling stride themselves (see TuplesServed).
+func (p *ExecutorProbe) SampleStride() int64 { return p.nm }
+
+// TuplesServed folds a locally accumulated batch of observations in a
+// constant number of atomic adds: served tuples, how many of them were
+// Nm-stride samples, and the samples' total and squared-total durations.
+// The caller owns the stride bookkeeping across batches.
+func (p *ExecutorProbe) TuplesServed(served, sampled, busyNanos, busySqMicros int64) {
+	p.servedTotal.Add(served)
+	p.served.Add(served)
+	if sampled > 0 {
+		p.sampled.Add(sampled)
+		p.busyNanos.Add(busyNanos)
+		p.busySqMicros.Add(busySqMicros)
 	}
 }
 
@@ -83,8 +107,8 @@ func (p *ExecutorProbe) Drain() ProbeCounters {
 	}
 }
 
-// merge adds o into c (operator-level aggregation across executors).
-func (c *ProbeCounters) merge(o ProbeCounters) {
+// Merge adds o into c (operator-level aggregation across executors).
+func (c *ProbeCounters) Merge(o ProbeCounters) {
 	c.Arrivals += o.Arrivals
 	c.Served += o.Served
 	c.Sampled += o.Sampled

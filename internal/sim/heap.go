@@ -1,0 +1,76 @@
+package sim
+
+// eventHeap is a 4-ary min-heap over the concrete event type, ordered by
+// (at, seq). Unlike container/heap it never boxes an event through
+// interface{} — the per-push allocation that dominated simulator allocs —
+// and the shallow 4-ary layout touches fewer levels per sift than a binary
+// heap on the deep queues long runs build. (at, seq) is a strict total
+// order, so dispatch order is identical to the old container/heap
+// implementation, event for event.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+// peek returns the minimum event without removing it. Call only when
+// len() > 0.
+func (h *eventHeap) peek() *event { return &h.a[0] }
+
+func (h *eventHeap) less(x, y *event) bool {
+	if x.at != y.at {
+		return x.at < y.at
+	}
+	return x.seq < y.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.a = append(h.a, e)
+	i := len(h.a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !h.less(&h.a[i], &h.a[parent]) {
+			break
+		}
+		h.a[i], h.a[parent] = h.a[parent], h.a[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. Call only when len() > 0.
+func (h *eventHeap) pop() event {
+	top := h.a[0]
+	n := len(h.a) - 1
+	h.a[0] = h.a[n]
+	h.a[n] = event{} // release references
+	h.a = h.a[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+	return top
+}
+
+func (h *eventHeap) siftDown(i int) {
+	n := len(h.a)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(&h.a[c], &h.a[min]) {
+				min = c
+			}
+		}
+		if !h.less(&h.a[min], &h.a[i]) {
+			return
+		}
+		h.a[i], h.a[min] = h.a[min], h.a[i]
+		i = min
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+// ringShrinkCap mirrors the engine queue's shrink policy: a ring above this
+// capacity whose burst peak since the last empty point used less than a
+// quarter of it is released, so long runs do not pin burst-peak memory.
+const ringShrinkCap = 1024
+
+// tupleRing is a FIFO of queued tuples backed by a power-of-two ring, so a
+// stable queue length recirculates one buffer instead of the old
+// `queue = queue[1:]; append(...)` pattern, which crawled through memory
+// and re-allocated under sustained load.
+type tupleRing struct {
+	buf  []tuple
+	head int
+	n    int
+	peak int
+}
+
+func (r *tupleRing) len() int { return r.n }
+
+func (r *tupleRing) push(t tuple) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = t
+	r.n++
+	if r.n > r.peak {
+		r.peak = r.n
+	}
+}
+
+// pop removes the oldest tuple. Call only when len() > 0.
+func (r *tupleRing) pop() tuple {
+	t := r.buf[r.head]
+	r.buf[r.head] = tuple{} // release the root reference
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	if r.n == 0 {
+		r.head = 0
+		if len(r.buf) > ringShrinkCap && r.peak*4 < len(r.buf) {
+			r.buf = nil
+		}
+		r.peak = 0
+	}
+	return t
+}
+
+func (r *tupleRing) grow() {
+	newCap := 2 * len(r.buf)
+	if newCap == 0 {
+		newCap = 16
+	}
+	nb := make([]tuple, newCap)
+	if tail := len(r.buf) - r.head; tail < r.n {
+		copy(nb, r.buf[r.head:])
+		copy(nb[tail:], r.buf[:r.n-tail])
+	} else {
+		copy(nb, r.buf[r.head:r.head+r.n])
+	}
+	r.buf = nb
+	r.head = 0
+}

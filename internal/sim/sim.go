@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -120,36 +119,11 @@ type event struct {
 	serviceTime float64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-// Push appends (heap.Interface).
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-// Pop removes the last element (heap.Interface).
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // station is the runtime state of one operator.
 type station struct {
 	k           int
 	busy        int
-	queue       []tuple
+	queue       tupleRing
 	frozenUntil float64
 	dropped     int64
 
@@ -170,6 +144,13 @@ type Sim struct {
 
 	stations []station
 	outEdges [][]int // operator -> edge indices
+
+	// rootFree recycles rootRecords: a root is released exactly once, when
+	// its last outstanding node resolves, so the single-threaded simulator
+	// can reuse it without further bookkeeping.
+	rootFree []*rootRecord
+	// countScratch holds per-edge child counts during one completeService.
+	countScratch []int
 
 	// completion statistics
 	warmup          float64
@@ -277,13 +258,26 @@ func (s *Sim) Series() []SeriesPoint { return append([]SeriesPoint(nil), s.serie
 func (s *Sim) push(e event) {
 	s.seq++
 	e.seq = s.seq
-	heap.Push(&s.heap, e)
+	s.heap.push(e)
+}
+
+// newRoot starts a processing tree, reusing a recycled record when one is
+// available.
+func (s *Sim) newRoot() *rootRecord {
+	if n := len(s.rootFree); n > 0 {
+		r := s.rootFree[n-1]
+		s.rootFree = s.rootFree[:n-1]
+		r.arrival = s.clock
+		r.outstanding = 1
+		return r
+	}
+	return &rootRecord{arrival: s.clock, outstanding: 1}
 }
 
 // RunUntil advances the simulation to absolute time t (seconds).
 func (s *Sim) RunUntil(t float64) {
-	for len(s.heap) > 0 && s.heap[0].at <= t {
-		e := heap.Pop(&s.heap).(event)
+	for s.heap.len() > 0 && s.heap.peek().at <= t {
+		e := s.heap.pop()
 		s.advanceClock(e.at)
 		s.dispatch(e)
 	}
@@ -321,7 +315,7 @@ func (s *Sim) dispatch(e event) {
 	switch e.kind {
 	case evSource:
 		src := s.cfg.Sources[e.src]
-		root := &rootRecord{arrival: s.clock, outstanding: 1}
+		root := s.newRoot()
 		s.externalArrivals++
 		s.deliver(src.Op, tuple{root: root})
 		gap := src.Arrivals.NextInterArrival(s.rng)
@@ -340,7 +334,7 @@ func (s *Sim) dispatch(e event) {
 func (s *Sim) deliver(op int, t tuple) {
 	st := &s.stations[op]
 	st.arrivals++
-	if s.cfg.MaxQueue > 0 && len(st.queue) >= s.cfg.MaxQueue {
+	if s.cfg.MaxQueue > 0 && st.queue.len() >= s.cfg.MaxQueue {
 		st.dropped++
 		s.finishTuple(t) // dropped work still resolves the tree
 		return
@@ -348,7 +342,7 @@ func (s *Sim) deliver(op int, t tuple) {
 	if st.busy < st.k && s.clock >= st.frozenUntil {
 		s.startService(op, t)
 	} else {
-		st.queue = append(st.queue, t)
+		st.queue.push(t)
 	}
 }
 
@@ -372,7 +366,10 @@ func (s *Sim) completeService(e event) {
 	// the processing tree BEFORE any delivery: a child dropped at a full
 	// queue resolves synchronously, and must not complete the tree while
 	// its siblings (or this tuple's own decrement) are pending.
-	counts := make([]int, len(s.outEdges[e.op]))
+	if n := len(s.outEdges[e.op]); cap(s.countScratch) < n {
+		s.countScratch = make([]int, n)
+	}
+	counts := s.countScratch[:len(s.outEdges[e.op])]
 	for j, ei := range s.outEdges[e.op] {
 		n := s.cfg.Edges[ei].Emit.Count(s.rng)
 		counts[j] = n
@@ -405,6 +402,7 @@ func (s *Sim) finishTuple(t tuple) {
 		return
 	}
 	sojourn := s.clock - t.root.arrival
+	s.rootFree = append(s.rootFree, t.root) // tree resolved; recycle
 	s.totalCompleted++
 	s.sojournCount++
 	s.sojournTotal += sojourn
@@ -424,10 +422,8 @@ func (s *Sim) drainQueue(op int) {
 	if s.clock < st.frozenUntil {
 		return
 	}
-	for st.busy < st.k && len(st.queue) > 0 {
-		t := st.queue[0]
-		st.queue = st.queue[1:]
-		s.startService(op, t)
+	for st.busy < st.k && st.queue.len() > 0 {
+		s.startService(op, st.queue.pop())
 	}
 }
 
@@ -491,7 +487,7 @@ func (s *Sim) DrainInterval() metrics.IntervalReport {
 func (s *Sim) QueueLengths() []int {
 	q := make([]int, len(s.stations))
 	for i := range s.stations {
-		q[i] = len(s.stations[i].queue)
+		q[i] = s.stations[i].queue.len()
 	}
 	return q
 }

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# bench.sh — run the hot-path benchmarks and emit BENCH_<n>.json, seeding
+# the repository's perf trajectory (ns/op, B/op, allocs/op per benchmark).
+#
+# Usage: scripts/bench.sh [PR-number] [benchtime]
+#   PR-number  suffix for the output file (default 2 -> BENCH_2.json)
+#   benchtime  passed to -benchtime (default 2s)
+#
+# The benchmark set covers the data plane end to end: the live engine
+# (BenchmarkEngineThroughput), the DES simulator (BenchmarkSimThroughput),
+# a full controlled experiment (BenchmarkFig9VLD) and one control round
+# (BenchmarkSupervisorTick).
+set -eu
+
+PR="${1:-2}"
+BENCHTIME="${2:-2s}"
+OUT="BENCH_${PR}.json"
+PATTERN='BenchmarkEngineThroughput|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick'
+
+cd "$(dirname "$0")/.."
+
+RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)"
+echo "$RAW"
+
+echo "$RAW" | awk -v out="$OUT" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)      # strip -GOMAXPROCS suffix
+    iters = $2
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") nsop = $i
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    rows[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                        name, iters, nsop, bop, allocs)
+}
+END {
+    printf "{\n  \"benchmarks\": [\n" > out
+    for (i = 1; i <= n; i++)
+        printf "%s%s\n", rows[i], (i < n ? "," : "") >> out
+    printf "  ]\n}\n" >> out
+}
+'
+
+echo "wrote $OUT"
