@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench build vet
+.PHONY: test race bench build vet checkdoc
 
 build:
 	$(GO) build ./...
@@ -10,15 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Missing-doc linter: package comments + docs on every exported decl.
+checkdoc:
+	$(GO) run ./internal/tools/checkdoc ./...
+
 test:
 	$(GO) test ./...
 
-# The concurrent fast paths (engine queues, pooled trees, supervisor).
+# The concurrent fast paths (engine queues, pooled trees, supervisor) and
+# the multi-tenant scheduler's no-double-lease invariant.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/...
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/...
 
 # Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh).
-PR ?= 2
+PR ?= 3
 BENCHTIME ?= 2s
 bench:
 	sh scripts/bench.sh $(PR) $(BENCHTIME)

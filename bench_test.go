@@ -6,11 +6,13 @@
 package drs_test
 
 import (
+	"errors"
 	"testing"
 	"time"
 
 	"github.com/drs-repro/drs/internal/apps/fpd"
 	"github.com/drs-repro/drs/internal/apps/vld"
+	"github.com/drs-repro/drs/internal/cluster"
 	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/engine"
 	"github.com/drs-repro/drs/internal/experiments"
@@ -174,7 +176,7 @@ func BenchmarkTable2Measurement(b *testing.B) {
 	}
 }
 
-// --- Ablation benchmarks (DESIGN.md §5) ---
+// --- Ablation benchmarks (DESIGN.md §6) ---
 
 // BenchmarkAblationGreedyVsBrute compares Algorithm 1 against exhaustive
 // enumeration on an instance small enough for both (the exactness itself is
@@ -562,7 +564,7 @@ func (t *benchTarget) Rebalance(alloc map[string]int, _ time.Duration) error {
 }
 
 // BenchmarkSupervisorTick measures one full control round of the closed
-// loop (DESIGN.md §5): measurer ingest, snapshot, model build, Algorithm 1
+// loop (DESIGN.md §6): measurer ingest, snapshot, model build, Algorithm 1
 // solve, and the hold/apply verdict — the per-Tm cost a live deployment
 // pays.
 func BenchmarkSupervisorTick(b *testing.B) {
@@ -599,5 +601,52 @@ func BenchmarkSupervisorTick(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sup.Tick()
+	}
+}
+
+// BenchmarkSchedulerArbitration measures one multi-tenant arbitration: an
+// 8-tenant contended Resize that re-runs the floors + weighted max-min
+// water-fill + preemption overlay over a 64-slot pool — the per-request
+// cost of the cluster scheduler's decision path.
+func BenchmarkSchedulerArbitration(b *testing.B) {
+	pool, err := cluster.NewPool(cluster.PoolConfig{SlotsPerMachine: 8, MaxMachines: 8}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := make([]*cluster.Tenant, 8)
+	for i := range tenants {
+		t, err := sched.Register(cluster.TenantConfig{
+			Name:     string(rune('a' + i)),
+			Weight:   float64(i%3 + 1),
+			Priority: i % 2,
+			MinSlots: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Report(cluster.TenantReport{
+			Lambda0:     10,
+			Violating:   i%2 == 1,
+			GrowBenefit: float64(i),
+			ShrinkCost:  0.5,
+		})
+		tenants[i] = t
+	}
+	// Oversubscribe: total demand 8×12 = 96 over 64 slots, so every
+	// arbitration exercises the contended path end to end.
+	for _, t := range tenants {
+		if _, err := t.Resize(12); err != nil && !errors.Is(err, cluster.ErrNoCapacity) {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tenants[i%len(tenants)].Resize(12 + i%2); err != nil && !errors.Is(err, cluster.ErrNoCapacity) {
+			b.Fatal(err)
+		}
 	}
 }

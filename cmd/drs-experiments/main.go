@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|all>
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|contention|all>
 //
 // Flags:
 //
@@ -43,7 +43,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline all")
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding contention all")
 	}
 	opts := experiments.Options{Seed: *seed, Duration: *duration}
 	apps, err := appsFor(*app)
@@ -67,6 +67,8 @@ func run(args []string) error {
 		return runBaseline(apps, opts)
 	case "shedding":
 		return runShedding(opts)
+	case "contention":
+		return runContention(opts)
 	case "all":
 		if err := runFig6(apps, opts); err != nil {
 			return err
@@ -89,10 +91,22 @@ func run(args []string) error {
 		if err := runShedding(opts); err != nil {
 			return err
 		}
+		if err := runContention(opts); err != nil {
+			return err
+		}
 		return runTable2(*iters)
 	default:
 		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
 	}
+}
+
+func runContention(opts experiments.Options) error {
+	r, err := experiments.RunContention(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
 }
 
 func runShedding(opts experiments.Options) error {

@@ -1,9 +1,11 @@
 // Command drsctl applies the DRS model to a user-supplied topology
 // description: it estimates sojourn times, recommends allocations under a
 // processor budget (Program (4)) or a latency target (Program (6)), can
-// validate a recommendation with a discrete-event simulation, and can run
-// the topology live under the DRS Supervisor — the closed §IV control
-// loop: measure, re-solve, rebalance.
+// validate a recommendation with a discrete-event simulation, can run the
+// topology live under the DRS Supervisor — the closed §IV control loop:
+// measure, re-solve, rebalance — and can run *several* topologies on one
+// shared machine pool under the cluster Scheduler (multi-tenant
+// arbitration with weighted max-min fairness and preemption).
 //
 // Usage:
 //
@@ -13,6 +15,7 @@
 //	drsctl -topology topo.json simulate -alloc 10,11,1 -duration 600
 //	drsctl -topology topo.json supervise -tmax-ms 500 -duration 30
 //	drsctl -topology topo.json supervise -kmax 8 -duration 30
+//	drsctl schedule -topologies api.json,batch.json -tmax-ms 500,900 -duration 30
 //
 // The topology file format:
 //
@@ -71,11 +74,16 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// schedule arbitrates several topologies and takes its own -topologies
+	// list instead of the shared -topology flag.
+	if fs.NArg() >= 1 && fs.Arg(0) == "schedule" {
+		return cmdSchedule(fs.Args()[1:])
+	}
 	if *topoPath == "" {
 		return fmt.Errorf("-topology is required")
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("need a subcommand: model, recommend or simulate")
+		return fmt.Errorf("need a subcommand: model, recommend, simulate, supervise, quantile or schedule")
 	}
 	topo, tf, err := loadTopology(*topoPath)
 	if err != nil {

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	drs "github.com/drs-repro/drs"
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/loop"
+)
+
+// cmdSchedule runs several topology files live on ONE shared machine pool:
+// each topology becomes a tenant of the cluster Scheduler, supervised by
+// its own DRS control loop in min-resource mode, and the scheduler
+// arbitrates slot grants among them — weighted max-min fairness over free
+// capacity, preemption toward a violating higher-priority tenant when the
+// pool is maxed out. It is the multi-tenant counterpart of `supervise`.
+func cmdSchedule(args []string) error {
+	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
+	topos := fs.String("topologies", "", "comma-separated topology JSON files (required, >= 2)")
+	tmaxMS := fs.String("tmax-ms", "500", "latency target(s) in ms: one value for all tenants, or one per topology")
+	weights := fs.String("weights", "1", "max-min weight(s): one value or one per topology")
+	priorities := fs.String("priorities", "", "preemption priorities: one value or one per topology (default: file order, first lowest)")
+	minSlots := fs.String("min-slots", "", "preemption floor(s); default: one slot per operator")
+	duration := fs.Float64("duration", 30, "wall-clock seconds to run")
+	intervalMS := fs.Int("interval-ms", 1000, "measurement cadence Tm in ms")
+	tasks := fs.Int("tasks", 0, "tasks per operator (default: the full pool budget)")
+	slots := fs.Int("slots", 4, "executor slots per machine")
+	maxMachines := fs.Int("max-machines", 8, "machine cap the negotiator may provision")
+	seed := fs.Int64("seed", 1, "workload seed")
+	verbose := fs.Bool("v", false, "log every loop event")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *topos == "" {
+		return fmt.Errorf("-topologies is required (e.g. -topologies api.json,batch.json)")
+	}
+	paths := strings.Split(*topos, ",")
+	n := len(paths)
+	tmaxes, err := parseFloatList(*tmaxMS, n, "tmax-ms")
+	if err != nil {
+		return err
+	}
+	ws, err := parseFloatList(*weights, n, "weights")
+	if err != nil {
+		return err
+	}
+	prios := make([]int, n)
+	for i := range prios {
+		prios[i] = i
+	}
+	if *priorities != "" {
+		if prios, err = parseIntList(*priorities, n, "priorities"); err != nil {
+			return err
+		}
+	}
+	var floors []int
+	if *minSlots != "" {
+		if floors, err = parseIntList(*minSlots, n, "min-slots"); err != nil {
+			return err
+		}
+	}
+
+	maxBudget := *slots * *maxMachines
+	if *tasks == 0 {
+		*tasks = maxBudget
+	} else if *tasks < maxBudget {
+		return fmt.Errorf("-tasks %d cannot absorb the %d-slot pool; raise -tasks or shrink the pool", *tasks, maxBudget)
+	}
+
+	pool, err := cluster.NewPool(cluster.PoolConfig{
+		SlotsPerMachine: *slots,
+		MaxMachines:     *maxMachines,
+		Costs: cluster.CostModel{
+			Rebalance:        200 * time.Millisecond,
+			MachineColdStart: 500 * time.Millisecond,
+			MachineRelease:   200 * time.Millisecond,
+		},
+	}, 1)
+	if err != nil {
+		return err
+	}
+	sched, err := drs.NewScheduler(drs.SchedulerConfig{Pool: pool, CostWindow: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	type tenantRun struct {
+		name string
+		sup  *drs.Supervisor
+		stop func()
+	}
+	var runs []tenantRun
+	defer func() {
+		for _, r := range runs {
+			r.stop()
+		}
+	}()
+	for i, path := range paths {
+		_, tf, err := loadTopology(strings.TrimSpace(path))
+		if err != nil {
+			return fmt.Errorf("topology %d (%s): %w", i, path, err)
+		}
+		initial := make([]int, len(tf.Operators))
+		for j := range initial {
+			initial[j] = 1
+		}
+		floor := len(tf.Operators)
+		if floors != nil {
+			floor = floors[i]
+		}
+		name := tenantName(path, i)
+		lease, err := sched.Register(drs.TenantConfig{
+			Name:         name,
+			Weight:       ws[i],
+			Priority:     prios[i],
+			MinSlots:     floor,
+			InitialSlots: len(initial),
+		})
+		if err != nil {
+			return fmt.Errorf("registering %s: %w", name, err)
+		}
+		run, names, err := startLiveTopology(tf, initial, *tasks, *seed+int64(i)*100003)
+		if err != nil {
+			return fmt.Errorf("starting %s: %w", name, err)
+		}
+		runs = append(runs, tenantRun{name: name, stop: func() { _ = run.Stop() }})
+		ctrl, err := drs.NewController(drs.ControllerConfig{
+			Mode:                  drs.ModeMinResource,
+			Tmax:                  tmaxes[i] / 1e3,
+			MinGain:               0.05,
+			ScaleInSlack:          0.2,
+			MaxScaleInUtilization: 0.9,
+		})
+		if err != nil {
+			return err
+		}
+		sup, err := drs.NewSupervisor(drs.SupervisorConfig{
+			Target:    loop.EngineTarget(run),
+			Operators: names,
+			Stepper:   ctrl,
+			Pool:      lease,
+			Interval:  time.Duration(*intervalMS) * time.Millisecond,
+			Logger:    logger.With(slog.String("tenant", name)),
+		})
+		if err != nil {
+			return err
+		}
+		runs[len(runs)-1].sup = sup
+	}
+
+	st := sched.State()
+	fmt.Printf("scheduling %d topologies on one pool for %.0fs (Tm = %dms): machines=%d capacity=%d\n",
+		n, *duration, *intervalMS, st.Machines, st.Capacity)
+	for _, ts := range st.Tenants {
+		fmt.Printf("  %-16s weight=%g priority=%d floor=%d granted=%d\n",
+			ts.Name, ts.Weight, ts.Priority, ts.MinSlots, ts.Granted)
+	}
+	for _, r := range runs {
+		if err := r.sup.Start(); err != nil {
+			return err
+		}
+	}
+	time.Sleep(secondsDuration(*duration))
+	for _, r := range runs {
+		r.sup.Stop()
+	}
+
+	for _, r := range runs {
+		fmt.Printf("\n%s: %d control rounds, decision history:\n", r.name, r.sup.Rounds())
+		events := r.sup.History()
+		if len(events) == 0 {
+			fmt.Println("  (none: the loop held steady every round)")
+		}
+		for _, ev := range events {
+			fmt.Printf("  %s\n", ev)
+		}
+		if snap, ok := r.sup.LastSnapshot(); ok {
+			fmt.Printf("  final: lambda0 = %.2f tuples/s, measured E[T] = %.1f ms, granted = %d\n",
+				snap.Lambda0, snap.MeasuredSojourn*1e3, snap.Kmax)
+		}
+	}
+	fmt.Println("\nscheduler history:")
+	for _, ev := range sched.History() {
+		fmt.Printf("  %s\n", ev)
+	}
+	st = sched.State()
+	fmt.Printf("final: machines=%d capacity=%d leased=%d\n", st.Machines, st.Capacity, st.Leased)
+	return nil
+}
+
+// tenantName derives a unique tenant name from a topology path.
+func tenantName(path string, i int) string {
+	base := path
+	if idx := strings.LastIndexByte(base, '/'); idx >= 0 {
+		base = base[idx+1:]
+	}
+	base = strings.TrimSuffix(base, ".json")
+	if base == "" {
+		base = "topology"
+	}
+	return fmt.Sprintf("%s-%d", base, i)
+}
+
+// parseFloatList parses a comma list, broadcasting a single value to n.
+func parseFloatList(s string, n int, flagName string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 1 && len(parts) != n {
+		return nil, fmt.Errorf("-%s needs 1 or %d values, got %d", flagName, n, len(parts))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		p := parts[0]
+		if len(parts) == n {
+			p = parts[i]
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -%s entry %q: %w", flagName, p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// parseIntList parses a comma list, broadcasting a single value to n.
+func parseIntList(s string, n int, flagName string) ([]int, error) {
+	fs, err := parseFloatList(s, n, flagName)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i, v := range fs {
+		out[i] = int(v)
+	}
+	return out, nil
+}

@@ -24,6 +24,14 @@
 //     with cooldown hysteresis between actions and suppression of
 //     repeatedly-failing rebalances. examples/autoscale runs it against
 //     the built-in engine under a shifting arrival rate.
+//   - The multi-tenant cluster layer (the §V shared-cluster setting): a
+//     Scheduler that owns one machine pool and arbitrates slot leases
+//     among N concurrently supervised topologies — weighted max-min
+//     fairness over free capacity, and preemption toward a Tmax-violating
+//     higher-priority tenant under the Appendix-B cost/benefit guard,
+//     comparing marginal sojourn-time utilities across tenants via the
+//     Eq. 3 model. examples/multitenant runs two live topologies on one
+//     pool through a load surge.
 //
 // A minimal session:
 //
@@ -223,6 +231,63 @@ func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
 // free rebalances — the ModeMinLatency deployment where only the split is
 // negotiable.
 func FixedPool(kmax int) SupervisorPool { return loop.FixedPool(kmax) }
+
+// ClusterPool is the simulated machine pool below the CSP layer: machines
+// of SlotsPerMachine executor slots each, priced transitions, and the
+// Appendix-B negotiator arithmetic. It implements SupervisorPool directly
+// (single-topology deployments) and is what a Scheduler arbitrates
+// (multi-tenant deployments).
+type ClusterPool = cluster.Pool
+
+// ClusterPoolConfig describes the pool geometry and its transition costs.
+type ClusterPoolConfig = cluster.PoolConfig
+
+// ClusterCostModel prices rebalance, machine cold-start and release
+// pauses (the paper's §V transition costs).
+type ClusterCostModel = cluster.CostModel
+
+// NewClusterPool builds a pool with the given starting machine count.
+func NewClusterPool(cfg ClusterPoolConfig, startMachines int) (*ClusterPool, error) {
+	return cluster.NewPool(cfg, startMachines)
+}
+
+// Scheduler is the multi-tenant cluster arbiter: it owns one machine pool
+// and arbitrates slot grants among N supervised topologies — weighted
+// max-min fairness over free capacity, preemption toward a Tmax-violating
+// higher-priority tenant under the Appendix-B cost/benefit guard. It is
+// the paper's shared-cluster setting (§V runs several applications on one
+// Storm cluster) generalized from the single control loop.
+type Scheduler = cluster.Scheduler
+
+// SchedulerConfig assembles a Scheduler around a cluster pool.
+type SchedulerConfig = cluster.SchedulerConfig
+
+// SchedulerEvent is one arbitration outcome — a grant, shrink, preemption
+// or machine change — with its modeled transition cost.
+type SchedulerEvent = cluster.SchedulerEvent
+
+// SchedulerState is an atomic snapshot of pool, grants and demands.
+type SchedulerState = cluster.SchedulerState
+
+// Tenant is one topology's lease on a scheduled pool. It implements
+// SupervisorPool, so a Supervisor drives it exactly like a private pool —
+// except Resize is a request the arbiter may grant partially, and the
+// grant can shrink between ticks when a higher-priority tenant preempts.
+type Tenant = cluster.Tenant
+
+// TenantConfig registers one topology with the Scheduler: name, max-min
+// weight, preemption priority and floor, and the initial grant.
+type TenantConfig = cluster.TenantConfig
+
+// TenantReport is a tenant's utility self-assessment — the marginal
+// benefit/cost of one slot in cross-tenant-comparable units — pushed by
+// its Supervisor every round and consumed by the preemption guard.
+type TenantReport = cluster.TenantReport
+
+// NewScheduler validates the config and takes ownership of the pool.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	return cluster.NewScheduler(cfg)
+}
 
 // Config is the full DRS parameter set (the configuration-reader module),
 // with JSON load/save.

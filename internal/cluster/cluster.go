@@ -130,6 +130,21 @@ func (p *Pool) kmaxLocked() int {
 	return p.machines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
 }
 
+// MaxKmax reports the largest processor budget the provider can ever
+// offer: every machine up to the cap, minus the reserved slots.
+func (p *Pool) MaxKmax() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.MaxMachines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
+}
+
+// Costs returns the transition cost model the pool prices changes with.
+func (p *Pool) Costs() CostModel {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cfg.Costs
+}
+
 // MachinesFor returns the fewest machines whose pool covers the given
 // number of processors, and the resulting Kmax.
 func (p *Pool) MachinesFor(processors int) (machines, kmax int, err error) {

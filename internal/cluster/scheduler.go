@@ -1,0 +1,585 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// This file is the cluster-level arbiter: where cluster.Pool models the
+// machines below ONE topology's control loop, Scheduler puts N supervised
+// topologies on one shared pool — the setting the paper's §V evaluation
+// actually runs in (several applications coexisting on a Storm cluster,
+// with the Appendix-B negotiator brokering machines between them).
+//
+// Each topology registers as a tenant and receives a lease (*Tenant) that
+// speaks the same Kmax/Rebalance/Resize protocol its supervisor already
+// uses against a private pool — so a loop.Supervisor does not know whether
+// it owns machines or merely rents slots. A Resize is a *request*: the
+// scheduler grants what weighted max-min fairness allows, growing or
+// shrinking the machine pool underneath as aggregate demand moves, and —
+// when a higher-priority tenant is violating its Tmax and the pool is
+// maxed out — preempting slots from lower-priority tenants, guarded by the
+// Appendix-B cost/benefit test on the tenants' reported marginal utilities.
+
+// ErrTenantReleased is returned by lease operations after Release.
+var ErrTenantReleased = errors.New("cluster: tenant lease released")
+
+// Clock abstracts time for the scheduler's decision history; virtual-time
+// drivers (the experiments) inject their own.
+type Clock interface {
+	Now() time.Time
+}
+
+type schedWallClock struct{}
+
+func (schedWallClock) Now() time.Time { return time.Now() }
+
+// TenantReport is a tenant's latest utility self-assessment, pushed by its
+// supervisor every measurement round. The two marginal rates are in the
+// Equation (3) *numerator* units — sojourn-seconds per second, i.e. tuples
+// in flight by Little's law — which, unlike per-tuple E[T], are directly
+// comparable across topologies with different arrival rates. They are what
+// core.Model.GrowBenefit and ShrinkCost compute.
+type TenantReport struct {
+	// Lambda0 is the tenant's measured external arrival rate (tuples/s);
+	// the preemption guard uses it to price transition pauses in tuples
+	// disturbed.
+	Lambda0 float64
+	// Violating reports whether the tenant currently exceeds its Tmax
+	// target. Only violating tenants may trigger preemption.
+	Violating bool
+	// GrowBenefit is the marginal gain of one more slot (sojourn-sec/sec).
+	GrowBenefit float64
+	// ShrinkCost is the marginal damage of losing one slot; +Inf marks the
+	// tenant non-preemptible (at its minimum stable allocation).
+	ShrinkCost float64
+}
+
+// TenantConfig registers one topology with the scheduler.
+type TenantConfig struct {
+	// Name identifies the tenant in grants and history (required, unique).
+	Name string
+	// Weight sets the tenant's max-min share; zero defaults to 1.
+	Weight float64
+	// Priority orders preemption: a violating tenant may take slots only
+	// from strictly lower-priority tenants.
+	Priority int
+	// MinSlots is the preemption floor: arbitration never takes the
+	// tenant's grant below it involuntarily. Size it at least to the
+	// topology's minimum stable allocation plus one slot per operator, or
+	// a preempted tenant can be pushed into an unstable configuration.
+	MinSlots int
+	// InitialSlots is the grant the tenant starts with; Register fails
+	// with ErrNoCapacity if the pool cannot cover it alongside the
+	// existing tenants' grants.
+	InitialSlots int
+}
+
+func (c TenantConfig) validate() error {
+	if c.Name == "" {
+		return errors.New("cluster: tenant name required")
+	}
+	if c.Weight < 0 || c.MinSlots < 0 || c.InitialSlots < 0 {
+		return errors.New("cluster: negative tenant parameters")
+	}
+	return nil
+}
+
+// SchedulerConfig assembles a scheduler.
+type SchedulerConfig struct {
+	// Pool is the machine pool the scheduler takes ownership of
+	// (required). Nothing else may resize it afterwards.
+	Pool *Pool
+	// CostWindow is the Appendix-B amortization horizon: a preemption must
+	// recoup its transition pauses within this span of predicted benefit
+	// (default 60s).
+	CostWindow time.Duration
+	// MaxHistory caps the retained decision history (default 256).
+	MaxHistory int
+	// Clock defaults to the wall clock.
+	Clock Clock
+}
+
+// SchedulerEvent is one arbitration outcome that changed a grant or the
+// pool, with its modeled transition cost — the cluster-wide decision
+// history the operators read.
+type SchedulerEvent struct {
+	// At is the scheduler clock time of the event.
+	At time.Time
+	// Kind is "register", "grant", "shrink" (voluntary), "preempt"
+	// (involuntary), "release" (tenant gone) or "pool" (machine change).
+	Kind string
+	// Tenant names the affected tenant ("" for pool events).
+	Tenant string
+	// From and To bracket the tenant's slot grant (or, for pool events,
+	// the machine count).
+	From, To int
+	// Pause is the modeled service disruption charged for the change.
+	Pause time.Duration
+	// Detail is a human-readable justification.
+	Detail string
+}
+
+// String renders one history line.
+func (e SchedulerEvent) String() string {
+	who := e.Tenant
+	if who == "" {
+		who = "(pool)"
+	}
+	return fmt.Sprintf("%-8s %-12s %d -> %d pause=%.1fs %s",
+		e.Kind, who, e.From, e.To, e.Pause.Seconds(), e.Detail)
+}
+
+// TenantState is one tenant's row in a State snapshot.
+type TenantState struct {
+	Name                                string
+	Weight                              float64
+	Priority, MinSlots, Demand, Granted int
+}
+
+// SchedulerState is an atomic snapshot of the arbitration state, for
+// dashboards and invariant-checking tests.
+type SchedulerState struct {
+	// Machines and Capacity describe the pool under the grants.
+	Machines, Capacity int
+	// Leased is the total of all grants; Leased <= Capacity always holds
+	// (no slot is ever double-leased).
+	Leased int
+	// Tenants lists every registered tenant in registration order.
+	Tenants []TenantState
+}
+
+// Scheduler arbitrates one machine pool among N tenant topologies. Safe
+// for concurrent use: every lease operation serializes on the scheduler.
+type Scheduler struct {
+	cfg   SchedulerConfig
+	clock Clock
+
+	mu        sync.Mutex
+	tenants   []*Tenant      // registration order; tie-break for fairness
+	preempts  map[string]int // claimant -> slots preempted on its behalf, in force
+	history   []SchedulerEvent
+	histStart int
+}
+
+// NewScheduler validates the config, fills defaults and takes ownership of
+// the pool.
+func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("cluster: scheduler requires a pool")
+	}
+	if cfg.CostWindow < 0 || cfg.MaxHistory < 0 {
+		return nil, errors.New("cluster: negative scheduler parameters")
+	}
+	if cfg.CostWindow == 0 {
+		cfg.CostWindow = time.Minute
+	}
+	if cfg.MaxHistory == 0 {
+		cfg.MaxHistory = 256
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = schedWallClock{}
+	}
+	return &Scheduler{cfg: cfg, clock: cfg.Clock, preempts: make(map[string]int)}, nil
+}
+
+// Tenant is one topology's lease on the shared pool. It implements the
+// supervisor's pool protocol (Kmax / Rebalance / Resize), so a
+// loop.Supervisor drives it exactly as it would a private *Pool — except
+// that Resize is a request the scheduler may grant only partially, and the
+// grant can later shrink underneath the tenant when a higher-priority
+// tenant preempts it (the supervisor notices via Kmax and shrinks
+// gracefully).
+type Tenant struct {
+	s   *Scheduler
+	cfg TenantConfig
+
+	// All fields below are guarded by s.mu.
+	demand     int
+	granted    int
+	report     TenantReport
+	haveReport bool
+	released   bool
+}
+
+// Register admits a tenant and grants its initial slots, growing the pool
+// if needed. It fails with ErrNoCapacity when the initial grant cannot be
+// covered next to the existing tenants' grants.
+func (s *Scheduler) Register(cfg TenantConfig) (*Tenant, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Weight == 0 {
+		cfg.Weight = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range s.tenants {
+		if t.cfg.Name == cfg.Name {
+			return nil, fmt.Errorf("cluster: tenant %q already registered", cfg.Name)
+		}
+	}
+	t := &Tenant{s: s, cfg: cfg, demand: cfg.InitialSlots}
+	s.tenants = append(s.tenants, t)
+	s.arbitrateLocked()
+	if t.granted < cfg.InitialSlots {
+		s.tenants = s.tenants[:len(s.tenants)-1]
+		t.demand, t.granted = 0, 0
+		t.released = true
+		s.arbitrateLocked()
+		return nil, fmt.Errorf("%w: tenant %q needs %d initial slots", ErrNoCapacity, cfg.Name, cfg.InitialSlots)
+	}
+	s.recordLocked(SchedulerEvent{At: s.clock.Now(), Kind: "register", Tenant: cfg.Name,
+		From: 0, To: t.granted, Detail: fmt.Sprintf("weight %g priority %d floor %d", cfg.Weight, cfg.Priority, cfg.MinSlots)})
+	return t, nil
+}
+
+// State returns an atomic snapshot of pool, grants and demands.
+func (s *Scheduler) State() SchedulerState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := SchedulerState{
+		Machines: s.cfg.Pool.Machines(),
+		Capacity: s.cfg.Pool.Kmax(),
+	}
+	for _, t := range s.tenants {
+		st.Leased += t.granted
+		st.Tenants = append(st.Tenants, TenantState{
+			Name: t.cfg.Name, Weight: t.cfg.Weight, Priority: t.cfg.Priority,
+			MinSlots: t.cfg.MinSlots, Demand: t.demand, Granted: t.granted,
+		})
+	}
+	return st
+}
+
+// History returns a copy of the retained decision history, oldest first.
+func (s *Scheduler) History() []SchedulerEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SchedulerEvent, len(s.history))
+	n := copy(out, s.history[s.histStart:])
+	copy(out[n:], s.history[:s.histStart])
+	return out
+}
+
+// recordLocked appends an event, overwriting the oldest past MaxHistory.
+func (s *Scheduler) recordLocked(ev SchedulerEvent) {
+	if len(s.history) < s.cfg.MaxHistory {
+		s.history = append(s.history, ev)
+		return
+	}
+	s.history[s.histStart] = ev
+	s.histStart = (s.histStart + 1) % len(s.history)
+}
+
+// arbitrateLocked recomputes every grant from scratch as a pure function
+// of the current demands, weights, floors, priorities and utility reports:
+//
+//  1. negotiate the pool to cover aggregate demand (whole machines, within
+//     the provider cap),
+//  2. grant every tenant its floor, min(demand, MinSlots), in priority
+//     then registration order,
+//  3. water-fill the rest by weighted max-min: repeatedly grant one slot
+//     to the unsatisfied tenant with the smallest granted/weight ratio,
+//  4. overlay preemption: a violating higher-priority tenant still short
+//     of its demand takes slots from lower-priority tenants (never below
+//     their floors) where the Appendix-B cost/benefit guard clears.
+//
+// Because the computation is deterministic and depends only on those
+// inputs, repeated arbitrations with unchanged inputs reproduce the same
+// grants exactly — no churn — and the moment a violation clears or a
+// demand drops, the next arbitration returns the slots automatically.
+//
+// It returns the pool transition and whether the machine count changed.
+func (s *Scheduler) arbitrateLocked() (Transition, bool) {
+	now := s.clock.Now()
+	before := make(map[*Tenant]int, len(s.tenants))
+	for _, t := range s.tenants {
+		before[t] = t.granted
+		t.granted = 0
+	}
+
+	// Negotiate the machine pool to the aggregate demand, clamped to the
+	// provider cap. Only touch it when the machine count actually changes:
+	// a no-op Resize would still charge a rebalance pause.
+	var poolTr Transition
+	poolChanged := false
+	want := 0
+	for _, t := range s.tenants {
+		want += t.demand
+	}
+	if max := s.cfg.Pool.MaxKmax(); want > max {
+		want = max
+	}
+	if machines, _, err := s.cfg.Pool.MachinesFor(want); err == nil && machines != s.cfg.Pool.Machines() {
+		if tr, err := s.cfg.Pool.Resize(want); err == nil {
+			poolTr, poolChanged = tr, true
+			s.recordLocked(SchedulerEvent{At: now, Kind: "pool", From: tr.MachinesBefore,
+				To: tr.MachinesAfter, Pause: tr.Pause, Detail: tr.Kind})
+		}
+	}
+	capacity := s.cfg.Pool.Kmax()
+
+	// Floors first: a tenant's MinSlots are off the fairness table, so a
+	// burst of competing demand can never starve an incumbent below its
+	// stable minimum. Priority then registration order decides who eats
+	// when even the floors exceed capacity.
+	floors := make([]*Tenant, len(s.tenants))
+	copy(floors, s.tenants)
+	sort.SliceStable(floors, func(i, j int) bool {
+		return floors[i].cfg.Priority > floors[j].cfg.Priority
+	})
+	free := capacity
+	for _, t := range floors {
+		floor := t.cfg.MinSlots
+		if floor > t.demand {
+			floor = t.demand
+		}
+		if floor > free {
+			floor = free
+		}
+		t.granted = floor
+		free -= floor
+	}
+
+	// Weighted max-min water-fill of the remaining capacity.
+	for free > 0 {
+		var pick *Tenant
+		bestRatio := math.Inf(1)
+		for _, t := range s.tenants {
+			if t.demand <= t.granted {
+				continue
+			}
+			if ratio := float64(t.granted) / t.cfg.Weight; ratio < bestRatio {
+				pick, bestRatio = t, ratio
+			}
+		}
+		if pick == nil {
+			break
+		}
+		pick.granted++
+		free--
+	}
+
+	// The preemption overlay is part of the same pure function: it is
+	// re-derived from the latest reports on every arbitration, so a
+	// transfer stays in force exactly as long as the claimant still
+	// reports a violation — and unwinds by itself the round after the
+	// violation clears.
+	preempted := make(map[*Tenant]bool)
+	s.preemptLocked(preempted)
+
+	// Record the net per-tenant changes of this arbitration.
+	rebalance := s.cfg.Pool.Costs().Rebalance
+	for _, t := range s.tenants {
+		old := before[t]
+		switch {
+		case t.granted > old:
+			s.recordLocked(SchedulerEvent{At: now, Kind: "grant", Tenant: t.cfg.Name,
+				From: old, To: t.granted, Detail: fmt.Sprintf("demand %d", t.demand)})
+		case t.granted < old && preempted[t]:
+			s.recordLocked(SchedulerEvent{At: now, Kind: "preempt", Tenant: t.cfg.Name,
+				From: old, To: t.granted, Pause: rebalance,
+				Detail: fmt.Sprintf("floor %d", t.cfg.MinSlots)})
+		case t.granted < old:
+			s.recordLocked(SchedulerEvent{At: now, Kind: "shrink", Tenant: t.cfg.Name,
+				From: old, To: t.granted, Detail: fmt.Sprintf("demand %d", t.demand)})
+		}
+	}
+	return poolTr, poolChanged
+}
+
+// preemptLocked moves slots from lower-priority tenants to unsatisfied
+// violating higher-priority ones, under the Appendix-B cost/benefit guard:
+// the claimant's predicted marginal gain must exceed the victim's marginal
+// loss, and the net improvement over CostWindow must recoup the rebalance
+// pauses both sides will pay (priced in tuples disturbed: λ0 · pause).
+//
+// A cleared guard is sticky for the length of the violation episode:
+// preempts[claimant] records how many transferred slots the guard has
+// authorized so far, and transfers up to that ceiling are re-taken on
+// every arbitration *without* re-running the guard. The guard's inputs
+// are the tenants' marginal utilities at their current allocations, which
+// the transfer itself changes — re-litigating it every round would hand
+// slots back through the fair water-fill one round and re-preempt them
+// the next, both sides paying a pause each way. The ceiling only ratchets
+// up through fresh guard clearances, and it resets the moment the
+// claimant stops reporting a violation or its fair share covers it.
+func (s *Scheduler) preemptLocked(preempted map[*Tenant]bool) {
+	claimants := make([]*Tenant, len(s.tenants))
+	copy(claimants, s.tenants)
+	sort.SliceStable(claimants, func(i, j int) bool {
+		return claimants[i].cfg.Priority > claimants[j].cfg.Priority
+	})
+	rebalance := s.cfg.Pool.Costs().Rebalance.Seconds()
+	window := s.cfg.CostWindow.Seconds()
+	for _, c := range claimants {
+		sticky := s.preempts[c.cfg.Name]
+		if c.demand <= c.granted || !c.haveReport || !c.report.Violating {
+			delete(s.preempts, c.cfg.Name)
+			continue
+		}
+		// Victims: strictly lower priority, above their floor, cheapest
+		// marginal loss first (never a tenant that has not reported — a
+		// blind preemption could destabilize it).
+		victims := make([]*Tenant, 0, len(s.tenants))
+		for _, v := range s.tenants {
+			if v.cfg.Priority < c.cfg.Priority && v.granted > v.cfg.MinSlots && v.haveReport {
+				victims = append(victims, v)
+			}
+		}
+		sort.SliceStable(victims, func(i, j int) bool {
+			if victims[i].cfg.Priority != victims[j].cfg.Priority {
+				return victims[i].cfg.Priority < victims[j].cfg.Priority
+			}
+			return victims[i].report.ShrinkCost < victims[j].report.ShrinkCost
+		})
+		taken := 0
+		for _, v := range victims {
+			need := c.demand - c.granted
+			if need <= 0 {
+				break
+			}
+			avail := v.granted - v.cfg.MinSlots
+			if avail <= 0 {
+				continue
+			}
+			take := need
+			if take > avail {
+				take = avail
+			}
+			if guarded := take - (sticky - taken); guarded > 0 {
+				// The portion beyond the sticky transfer must clear the
+				// cost/benefit guard afresh.
+				gain, loss := c.report.GrowBenefit, v.report.ShrinkCost
+				if !(gain > loss) { // also false when loss is +Inf or NaN
+					take -= guarded
+				} else {
+					// Both sides pay a rebalance pause; the net rate must
+					// recoup it within the amortization window. The guard is
+					// monotone in the transfer size, so testing the largest
+					// one suffices.
+					pausePenalty := (c.report.Lambda0 + v.report.Lambda0) * rebalance
+					if float64(guarded)*(gain-loss)*window <= pausePenalty {
+						take -= guarded
+					}
+				}
+			}
+			if take <= 0 {
+				continue
+			}
+			v.granted -= take
+			c.granted += take
+			taken += take
+			preempted[v] = true
+		}
+		if taken > sticky {
+			s.preempts[c.cfg.Name] = taken
+		}
+	}
+}
+
+// Kmax reports the tenant's current slot grant — the processor budget its
+// supervisor may allocate. It can shrink between calls when the scheduler
+// preempts the tenant.
+func (t *Tenant) Kmax() int {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.granted
+}
+
+// Name returns the tenant's registered name.
+func (t *Tenant) Name() string { return t.cfg.Name }
+
+// Rebalance records an executor remap within the tenant's current grant
+// and returns its modeled pause (priced by the shared pool's cost model).
+func (t *Tenant) Rebalance() Transition {
+	return t.s.cfg.Pool.Rebalance()
+}
+
+// Resize submits an allocation request for target slots and returns the
+// transition the arbitration produced for this tenant. The grant may be
+// smaller than requested (partial grant, when the pool is contended) —
+// callers must re-read Kmax and fit their allocation to it. A grow request
+// that gains nothing returns ErrNoCapacity, which supervisors treat as a
+// plain hold. Shrinking always succeeds and releases the slots to other
+// tenants.
+func (t *Tenant) Resize(target int) (Transition, error) {
+	if target < 0 {
+		return Transition{}, fmt.Errorf("cluster: negative slot request %d", target)
+	}
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.released {
+		return Transition{}, ErrTenantReleased
+	}
+	old := t.granted
+	machinesBefore := t.s.cfg.Pool.Machines()
+	t.demand = target
+	poolTr, poolChanged := t.s.arbitrateLocked()
+	costs := t.s.cfg.Pool.Costs()
+	tr := Transition{MachinesBefore: machinesBefore, MachinesAfter: t.s.cfg.Pool.Machines()}
+	switch {
+	case t.granted > old:
+		tr.Kind = "scale-out"
+		tr.Pause = costs.Rebalance
+		if poolChanged && poolTr.Kind == "scale-out" {
+			tr.Pause += costs.MachineColdStart
+		}
+	case t.granted < old:
+		tr.Kind = "scale-in"
+		tr.Pause = costs.Rebalance
+		if poolChanged && poolTr.Kind == "scale-in" {
+			tr.Pause += costs.MachineRelease
+		}
+	default:
+		if target > old {
+			return Transition{}, fmt.Errorf("%w: tenant %q asked %d, holds %d and nothing is free",
+				ErrNoCapacity, t.cfg.Name, target, old)
+		}
+		tr.Kind = "rebalance"
+		tr.Pause = costs.Rebalance
+	}
+	return tr, nil
+}
+
+// Report stores the tenant's latest utility self-assessment; the
+// preemption guard reads it on the next arbitration.
+func (t *Tenant) Report(r TenantReport) {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	t.report = r
+	t.haveReport = true
+}
+
+// Granted reports the tenant's current grant (alias of Kmax, for callers
+// that read it as scheduler state rather than as a pool budget).
+func (t *Tenant) Granted() int { return t.Kmax() }
+
+// Release withdraws the tenant: its slots return to the pool and the
+// remaining tenants' pending demands are re-arbitrated. Further lease
+// operations fail with ErrTenantReleased.
+func (t *Tenant) Release() {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.released {
+		return
+	}
+	old := t.granted
+	t.released = true
+	t.demand, t.granted = 0, 0
+	delete(t.s.preempts, t.cfg.Name)
+	for i, other := range t.s.tenants {
+		if other == t {
+			t.s.tenants = append(t.s.tenants[:i], t.s.tenants[i+1:]...)
+			break
+		}
+	}
+	t.s.recordLocked(SchedulerEvent{At: t.s.clock.Now(), Kind: "release",
+		Tenant: t.cfg.Name, From: old, To: 0})
+	t.s.arbitrateLocked()
+}

@@ -1,0 +1,474 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// flatPool builds a pool with single-slot quantization and free
+// transitions: capacity == machines, so fairness arithmetic is exact.
+func flatPool(t *testing.T, start, max int) *Pool {
+	t.Helper()
+	p, err := NewPool(PoolConfig{SlotsPerMachine: 1, MaxMachines: max}, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newTestScheduler(t *testing.T, pool *Pool) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(SchedulerConfig{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// grants reads the current grant per tenant name.
+func grants(s *Scheduler) map[string]int {
+	out := make(map[string]int)
+	for _, ts := range s.State().Tenants {
+		out[ts.Name] = ts.Granted
+	}
+	return out
+}
+
+// TestWeightedMaxMinGrants drives the arbiter through contended demand
+// tables and checks the water-filling outcome: floors first, then slots in
+// proportion to weight, surplus from satisfied tenants redistributed.
+func TestWeightedMaxMinGrants(t *testing.T) {
+	type tenant struct {
+		name   string
+		weight float64
+		floor  int
+		demand int
+		want   int
+	}
+	tests := []struct {
+		name     string
+		capacity int
+		tenants  []tenant
+	}{
+		{
+			name:     "equal weights split evenly",
+			capacity: 12,
+			tenants: []tenant{
+				{name: "a", weight: 1, demand: 10, want: 6},
+				{name: "b", weight: 1, demand: 10, want: 6},
+			},
+		},
+		{
+			name:     "two-to-one weights give two-to-one shares",
+			capacity: 12,
+			tenants: []tenant{
+				{name: "a", weight: 2, demand: 12, want: 8},
+				{name: "b", weight: 1, demand: 12, want: 4},
+			},
+		},
+		{
+			name:     "satisfied tenant's surplus flows to the hungry",
+			capacity: 12,
+			tenants: []tenant{
+				{name: "a", weight: 1, demand: 3, want: 3},
+				{name: "b", weight: 1, demand: 20, want: 9},
+			},
+		},
+		{
+			name:     "floors are honored before fairness",
+			capacity: 10,
+			tenants: []tenant{
+				{name: "a", weight: 1, floor: 7, demand: 9, want: 7},
+				{name: "b", weight: 4, demand: 20, want: 3},
+			},
+		},
+		{
+			name:     "under-capacity demands are fully granted",
+			capacity: 20,
+			tenants: []tenant{
+				{name: "a", weight: 1, demand: 4, want: 4},
+				{name: "b", weight: 3, demand: 9, want: 9},
+			},
+		},
+		{
+			name:     "three-way weighted contention",
+			capacity: 18,
+			tenants: []tenant{
+				{name: "a", weight: 1, demand: 30, want: 3},
+				{name: "b", weight: 2, demand: 30, want: 6},
+				{name: "c", weight: 3, demand: 30, want: 9},
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := newTestScheduler(t, flatPool(t, 1, tt.capacity))
+			leases := make(map[string]*Tenant)
+			for _, tn := range tt.tenants {
+				lease, err := s.Register(TenantConfig{Name: tn.name, Weight: tn.weight, MinSlots: tn.floor})
+				if err != nil {
+					t.Fatal(err)
+				}
+				leases[tn.name] = lease
+			}
+			for _, tn := range tt.tenants {
+				// A contended grow request may be granted partially or not at
+				// all (ErrNoCapacity); both are legitimate outcomes here.
+				if _, err := leases[tn.name].Resize(tn.demand); err != nil && !errors.Is(err, ErrNoCapacity) {
+					t.Fatal(err)
+				}
+			}
+			got := grants(s)
+			for _, tn := range tt.tenants {
+				if got[tn.name] != tn.want {
+					t.Errorf("tenant %s: granted %d, want %d (all: %v)", tn.name, got[tn.name], tn.want, got)
+				}
+			}
+			st := s.State()
+			if st.Leased > st.Capacity {
+				t.Fatalf("double-leased: %d slots granted over capacity %d", st.Leased, st.Capacity)
+			}
+		})
+	}
+}
+
+// TestArbitrationDeterministic re-runs the same contended arbitration via
+// redundant Resize calls and checks grants do not churn.
+func TestArbitrationDeterministic(t *testing.T) {
+	s := newTestScheduler(t, flatPool(t, 1, 10))
+	a, err := s.Register(TenantConfig{Name: "a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Register(TenantConfig{Name: "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Resize(8); err != nil {
+		t.Fatal(err)
+	}
+	first := grants(s)
+	for i := 0; i < 5; i++ {
+		_, _ = a.Resize(8)
+		_, _ = b.Resize(8)
+		if got := grants(s); got["a"] != first["a"] || got["b"] != first["b"] {
+			t.Fatalf("grants churned on identical inputs: %v -> %v", first, got)
+		}
+	}
+}
+
+// preemptScenario builds a two-tenant contended scheduler: low-priority
+// "batch" holds most of a maxed-out pool, high-priority "rt" wants more.
+func preemptScenario(t *testing.T, costs CostModel, window time.Duration) (*Scheduler, *Tenant, *Tenant) {
+	t.Helper()
+	pool, err := NewPool(PoolConfig{SlotsPerMachine: 1, MaxMachines: 20, Costs: costs}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewScheduler(SchedulerConfig{Pool: pool, CostWindow: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := s.Register(TenantConfig{Name: "batch", Priority: 0, MinSlots: 6, InitialSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := s.Register(TenantConfig{Name: "rt", Priority: 1, MinSlots: 4, InitialSlots: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, batch, rt
+}
+
+// TestPreemptionFiresWhenGuardClears: a violating high-priority tenant
+// whose marginal benefit dwarfs the victim's marginal cost takes slots,
+// but never below the victim's floor.
+func TestPreemptionFiresWhenGuardClears(t *testing.T) {
+	s, batch, rt := preemptScenario(t, CostModel{}, time.Minute)
+	batch.Report(TenantReport{Lambda0: 10, ShrinkCost: 0.05})
+	rt.Report(TenantReport{Lambda0: 10, Violating: true, GrowBenefit: 2.0, ShrinkCost: math.Inf(1)})
+	if _, err := rt.Resize(14); err != nil {
+		t.Fatal(err)
+	}
+	got := grants(s)
+	// Fair split of 20 between equal weights is 10/10; rt's violation plus
+	// the cleared guard lets it take batch down to its floor of 6.
+	if got["rt"] != 14 || got["batch"] != 6 {
+		t.Fatalf("grants after preemption = %v, want rt=14 batch=6", got)
+	}
+	var preempts int
+	for _, ev := range s.History() {
+		if ev.Kind == "preempt" && ev.Tenant == "batch" {
+			preempts++
+		}
+	}
+	if preempts == 0 {
+		t.Fatal("no preempt event recorded")
+	}
+	st := s.State()
+	if st.Leased > st.Capacity {
+		t.Fatalf("double-leased: %d over %d", st.Leased, st.Capacity)
+	}
+}
+
+// TestPreemptionBlockedByBenefitGuard: when the victim's marginal cost
+// exceeds the claimant's marginal benefit, preemption must not fire even
+// though the claimant is violating and outranks the victim.
+func TestPreemptionBlockedByBenefitGuard(t *testing.T) {
+	s, batch, rt := preemptScenario(t, CostModel{}, time.Minute)
+	batch.Report(TenantReport{Lambda0: 10, ShrinkCost: 3.0})
+	rt.Report(TenantReport{Lambda0: 10, Violating: true, GrowBenefit: 2.0})
+	if _, err := rt.Resize(14); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	got := grants(s)
+	if got["batch"] != 10 || got["rt"] != 10 {
+		t.Fatalf("guard failed to hold: %v, want the fair 10/10 split", got)
+	}
+}
+
+// TestPreemptionBlockedByPauseAmortization: even with a positive net
+// benefit, the transfer must recoup both tenants' rebalance pauses within
+// CostWindow — a thin margin over a short window must not clear.
+func TestPreemptionBlockedByPauseAmortization(t *testing.T) {
+	costs := CostModel{Rebalance: 3 * time.Second}
+	s, batch, rt := preemptScenario(t, costs, 10*time.Second)
+	// Net gain rate (2.0 - 1.9) * 4 slots * 10 s window = 4 sojourn-sec;
+	// pause penalty (100+100 tuples/s) * 3 s = 600. Guard must block.
+	batch.Report(TenantReport{Lambda0: 100, ShrinkCost: 1.9})
+	rt.Report(TenantReport{Lambda0: 100, Violating: true, GrowBenefit: 2.0})
+	if _, err := rt.Resize(14); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	if got := grants(s); got["batch"] != 10 || got["rt"] != 10 {
+		t.Fatalf("pause amortization guard failed: %v", got)
+	}
+	// The same transfer over a long window clears.
+	s2, batch2, rt2 := preemptScenario(t, costs, time.Hour)
+	batch2.Report(TenantReport{Lambda0: 100, ShrinkCost: 1.9})
+	rt2.Report(TenantReport{Lambda0: 100, Violating: true, GrowBenefit: 2.0})
+	if _, err := rt2.Resize(14); err != nil {
+		t.Fatal(err)
+	}
+	if got := grants(s2); got["rt"] != 14 {
+		t.Fatalf("amortized preemption did not fire: %v", got)
+	}
+}
+
+// TestNoPreemptionWithoutViolation: priority alone never preempts — the
+// claimant must be violating its Tmax.
+func TestNoPreemptionWithoutViolation(t *testing.T) {
+	s, batch, rt := preemptScenario(t, CostModel{}, time.Minute)
+	batch.Report(TenantReport{Lambda0: 10, ShrinkCost: 0.01})
+	rt.Report(TenantReport{Lambda0: 10, Violating: false, GrowBenefit: 5.0})
+	if _, err := rt.Resize(14); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	if got := grants(s); got["batch"] != 10 || got["rt"] != 10 {
+		t.Fatalf("non-violating tenant preempted: %v", got)
+	}
+}
+
+// TestNoPreemptionAcrossEqualPriority: equal priorities only ever share by
+// fairness.
+func TestNoPreemptionAcrossEqualPriority(t *testing.T) {
+	pool := flatPool(t, 1, 20)
+	s := newTestScheduler(t, pool)
+	a, err := s.Register(TenantConfig{Name: "a", MinSlots: 4, InitialSlots: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Register(TenantConfig{Name: "b", MinSlots: 4, InitialSlots: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Report(TenantReport{Lambda0: 10, ShrinkCost: 0.01})
+	b.Report(TenantReport{Lambda0: 10, Violating: true, GrowBenefit: 5.0})
+	if _, err := b.Resize(16); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	if got := grants(s); got["a"] != 10 || got["b"] != 10 {
+		t.Fatalf("equal-priority preemption happened: %v", got)
+	}
+}
+
+// TestPreemptionSkipsUnreportedVictims: a tenant that never reported its
+// utility cannot be preempted (a blind transfer could destabilize it).
+func TestPreemptionSkipsUnreportedVictims(t *testing.T) {
+	s, _, rt := preemptScenario(t, CostModel{}, time.Minute)
+	rt.Report(TenantReport{Lambda0: 10, Violating: true, GrowBenefit: 5.0})
+	if _, err := rt.Resize(14); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	if got := grants(s); got["batch"] != 10 || got["rt"] != 10 {
+		t.Fatalf("unreported victim preempted: %v", got)
+	}
+}
+
+// TestPreemptionUnwindsWhenViolationClears: the transfer is an overlay on
+// the fair allocation; the next arbitration after the claimant's report
+// clears hands the slots back.
+func TestPreemptionUnwindsWhenViolationClears(t *testing.T) {
+	s, batch, rt := preemptScenario(t, CostModel{}, time.Minute)
+	batch.Report(TenantReport{Lambda0: 10, ShrinkCost: 0.05})
+	rt.Report(TenantReport{Lambda0: 10, Violating: true, GrowBenefit: 2.0})
+	if _, err := rt.Resize(14); err != nil {
+		t.Fatal(err)
+	}
+	if got := grants(s); got["batch"] != 6 {
+		t.Fatalf("precondition: preemption should hold, got %v", got)
+	}
+	// The violation clears; any tenant's next request re-arbitrates.
+	rt.Report(TenantReport{Lambda0: 10, Violating: false})
+	if _, err := batch.Resize(14); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	if got := grants(s); got["batch"] != 10 || got["rt"] != 10 {
+		t.Fatalf("slots not returned after violation cleared: %v", got)
+	}
+}
+
+// TestSchedulerPoolElasticity: aggregate demand pulls machines in and
+// releases them, within the provider cap.
+func TestSchedulerPoolElasticity(t *testing.T) {
+	pool, err := NewPool(PoolConfig{SlotsPerMachine: 5, MaxMachines: 4, Costs: PaperCosts()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestScheduler(t, pool)
+	a, err := s.Register(TenantConfig{Name: "a", InitialSlots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Machines() != 1 {
+		t.Fatalf("pool grew early: %d machines", pool.Machines())
+	}
+	tr, err := a.Resize(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Machines() != 3 || a.Kmax() != 12 {
+		t.Fatalf("pool = %d machines, grant = %d; want 3 and 12", pool.Machines(), a.Kmax())
+	}
+	if tr.Kind != "scale-out" || tr.Pause != PaperCosts().Rebalance+PaperCosts().MachineColdStart {
+		t.Fatalf("grow transition = %+v, want scale-out with cold-start pause", tr)
+	}
+	tr, err = a.Resize(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Machines() != 1 || a.Kmax() != 3 {
+		t.Fatalf("pool = %d machines, grant = %d; want 1 and 3", pool.Machines(), a.Kmax())
+	}
+	if tr.Kind != "scale-in" || tr.Pause != PaperCosts().Rebalance+PaperCosts().MachineRelease {
+		t.Fatalf("shrink transition = %+v, want scale-in with release pause", tr)
+	}
+	// Demand beyond the provider cap: partial grant up to MaxKmax.
+	if _, err := a.Resize(99); err != nil {
+		t.Fatal(err)
+	}
+	if a.Kmax() != 20 {
+		t.Fatalf("grant = %d, want the provider cap 20", a.Kmax())
+	}
+	// Asking again gains nothing: a plain capacity hold.
+	if _, err := a.Resize(99); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity on zero-gain grow, got %v", err)
+	}
+}
+
+// TestRegisterAndRelease: registration fails cleanly when the initial
+// grant cannot fit, and Release returns slots to the survivors.
+func TestRegisterAndRelease(t *testing.T) {
+	s := newTestScheduler(t, flatPool(t, 1, 10))
+	a, err := s.Register(TenantConfig{Name: "a", MinSlots: 8, InitialSlots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(TenantConfig{Name: "a", InitialSlots: 1}); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	// 8 floored slots held; a newcomer needing 5 can only get 2.
+	if _, err := s.Register(TenantConfig{Name: "big", InitialSlots: 5}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("want ErrNoCapacity, got %v", err)
+	}
+	if got := grants(s); got["a"] != 8 || len(got) != 1 {
+		t.Fatalf("failed registration disturbed grants: %v", got)
+	}
+	b, err := s.Register(TenantConfig{Name: "b", InitialSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b wants more; nothing free until a releases.
+	if _, err := b.Resize(10); err != nil && !errors.Is(err, ErrNoCapacity) {
+		t.Fatal(err)
+	}
+	before := grants(s)["b"]
+	a.Release()
+	if _, err := b.Resize(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := grants(s)["b"]; got != 10 || got <= before {
+		t.Fatalf("release did not free slots: b = %d", got)
+	}
+	if _, err := a.Resize(1); !errors.Is(err, ErrTenantReleased) {
+		t.Fatalf("want ErrTenantReleased, got %v", err)
+	}
+	a.Release() // idempotent
+}
+
+// TestNoDoubleLeaseUnderConcurrency hammers the scheduler from many
+// goroutines — resizes, reports, registrations, releases — and checks
+// after every operation that the grant total never exceeds capacity and
+// that each lease is internally consistent. Run with -race.
+func TestNoDoubleLeaseUnderConcurrency(t *testing.T) {
+	pool, err := NewPool(PoolConfig{SlotsPerMachine: 4, MaxMachines: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestScheduler(t, pool)
+	check := func() {
+		st := s.State()
+		if st.Leased > st.Capacity {
+			t.Errorf("double-leased: %d slots over capacity %d", st.Leased, st.Capacity)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := string(rune('a' + g))
+			lease, err := s.Register(TenantConfig{Name: name, Weight: float64(g%3 + 1), Priority: g % 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 60; i++ {
+				switch i % 4 {
+				case 0:
+					_, _ = lease.Resize((g + i) % 9)
+				case 1:
+					lease.Report(TenantReport{Lambda0: 5, Violating: i%8 == 1, GrowBenefit: 1, ShrinkCost: 0.1})
+				case 2:
+					_, _ = lease.Resize((g * i) % 13)
+				case 3:
+					_ = lease.Kmax()
+				}
+				check()
+			}
+			lease.Release()
+			check()
+		}(g)
+	}
+	wg.Wait()
+	st := s.State()
+	if st.Leased != 0 || len(st.Tenants) != 0 {
+		t.Fatalf("leaked grants after all releases: %+v", st)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file carries the per-tenant utility view of the Equation (3) model:
+// scalar rates a cluster-level arbiter can compare *across* topologies.
+// Equation (3) divides the λ-weighted sum of per-operator sojourns by λ0,
+// which makes E[T] a per-tuple quantity — meaningful within one topology
+// but not across two with different arrival rates. The numerator itself,
+// Σ λ_i·E[T_i], is the expected number of tuples in flight (Little's law),
+// i.e. sojourn-seconds accumulated per second of operation. Marginal
+// changes of that numerator are directly comparable across tenants, so
+// they are the currency the multi-tenant Scheduler trades in.
+
+// GrowBenefit returns the largest achievable drop in the Equation (3)
+// numerator from granting this topology one more processor: the δ_j of
+// Algorithm 1 line 9 for the best operator j, in sojourn-seconds saved per
+// second (tuples removed from flight, by Little's law). It is the marginal
+// utility a tenant reports when bidding for another slot. Zero means an
+// extra processor would not help (all operators effectively delay-free).
+func (m *Model) GrowBenefit(k []int) (float64, error) {
+	if len(k) != len(m.ops) {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(k), len(m.ops))
+	}
+	best := 0.0
+	for i := range m.ops {
+		if b := m.marginalBenefit(i, k[i]); b > best {
+			best = b
+		}
+	}
+	return best, nil
+}
+
+// ShrinkCost returns the smallest achievable rise in the Equation (3)
+// numerator from taking one processor away: the cheapest-to-lose operator's
+// λ_i·(E[T_i](k_i−1) − E[T_i](k_i)), in sojourn-seconds added per second.
+// It is the marginal damage a tenant suffers if the arbiter preempts one of
+// its slots. The result is +Inf when every operator is at (or below) its
+// minimum stable allocation — removing any slot would destabilize a queue —
+// which tells the arbiter this tenant is not preemptible at all.
+func (m *Model) ShrinkCost(k []int) (float64, error) {
+	if len(k) != len(m.ops) {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrDimensionMismatch, len(k), len(m.ops))
+	}
+	cheapest := math.Inf(1)
+	for i, op := range m.ops {
+		if k[i] <= 1 {
+			continue
+		}
+		down := m.OperatorSojourn(i, k[i]-1)
+		if math.IsInf(down, 1) {
+			continue // k_i−1 is below the stable minimum for this operator
+		}
+		if cost := op.Lambda * (down - m.OperatorSojourn(i, k[i])); cost < cheapest {
+			cheapest = cost
+		}
+	}
+	return cheapest, nil
+}
+
+// Tmax reports the latency target the controller enforces, or zero when it
+// runs in min-latency mode (no target). The supervisor uses it to tell a
+// cluster-level arbiter whether this tenant is currently violating its
+// real-time constraint.
+func (c *Controller) Tmax() float64 {
+	if c.cfg.Mode == ModeMinResource {
+		return c.cfg.Tmax
+	}
+	return 0
+}

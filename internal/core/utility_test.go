@@ -1,0 +1,138 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func utilityModel(t *testing.T) *Model {
+	t.Helper()
+	m, err := NewModel(10, []OpRates{
+		{Name: "a", Lambda: 10, Mu: 3},
+		{Name: "b", Lambda: 10, Mu: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestGrowBenefitMatchesBestMarginal checks GrowBenefit is exactly the best
+// single-operator marginal benefit — the quantity Algorithm 1 maximizes.
+func TestGrowBenefitMatchesBestMarginal(t *testing.T) {
+	m := utilityModel(t)
+	k := []int{5, 4}
+	got, err := m.GrowBenefit(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for i := range k {
+		if b := m.marginalBenefit(i, k[i]); b > want {
+			want = b
+		}
+	}
+	if got != want || got <= 0 {
+		t.Fatalf("GrowBenefit = %g, want best marginal %g (> 0)", got, want)
+	}
+	// It must equal the drop in the Eq. 3 numerator from applying the best
+	// single increment that AssignProcessors would pick next.
+	cur, err := m.ExpectedSojourn(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := m.AssignProcessors(k[0] + k[1] + 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := m.ExpectedSojourn(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drop := (cur - est) * m.Lambda0(); math.Abs(drop-got) > 1e-9 {
+		t.Fatalf("numerator drop %g != GrowBenefit %g", drop, got)
+	}
+}
+
+// TestShrinkCostPicksCheapestOperator checks ShrinkCost is the cheapest
+// stable single-slot removal, and that it exceeds GrowBenefit at the same
+// allocation (convexity: what you lose removing a slot always exceeds what
+// you would gain adding one).
+func TestShrinkCostPicksCheapestOperator(t *testing.T) {
+	m := utilityModel(t)
+	k := []int{6, 5}
+	cost, err := m.ShrinkCost(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 || math.IsInf(cost, 1) {
+		t.Fatalf("ShrinkCost = %g, want finite positive", cost)
+	}
+	want := math.Inf(1)
+	for i := range k {
+		down := m.OperatorSojourn(i, k[i]-1)
+		if math.IsInf(down, 1) {
+			continue
+		}
+		if c := m.Rates()[i].Lambda * (down - m.OperatorSojourn(i, k[i])); c < want {
+			want = c
+		}
+	}
+	if cost != want {
+		t.Fatalf("ShrinkCost = %g, want %g", cost, want)
+	}
+	gain, err := m.GrowBenefit(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost < gain {
+		t.Fatalf("convexity violated: shrink cost %g < grow benefit %g", cost, gain)
+	}
+}
+
+// TestShrinkCostInfiniteAtMinimum: at the minimum stable allocation no slot
+// can be removed, so the tenant must report itself non-preemptible.
+func TestShrinkCostInfiniteAtMinimum(t *testing.T) {
+	m := utilityModel(t)
+	kmin, _, err := m.MinAllocation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := m.ShrinkCost(kmin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(cost, 1) {
+		t.Fatalf("ShrinkCost at minimum allocation = %g, want +Inf", cost)
+	}
+}
+
+// TestUtilityDimensionMismatch checks both helpers validate vector length.
+func TestUtilityDimensionMismatch(t *testing.T) {
+	m := utilityModel(t)
+	if _, err := m.GrowBenefit([]int{1}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("GrowBenefit err = %v", err)
+	}
+	if _, err := m.ShrinkCost([]int{1, 2, 3}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("ShrinkCost err = %v", err)
+	}
+}
+
+// TestControllerTmax checks the accessor distinguishes the two modes.
+func TestControllerTmax(t *testing.T) {
+	minRes, err := NewController(ControllerConfig{Mode: ModeMinResource, Tmax: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := minRes.Tmax(); got != 1.5 {
+		t.Fatalf("min-resource Tmax = %g, want 1.5", got)
+	}
+	minLat, err := NewController(ControllerConfig{Mode: ModeMinLatency, Kmax: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := minLat.Tmax(); got != 0 {
+		t.Fatalf("min-latency Tmax = %g, want 0", got)
+	}
+}

@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"time"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/sim"
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+// The multi-tenant contention experiment: two supervised topologies share
+// one machine pool through the cluster Scheduler, and a staggered load
+// step on the higher-priority tenant forces the arbiter to preempt slots
+// from the other tenant and hand them back once the surge passes — the
+// shared-cluster setting the paper's §V evaluation ran in, which the
+// single-loop Figures 9-10 never exercise.
+//
+// Both tenants run the same two-stage chain (µ = 2/s per processor,
+// selectivity 1), so every threshold below is exact M/M/k arithmetic:
+//
+//   - "steady" (priority 0) takes λ0 = 6/s throughout. Program (6) under
+//     Tmax = 1.3 s settles it at 10 slots, (5:5), E[T] ≈ 1.12 s — a ~15%
+//     noise margin to the target. Its preemption floor of 8 keeps it
+//     stable, but (4:4) runs at E[T] ≈ 1.51 s, violating, so a preempted
+//     steady keeps bidding for its slots back.
+//   - "bursty" (priority 1) takes λ0 = 4/s, stepped ×2.5 to 10/s during
+//     the middle window. At base it needs 8 slots, (4:4), E[T] ≈ 1.09 s;
+//     at peak it needs 14, (7:7) — but the pool tops out at 5 machines ×
+//     4 slots = 20, so its demand can only be met by preempting steady.
+//
+// The 0.16 scale-in slack tightens both tenants' release target to
+// ~1.09 s, which pins the scale-in sizes exactly at the steady-state
+// allocations (10 and 8 slots) — measurement noise cannot pull either
+// tenant below its settled size, only the load step moves slots.
+//
+// Expected arc: both settle → step hits → bursty violates, requests 14,
+// gets the fair share plus a preemption down to steady's floor (8/12) →
+// step ends → bursty converges and scales in → steady reclaims its 10.
+const (
+	contentionTmax     = 1.3  // both tenants' Tmax, seconds
+	contentionSlack    = 0.16 // scale-in slack (see above)
+	contentionMu       = 2.0  // per-processor service rate, both stages
+	steadyRate         = 6.0  // steady tenant's λ0
+	burstyBaseRate     = 4.0  // bursty tenant's λ0 outside the window
+	burstyStepFactor   = 2.5  // rate multiplier inside the window
+	contentionSlots    = 4    // slots per machine
+	contentionMachines = 5    // provider cap: 20 slots total
+	steadyInitial      = 10   // steady's registration grant
+	burstyInitial      = 8    // bursty's registration grant
+	contentionFloor    = 8    // both tenants' preemption floor (stable)
+)
+
+// ContentionGrantPoint samples the arbitration state once per control
+// round: who holds how many slots, against what capacity.
+type ContentionGrantPoint struct {
+	// AtSeconds is the simulated time of the sample.
+	AtSeconds float64
+	// Steady and Bursty are the tenants' slot grants.
+	Steady, Bursty int
+	// Capacity is the pool's total slot count at the sample.
+	Capacity int
+}
+
+// ContentionResult carries the full arc of the two-tenant run.
+type ContentionResult struct {
+	// Tmax is the (shared) latency target.
+	Tmax float64
+	// StepFrom and StepUntil bound the bursty tenant's surge window.
+	StepFrom, StepUntil float64
+	// SeriesSteady and SeriesBursty are the per-minute sojourn curves.
+	SeriesSteady, SeriesBursty []sim.SeriesPoint
+	// TransitionsSteady and TransitionsBursty are each supervisor's applied
+	// decisions, preemption shrinks included.
+	TransitionsSteady, TransitionsBursty []Transition
+	// Grants samples the arbitration once per control round.
+	Grants []ContentionGrantPoint
+	// SchedulerHistory is the cluster-wide decision log.
+	SchedulerHistory []cluster.SchedulerEvent
+	// PreemptedSlots is the largest number of slots taken from steady.
+	PreemptedSlots int
+	// BurstyPeakGrant is bursty's largest grant during the run.
+	BurstyPeakGrant int
+	// SteadyRestored reports whether steady's grant returned to its
+	// pre-step level after the surge window closed (a later voluntary
+	// scale-in may shrink it again).
+	SteadyRestored bool
+	// MaxLeaseOverCapacity is the worst observed Leased − Capacity over
+	// every sample; it must never exceed zero (no slot double-leased).
+	MaxLeaseOverCapacity int
+	// FinalState is the arbitration state at the end of the run.
+	FinalState cluster.SchedulerState
+}
+
+// contentionSimConfig builds one tenant's two-stage chain. A non-nil step
+// wraps the source in a SteppedRate surge.
+func contentionSimConfig(lambda0 float64, alloc []int, seed uint64, step *sim.SteppedRate) (sim.Config, error) {
+	emit, err := sim.NewFractionalEmission(1)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	var arrivals sim.ArrivalProcess = sim.PoissonArrivals{Rate: lambda0}
+	if step != nil {
+		step.Base = arrivals
+		arrivals = step
+	}
+	return sim.Config{
+		Operators: []sim.OperatorSpec{
+			{Name: "stage1", Service: stats.Exponential{Rate: contentionMu}},
+			{Name: "stage2", Service: stats.Exponential{Rate: contentionMu}},
+		},
+		Sources: []sim.SourceSpec{{Op: 0, Arrivals: arrivals}},
+		Edges:   []sim.EdgeSpec{{From: 0, To: 1, Emit: emit}},
+		Alloc:   alloc,
+		Seed:    seed,
+	}, nil
+}
+
+// contentionTenant bundles one tenant's simulator and supervisor.
+type contentionTenant struct {
+	s   *sim.Sim
+	sup *loop.Supervisor
+}
+
+// newContentionTenant starts one supervised tenant against its lease.
+func newContentionTenant(lambda0 float64, initial []int, lease *cluster.Tenant,
+	clock loop.Clock, failures *loopFailures, interval float64, seed uint64,
+	step *sim.SteppedRate) (*contentionTenant, error) {
+	cfg, err := contentionSimConfig(lambda0, initial, seed, step)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.EnableSeries(60)
+	names := []string{"stage1", "stage2"}
+	ctrl, err := core.NewController(core.ControllerConfig{
+		Mode:         core.ModeMinResource,
+		Tmax:         contentionTmax,
+		MinGain:      0.05,
+		ScaleInSlack: contentionSlack,
+		// 0.6 pins the scale-in floor at the designed steady-state sizes:
+		// the next-smaller allocation of either tenant runs an operator at
+		// ρ > 0.6, so a noisy (optimistic) snapshot cannot shrink past it.
+		MaxScaleInUtilization: 0.6,
+		// Slots are granted individually by the scheduler — machine
+		// quantization happens below the leases, not per tenant.
+	})
+	if err != nil {
+		return nil, err
+	}
+	sup, err := loop.New(loop.Config{
+		Target:    simTarget{s: s, names: names},
+		Operators: names,
+		Stepper:   ctrl,
+		Pool:      lease,
+		Interval:  secondsToDuration(interval),
+		Cooldown:  secondsToDuration(4 * interval),
+		Clock:     clock,
+		Logger:    slog.New(failures),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &contentionTenant{s: s, sup: sup}, nil
+}
+
+// RunContention runs the two-tenant arbitration experiment: 27 simulated
+// minutes, controllers enabled from minute 3, the bursty tenant surging
+// ×2.5 between minutes 9 and 18.
+func RunContention(o Options) (ContentionResult, error) {
+	o = o.withDefaults()
+	duration := 27 * 60.0
+	enableAt := 3 * 60.0
+	stepFrom, stepUntil := 9*60.0, 18*60.0
+	if o.Duration != 600 { // scaled-down run (benchmarks, quick tests)
+		duration = o.Duration
+		enableAt = duration / 9
+		stepFrom, stepUntil = duration/3, 2*duration/3
+	}
+	res := ContentionResult{Tmax: contentionTmax, StepFrom: stepFrom, StepUntil: stepUntil}
+
+	pool, err := cluster.NewPool(cluster.PoolConfig{
+		SlotsPerMachine: contentionSlots,
+		MaxMachines:     contentionMachines,
+		Costs: cluster.CostModel{
+			Rebalance:        3 * time.Second,
+			MachineColdStart: 4777 * time.Millisecond,
+			MachineRelease:   1113 * time.Millisecond,
+		},
+	}, 1)
+	if err != nil {
+		return res, err
+	}
+	clock := &simClock{}
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool, Clock: clock})
+	if err != nil {
+		return res, err
+	}
+	steadyLease, err := sched.Register(cluster.TenantConfig{
+		Name: "steady", Priority: 0, MinSlots: contentionFloor, InitialSlots: steadyInitial,
+	})
+	if err != nil {
+		return res, err
+	}
+	burstyLease, err := sched.Register(cluster.TenantConfig{
+		Name: "bursty", Priority: 1, MinSlots: contentionFloor, InitialSlots: burstyInitial,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	failures := &loopFailures{}
+	interval := 10.0
+	steady, err := newContentionTenant(steadyRate, []int{5, 5}, steadyLease,
+		clock, failures, interval, o.Seed, nil)
+	if err != nil {
+		return res, err
+	}
+	bursty, err := newContentionTenant(burstyBaseRate, []int{4, 4}, burstyLease,
+		clock, failures, interval, o.Seed+1,
+		&sim.SteppedRate{Factor: burstyStepFactor, From: stepFrom, Until: stepUntil})
+	if err != nil {
+		return res, err
+	}
+
+	preStepSteady := steadyLease.Kmax()
+	for t := interval; t <= duration+1e-9; t += interval {
+		steady.s.RunUntil(t)
+		bursty.s.RunUntil(t)
+		clock.set(t)
+		if t < enableAt {
+			steady.sup.Observe()
+			bursty.sup.Observe()
+		} else {
+			steady.sup.Tick()
+			bursty.sup.Tick()
+		}
+		st := sched.State()
+		res.Grants = append(res.Grants, ContentionGrantPoint{
+			AtSeconds: t,
+			Steady:    steadyLease.Kmax(),
+			Bursty:    burstyLease.Kmax(),
+			Capacity:  st.Capacity,
+		})
+		if over := st.Leased - st.Capacity; over > res.MaxLeaseOverCapacity {
+			res.MaxLeaseOverCapacity = over
+		}
+		if taken := preStepSteady - steadyLease.Kmax(); taken > res.PreemptedSlots {
+			res.PreemptedSlots = taken
+		}
+		if g := burstyLease.Kmax(); g > res.BurstyPeakGrant {
+			res.BurstyPeakGrant = g
+		}
+		if t >= stepUntil && steadyLease.Kmax() >= preStepSteady {
+			res.SteadyRestored = true
+		}
+	}
+	if err := failures.err(); err != nil {
+		return res, fmt.Errorf("experiments: contention run: %w", err)
+	}
+	res.SeriesSteady = steady.s.Series()
+	res.SeriesBursty = bursty.s.Series()
+	res.TransitionsSteady = transitionsFrom(steady.sup)
+	res.TransitionsBursty = transitionsFrom(bursty.sup)
+	res.SchedulerHistory = sched.History()
+	res.FinalState = sched.State()
+	return res, nil
+}
+
+// Print renders the arc: the grant timeline, both sojourn curves, each
+// supervisor's transitions and the scheduler's decision history.
+func (r ContentionResult) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Contention: two tenants, one pool; Tmax = %.0f ms, surge x%.1f during [%.0fs, %.0fs)",
+		r.Tmax*1e3, burstyStepFactor, r.StepFrom, r.StepUntil))
+	fmt.Fprint(w, "grants (steady/bursty of capacity), one column per minute:\n  ")
+	for i, g := range r.Grants {
+		if i%6 != 5 { // 10 s rounds -> print once per minute
+			continue
+		}
+		fmt.Fprintf(w, "%d/%d ", g.Steady, g.Bursty)
+	}
+	fmt.Fprintln(w)
+	printCurve := func(name string, series []sim.SeriesPoint) {
+		fmt.Fprintf(w, "%s E[T] by minute (ms): ", name)
+		for _, pt := range series {
+			if math.IsNaN(pt.MeanSojourn) {
+				fmt.Fprint(w, "    - ")
+				continue
+			}
+			fmt.Fprintf(w, "%5.0f ", pt.MeanSojourn*1e3)
+		}
+		fmt.Fprintln(w)
+	}
+	printCurve("steady", r.SeriesSteady)
+	printCurve("bursty", r.SeriesBursty)
+	printTransitions := func(name string, trs []Transition) {
+		for _, tr := range trs {
+			mark := ""
+			if tr.Preempted {
+				mark = " [preempted]"
+			}
+			fmt.Fprintf(w, "  %-6s t=%5.0fs %-10s -> %s, Kmax=%d (pause %.1fs)%s: %s\n",
+				name, tr.AtSeconds, tr.Action, allocString(tr.Alloc), tr.Kmax, tr.PauseSeconds, mark, tr.Reason)
+		}
+	}
+	printTransitions("steady", r.TransitionsSteady)
+	printTransitions("bursty", r.TransitionsBursty)
+	fmt.Fprintln(w, "scheduler history:")
+	for _, ev := range r.SchedulerHistory {
+		fmt.Fprintf(w, "  t=%5.0fs %s\n", ev.At.Sub(simEpoch).Seconds(), ev)
+	}
+	fmt.Fprintf(w, "max slots preempted from steady: %d; bursty peak grant: %d\n",
+		r.PreemptedSlots, r.BurstyPeakGrant)
+	fmt.Fprintf(w, "steady restored to pre-step grant: %v; double-leased slots: %d\n",
+		r.SteadyRestored, r.MaxLeaseOverCapacity)
+}

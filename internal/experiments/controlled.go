@@ -27,8 +27,31 @@ type Transition struct {
 	Kmax int
 	// PauseSeconds is the modeled service disruption.
 	PauseSeconds float64
+	// Preempted marks a forced shrink: the cluster arbiter moved this
+	// tenant's slots to another topology (multi-tenant runs only).
+	Preempted bool
 	// Reason is the controller's justification.
 	Reason string
+}
+
+// transitionsFrom extracts the applied decisions of a supervised run.
+func transitionsFrom(sup *loop.Supervisor) []Transition {
+	var transitions []Transition
+	for _, ev := range sup.History() {
+		if !ev.Applied {
+			continue
+		}
+		transitions = append(transitions, Transition{
+			AtSeconds:    ev.At.Sub(simEpoch).Seconds(),
+			Action:       ev.Action,
+			Alloc:        append([]int(nil), ev.Target...),
+			Kmax:         ev.Kmax,
+			PauseSeconds: ev.Pause.Seconds(),
+			Preempted:    ev.Preempted,
+			Reason:       ev.Reason,
+		})
+	}
+	return transitions
 }
 
 // controlLoopConfig assembles one controller-in-the-loop simulation.
@@ -188,19 +211,5 @@ func runControlled(c controlLoopConfig) (*sim.Sim, []Transition, error) {
 	if err := failures.err(); err != nil {
 		return nil, nil, fmt.Errorf("experiments: supervised run: %w", err)
 	}
-	var transitions []Transition
-	for _, ev := range sup.History() {
-		if !ev.Applied {
-			continue
-		}
-		transitions = append(transitions, Transition{
-			AtSeconds:    ev.At.Sub(simEpoch).Seconds(),
-			Action:       ev.Action,
-			Alloc:        append([]int(nil), ev.Target...),
-			Kmax:         ev.Kmax,
-			PauseSeconds: ev.Pause.Seconds(),
-			Reason:       ev.Reason,
-		})
-	}
-	return s, transitions, nil
+	return s, transitionsFrom(sup), nil
 }

@@ -7,6 +7,18 @@
 // pays off; Supervisor is that daemon for this repository's substrates —
 // the goroutine engine (internal/engine) and the discrete-event simulator
 // (internal/sim, driven in virtual time via Observe/Tick).
+//
+// A supervisor reaches its machines through the Pool interface, which
+// admits two very different providers: a private cluster.Pool (the
+// single-topology deployment the paper evaluates) or a cluster.Tenant
+// lease handed out by the multi-tenant cluster.Scheduler. Under a lease
+// the protocol becomes request/grant: Resize may be granted only
+// partially (the supervisor re-fits its allocation to what it got), the
+// budget can shrink between ticks when a higher-priority tenant preempts
+// slots (the supervisor vacates them gracefully at the next tick), and
+// each round the supervisor pushes a utility report — marginal benefit
+// and cost of one slot, from the Eq. 3 model — that the scheduler's
+// preemption guard arbitrates with.
 package loop
 
 import (
@@ -81,7 +93,21 @@ type Pool interface {
 	Resize(targetKmax int) (cluster.Transition, error)
 }
 
-var _ Pool = (*cluster.Pool)(nil)
+var (
+	_ Pool = (*cluster.Pool)(nil)
+	_ Pool = (*cluster.Tenant)(nil)
+)
+
+// TenantReporter is the optional half of the multi-tenant request/grant
+// protocol: a Pool that is really an arbitrated lease (cluster.Tenant)
+// implements it, and the supervisor pushes a fresh utility
+// self-assessment every decision round so the scheduler can compare this
+// topology's marginal sojourn-time benefit against the other tenants'.
+type TenantReporter interface {
+	Report(cluster.TenantReport)
+}
+
+var _ TenantReporter = (*cluster.Tenant)(nil)
 
 // fixedPool is a Pool with an immutable budget and free rebalances.
 type fixedPool int
@@ -171,6 +197,9 @@ type Event struct {
 	Applied bool
 	// Suppressed reports a decision skipped by the failure tracker.
 	Suppressed bool
+	// Preempted reports a forced shrink: the cluster arbiter moved leased
+	// slots to another tenant and this supervisor vacated them.
+	Preempted bool
 	// Err is the apply failure, when there was one.
 	Err error
 }
@@ -191,10 +220,15 @@ type Supervisor struct {
 	cooldownUntil time.Time
 	lastSnap      core.Snapshot
 	haveSnap      bool
-	history       []Event // ring once MaxHistory is reached
-	histStart     int     // oldest event's index once the ring is full
-	rounds        int64
-	suppressing   map[string]bool // action kinds in an ongoing suppression episode
+	// lastAllocTotal caches the slot total of the most recent allocation
+	// this supervisor observed or applied, so the per-tick preemption
+	// check can skip the target's Allocation() map walk while the grant
+	// comfortably covers it.
+	lastAllocTotal int
+	history        []Event // ring once MaxHistory is reached
+	histStart      int     // oldest event's index once the ring is full
+	rounds         int64
+	suppressing    map[string]bool // action kinds in an ongoing suppression episode
 
 	runMu   sync.Mutex
 	stop    chan struct{}
@@ -324,6 +358,12 @@ func (s *Supervisor) Tick() {
 	s.mu.Unlock()
 
 	now := s.clock.Now()
+	// Preemption outranks the cooldown: if the arbiter's grant dropped
+	// below the allocation in force, the slots are gone whether or not
+	// this supervisor cooperates — vacate them now.
+	if s.shrinkToGrant(now) {
+		return
+	}
 	if now.Before(cooldownUntil) {
 		return
 	}
@@ -344,7 +384,9 @@ func (s *Supervisor) Tick() {
 	snap.Kmax = s.cfg.Pool.Kmax()
 	s.mu.Lock()
 	s.lastSnap, s.haveSnap = snap, true
+	s.lastAllocTotal = sumInts(alloc)
 	s.mu.Unlock()
+	s.reportTenant(snap)
 
 	d, err := s.cfg.Stepper.Step(snap)
 	if err != nil {
@@ -413,6 +455,29 @@ func (s *Supervisor) apply(now time.Time, d core.Decision) {
 			return
 		}
 	}
+	// Partial grant: an arbitrated pool may have granted fewer slots than
+	// the decision asked for. The decision's allocation was optimized for
+	// the full request, so re-solve it for the budget actually granted.
+	if granted := s.cfg.Pool.Kmax(); granted < d.TargetKmax && d.Target != nil {
+		refit, rerr := s.refitTarget(granted)
+		if rerr != nil {
+			s.fails.recordFailure(kind, rerr, now)
+			if s.cfg.Pool.Kmax() != kmaxBefore {
+				if _, rbErr := s.cfg.Pool.Resize(kmaxBefore); rbErr != nil {
+					s.log.Warn("pool rollback failed", slog.Any("err", rbErr))
+				}
+			}
+			s.finishRound(Event{At: now, Action: d.Action, Target: d.Target,
+				Kmax: s.cfg.Pool.Kmax(), Estimated: d.Estimated, Pause: tr.Pause,
+				Reason: d.Reason, Err: rerr})
+			s.log.Warn("partial grant unusable", slog.String("action", kind),
+				slog.Int("granted", granted), slog.Int("requested", d.TargetKmax), slog.Any("err", rerr))
+			return
+		}
+		s.log.Info("partial grant", slog.Int("requested", d.TargetKmax), slog.Int("granted", granted))
+		d.Target = refit
+		d.TargetKmax = granted
+	}
 	alloc, err := d.AllocMap(s.cfg.Operators)
 	if err == nil {
 		err = s.cfg.Target.Rebalance(alloc, tr.Pause)
@@ -420,8 +485,11 @@ func (s *Supervisor) apply(now time.Time, d core.Decision) {
 	if err != nil {
 		s.fails.recordFailure(kind, err, now)
 		// Best-effort pool rollback: the allocation never changed, so the
-		// machines the resize negotiated should not stay charged.
-		if tr.MachinesBefore != tr.MachinesAfter {
+		// budget the resize negotiated should not stay charged — machines
+		// on a private pool, or granted slots on an arbitrated lease (a
+		// lease's grant can grow without any machine change, and hoarding
+		// it would starve the other tenants).
+		if s.cfg.Pool.Kmax() != kmaxBefore {
 			if _, rbErr := s.cfg.Pool.Resize(kmaxBefore); rbErr != nil {
 				s.log.Warn("pool rollback failed", slog.Any("err", rbErr))
 			}
@@ -435,12 +503,199 @@ func (s *Supervisor) apply(now time.Time, d core.Decision) {
 	s.fails.recordSuccess(kind)
 	// Old measurements do not describe the new configuration.
 	s.cfg.Source.Reset()
+	s.mu.Lock()
+	s.lastAllocTotal = sumInts(d.Target)
+	s.mu.Unlock()
 	s.finishRound(Event{At: now, Action: d.Action, Target: d.Target,
 		Kmax: s.cfg.Pool.Kmax(), Estimated: d.Estimated, Pause: tr.Pause,
 		Reason: d.Reason, Applied: true})
 	s.log.Info("decision applied", slog.String("action", kind),
 		slog.Any("alloc", d.Target), slog.Int("kmax", s.cfg.Pool.Kmax()),
 		slog.Duration("pause", tr.Pause), slog.String("reason", d.Reason))
+}
+
+// refitTarget re-solves the allocation for the budget an arbitrated pool
+// actually granted, from the most recent snapshot's model.
+func (s *Supervisor) refitTarget(granted int) ([]int, error) {
+	s.mu.Lock()
+	snap, have := s.lastSnap, s.haveSnap
+	s.mu.Unlock()
+	if !have {
+		return nil, errors.New("loop: no snapshot to re-fit a partial grant from")
+	}
+	model, err := core.NewModel(snap.Lambda0, snap.Ops)
+	if err != nil {
+		return nil, err
+	}
+	return model.AssignProcessors(granted)
+}
+
+// reportTenant pushes a utility self-assessment to the pool when it is an
+// arbitrated lease: λ̂0, whether the tenant violates its Tmax, and the
+// marginal benefit/cost of one slot in the cross-tenant-comparable
+// Equation (3) numerator units.
+func (s *Supervisor) reportTenant(snap core.Snapshot) {
+	rep, ok := s.cfg.Pool.(TenantReporter)
+	if !ok {
+		return
+	}
+	model, err := core.NewModel(snap.Lambda0, snap.Ops)
+	if err != nil {
+		return
+	}
+	grow, err := model.GrowBenefit(snap.Alloc)
+	if err != nil {
+		return
+	}
+	shrink, err := model.ShrinkCost(snap.Alloc)
+	if err != nil {
+		return
+	}
+	violating := false
+	if t, ok := s.cfg.Stepper.(interface{ Tmax() float64 }); ok {
+		if tmax := t.Tmax(); tmax > 0 {
+			violating = snap.MeasuredSojourn > tmax
+			if !violating {
+				if est, eerr := model.ExpectedSojourn(snap.Alloc); eerr == nil && est > tmax {
+					violating = true
+				}
+			}
+		}
+	}
+	rep.Report(cluster.TenantReport{
+		Lambda0:     snap.Lambda0,
+		Violating:   violating,
+		GrowBenefit: grow,
+		ShrinkCost:  shrink,
+	})
+}
+
+// shrinkToGrant is the graceful-shrink half of the request/grant protocol:
+// when the pool budget has dropped below the allocation in force (the
+// cluster arbiter preempted leased slots for another tenant), rebalance
+// down to fit the remaining grant and report whether the tick is consumed.
+// The shrunk allocation is the model optimum for the smaller budget when a
+// snapshot exists, else slots are peeled off the largest operators.
+func (s *Supervisor) shrinkToGrant(now time.Time) bool {
+	budget := s.cfg.Pool.Kmax()
+	if budget <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	known := s.lastAllocTotal
+	s.mu.Unlock()
+	// Fast path: the grant covers the last allocation this supervisor saw
+	// or applied (the only writer of allocations), so there is nothing to
+	// vacate and no need to walk the target's allocation map.
+	if known > 0 && budget >= known {
+		return false
+	}
+	alloc, ok := s.allocVector()
+	if !ok {
+		return false
+	}
+	total := sumInts(alloc)
+	if total <= budget {
+		s.mu.Lock()
+		s.lastAllocTotal = total
+		s.mu.Unlock()
+		return false
+	}
+	const kind = "preempt-shrink"
+	if s.fails.shouldSkip(kind, now) {
+		return true
+	}
+	target := s.shrunkAlloc(alloc, budget)
+	// A grant below one slot per operator cannot be fully vacated — the
+	// fallback bottoms out at the physical floor. When that floor is the
+	// allocation already in force there is nothing to apply: hold instead
+	// of paying a rebalance pause every tick for an identical allocation.
+	if allocEqual(target, alloc) {
+		return false
+	}
+	m := make(map[string]int, len(s.cfg.Operators))
+	for i, name := range s.cfg.Operators {
+		m[name] = target[i]
+	}
+	tr := s.cfg.Pool.Rebalance()
+	err := s.cfg.Target.Rebalance(m, tr.Pause)
+	ev := Event{At: now, Action: core.ActionRebalance, Target: target, Kmax: budget,
+		Pause: tr.Pause, Preempted: true,
+		Reason: fmt.Sprintf("grant shrank to %d below allocation total %d; vacating preempted slots", budget, total)}
+	if err != nil {
+		s.fails.recordFailure(kind, err, now)
+		ev.Err = err
+		s.finishRound(ev)
+		s.log.Warn("preemption shrink failed", slog.Any("err", err))
+		return true
+	}
+	s.fails.recordSuccess(kind)
+	s.cfg.Source.Reset()
+	s.mu.Lock()
+	s.lastAllocTotal = sumInts(target)
+	s.mu.Unlock()
+	ev.Applied = true
+	s.finishRound(ev)
+	s.log.Info("preempted: shrank to grant", slog.Any("alloc", target), slog.Int("kmax", budget),
+		slog.Duration("pause", tr.Pause))
+	return true
+}
+
+// sumInts totals a slot vector.
+func sumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// allocEqual reports whether two allocation vectors match.
+func allocEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shrunkAlloc fits the current allocation into a smaller budget.
+func (s *Supervisor) shrunkAlloc(cur []int, budget int) []int {
+	s.mu.Lock()
+	snap, have := s.lastSnap, s.haveSnap
+	s.mu.Unlock()
+	if have {
+		if model, err := core.NewModel(snap.Lambda0, snap.Ops); err == nil {
+			if target, aerr := model.AssignProcessors(budget); aerr == nil {
+				return target
+			}
+		}
+	}
+	// No usable model (startup, or the budget is below the minimum stable
+	// allocation): peel slots off the largest operators, never below one.
+	out := append([]int(nil), cur...)
+	total := 0
+	for _, k := range out {
+		total += k
+	}
+	for total > budget {
+		big := -1
+		for i, k := range out {
+			if k > 1 && (big < 0 || k > out[big]) {
+				big = i
+			}
+		}
+		if big < 0 {
+			break
+		}
+		out[big]--
+		total--
+	}
+	return out
 }
 
 // finishRound records an event and starts the cooldown. The cooldown is

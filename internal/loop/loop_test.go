@@ -523,6 +523,275 @@ func TestWarmupHolds(t *testing.T) {
 	}
 }
 
+// fakeArbiterPool scripts a multi-tenant lease: Resize grants at most
+// grantCap slots, the budget can be dropped out from under the supervisor
+// (preemption), and utility reports are captured.
+type fakeArbiterPool struct {
+	mu       sync.Mutex
+	kmax     int
+	grantCap int
+	reports  []cluster.TenantReport
+}
+
+func (p *fakeArbiterPool) Kmax() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kmax
+}
+
+func (p *fakeArbiterPool) setKmax(k int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.kmax = k
+}
+
+func (p *fakeArbiterPool) Rebalance() cluster.Transition {
+	return cluster.Transition{Kind: "rebalance", Pause: time.Second}
+}
+
+func (p *fakeArbiterPool) Resize(target int) (cluster.Transition, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	grant := target
+	if grant > p.grantCap {
+		grant = p.grantCap
+	}
+	old := p.kmax
+	p.kmax = grant
+	kind := "rebalance"
+	switch {
+	case grant > old:
+		kind = "scale-out"
+	case grant < old:
+		kind = "scale-in"
+	}
+	return cluster.Transition{Kind: kind, Pause: time.Second}, nil
+}
+
+func (p *fakeArbiterPool) Report(r cluster.TenantReport) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.reports = append(p.reports, r)
+}
+
+func (p *fakeArbiterPool) lastReport() (cluster.TenantReport, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.reports) == 0 {
+		return cluster.TenantReport{}, false
+	}
+	return p.reports[len(p.reports)-1], true
+}
+
+// TestPreemptedGrantShrinksGracefully drops the lease's budget below the
+// allocation in force and checks the supervisor vacates the lost slots on
+// its next tick — even inside a cooldown — re-fitting the allocation to
+// the model optimum for the smaller budget.
+func TestPreemptedGrantShrinksGracefully(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 4, "b": 4}}
+	pool := &fakeArbiterPool{kmax: 8, grantCap: 8}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 2, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}, {Name: "b", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a", "b"},
+		Stepper:   &fakeStepper{}, // always holds; only preemption acts
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  100 * time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick() // stores the snapshot; budget still covers the allocation
+	if n := target.rebalances(); n != 0 {
+		t.Fatalf("no shrink expected yet, got %d rebalances", n)
+	}
+	pool.setKmax(4) // the arbiter preempts half the grant
+	clock.advance(time.Second)
+	sup.Tick()
+	got := target.Allocation()
+	if got["a"]+got["b"] != 4 {
+		t.Fatalf("allocation not vacated to the grant: %v", got)
+	}
+	if got["a"] != 2 || got["b"] != 2 {
+		t.Fatalf("shrunk allocation not model-optimal: %v, want a=2 b=2", got)
+	}
+	hist := sup.History()
+	if len(hist) != 1 || !hist[0].Preempted || !hist[0].Applied {
+		t.Fatalf("want one applied preemption event, got %+v", hist)
+	}
+	if src.resets != 1 {
+		t.Fatalf("measurer not reset after forced shrink: %d resets", src.resets)
+	}
+	// A second preemption during the fresh cooldown must still be served.
+	pool.setKmax(3)
+	clock.advance(time.Second)
+	sup.Tick()
+	got = target.Allocation()
+	if got["a"]+got["b"] != 3 {
+		t.Fatalf("cooldown blocked a preemption shrink: %v", got)
+	}
+}
+
+// TestPartialGrantRefit asks for more slots than the arbiter will give and
+// checks the supervisor re-solves its allocation for the granted budget
+// instead of applying the oversized one.
+func TestPartialGrantRefit(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 2, "b": 2}}
+	pool := &fakeArbiterPool{kmax: 4, grantCap: 6}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionScaleOut, Target: []int{6, 6}, TargetKmax: 12, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 2, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}, {Name: "b", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a", "b"},
+		Stepper:   stepper,
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick()
+	got := target.Allocation()
+	if got["a"] != 3 || got["b"] != 3 {
+		t.Fatalf("partial grant not re-fit: %v, want a=3 b=3 (6 granted of 12 asked)", got)
+	}
+	hist := sup.History()
+	if len(hist) != 1 || !hist[0].Applied || hist[0].Kmax != 6 {
+		t.Fatalf("want one applied event at the granted Kmax 6, got %+v", hist)
+	}
+}
+
+// TestShrinkHoldsAtPhysicalFloor drops the grant below one slot per
+// operator: the supervisor cannot vacate below the physical floor, so it
+// must hold — not re-apply an identical over-budget allocation (and pay
+// its pause) every tick.
+func TestShrinkHoldsAtPhysicalFloor(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 1, "b": 1, "c": 1}}
+	pool := &fakeArbiterPool{kmax: 3, grantCap: 3}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 3, Ops: []core.OpRates{
+			{Name: "a", Lambda: 1, Mu: 2}, {Name: "b", Lambda: 1, Mu: 2}, {Name: "c", Lambda: 1, Mu: 2},
+		},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a", "b", "c"},
+		Stepper:   &fakeStepper{},
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick()
+	pool.setKmax(2) // below the 3-operator physical floor
+	for i := 0; i < 5; i++ {
+		clock.advance(time.Second)
+		sup.Tick()
+	}
+	if n := target.rebalances(); n != 0 {
+		t.Fatalf("supervisor churned %d rebalances against an unreachable budget", n)
+	}
+	if n := len(sup.History()); n != 0 {
+		t.Fatalf("unreachable budget recorded %d events", n)
+	}
+}
+
+// TestFailedApplyRollsBackLeaseGrant verifies the rollback fires on budget
+// change alone: an arbitrated lease can grow its grant without any machine
+// change, and a failed apply must hand those slots back rather than hoard
+// them from the other tenants.
+func TestFailedApplyRollsBackLeaseGrant(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 2, "b": 2}, rebalanceErr: engine.ErrQuiesceTimeout}
+	pool := &fakeArbiterPool{kmax: 4, grantCap: 12}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionScaleOut, Target: []int{6, 6}, TargetKmax: 12, Reason: "scripted",
+	}}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 2, Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}, {Name: "b", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a", "b"},
+		Stepper:   stepper,
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick()
+	if got := pool.Kmax(); got != 4 {
+		t.Fatalf("failed apply left the lease holding %d slots, want the original 4", got)
+	}
+	hist := sup.History()
+	if len(hist) != 1 || hist[0].Applied || hist[0].Err == nil {
+		t.Fatalf("want one failed event, got %+v", hist)
+	}
+}
+
+// TestTenantReportPushed verifies the supervisor feeds the arbiter its
+// utility self-assessment each decision round, with the violation flag
+// derived from the controller's Tmax.
+func TestTenantReportPushed(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 2, "b": 2}}
+	pool := &fakeArbiterPool{kmax: 4, grantCap: 64}
+	ctrl, err := core.NewController(core.ControllerConfig{Mode: core.ModeMinResource, Tmax: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := &fakeSource{snap: core.Snapshot{
+		Lambda0: 2, MeasuredSojourn: 1.0, // twice the 500 ms target
+		Ops: []core.OpRates{{Name: "a", Lambda: 1, Mu: 2}, {Name: "b", Lambda: 1, Mu: 2}},
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a", "b"},
+		Stepper:   ctrl,
+		Pool:      pool,
+		Source:    src,
+		Interval:  time.Second,
+		Cooldown:  time.Second,
+		Clock:     clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup.Tick()
+	rep, ok := pool.lastReport()
+	if !ok {
+		t.Fatal("no tenant report pushed")
+	}
+	if !rep.Violating {
+		t.Fatalf("measured 1.0s over Tmax 0.5s must report violating: %+v", rep)
+	}
+	if rep.Lambda0 != 2 || rep.GrowBenefit <= 0 || rep.ShrinkCost <= 0 {
+		t.Fatalf("report fields not populated: %+v", rep)
+	}
+}
+
 // slowSpout emits tuples at a fixed rate until stopped.
 type slowSpout struct{ every time.Duration }
 

@@ -81,6 +81,40 @@ func (m *ModulatedRate) NextInterArrival(r *stats.RNG) float64 {
 // MeanRate returns the mean of the rate distribution.
 func (m *ModulatedRate) MeanRate() float64 { return m.RateDist.Mean() }
 
+// SteppedRate multiplies a base arrival process's rate by Factor during
+// the window [From, Until) of simulated time — a load step and its
+// recovery in one process. It drives the multi-tenant contention
+// experiment: one tenant's input surges for a stretch, forcing the
+// scheduler to shift slots toward it and back. The process tracks time by
+// accumulating its own inter-arrival gaps, so it needs no clock plumbing
+// (like ModulatedRate); a gap straddling a boundary is drawn at the rate
+// in force when it starts.
+type SteppedRate struct {
+	// Base is the underlying arrival process (required).
+	Base ArrivalProcess
+	// Factor scales the base rate inside the window (e.g. 2 doubles it).
+	Factor float64
+	// From and Until bound the stepped window in simulated seconds.
+	From, Until float64
+
+	clock float64
+}
+
+// NextInterArrival draws from the base process, compressing (or
+// stretching) the gap by Factor while inside the window.
+func (s *SteppedRate) NextInterArrival(r *stats.RNG) float64 {
+	gap := s.Base.NextInterArrival(r)
+	if s.clock >= s.From && s.clock < s.Until && s.Factor > 0 {
+		gap /= s.Factor
+	}
+	s.clock += gap
+	return gap
+}
+
+// MeanRate reports the base rate: the step is a transient, and the
+// traffic equations should size for the steady state outside the window.
+func (s *SteppedRate) MeanRate() float64 { return s.Base.MeanRate() }
+
 // EmissionModel decides how many child tuples a processed tuple emits on
 // one edge. Its long-run mean must equal the edge's selectivity for the
 // traffic equations to hold.

@@ -30,6 +30,7 @@ func (e Exponential) Sample(r *RNG) float64 { return r.Exp(e.Rate) }
 // Mean returns 1/Rate.
 func (e Exponential) Mean() float64 { return 1 / e.Rate }
 
+// String renders the distribution for logs and reports.
 func (e Exponential) String() string { return fmt.Sprintf("Exp(rate=%g)", e.Rate) }
 
 // Deterministic always returns Value.
@@ -43,6 +44,7 @@ func (d Deterministic) Sample(*RNG) float64 { return d.Value }
 // Mean returns the constant value.
 func (d Deterministic) Mean() float64 { return d.Value }
 
+// String renders the distribution for logs and reports.
 func (d Deterministic) String() string { return fmt.Sprintf("Det(%g)", d.Value) }
 
 // Uniform is a uniform distribution on [Lo, Hi).
@@ -56,6 +58,7 @@ func (u Uniform) Sample(r *RNG) float64 { return r.Uniform(u.Lo, u.Hi) }
 // Mean returns (Lo+Hi)/2.
 func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
 
+// String renders the distribution for logs and reports.
 func (u Uniform) String() string { return fmt.Sprintf("Uniform[%g,%g)", u.Lo, u.Hi) }
 
 // LogNormal is a lognormal distribution, exp(N(Mu, Sigma)). Heavy-tailed
@@ -72,6 +75,7 @@ func (l LogNormal) Mean() float64 {
 	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
 }
 
+// String renders the distribution for logs and reports.
 func (l LogNormal) String() string { return fmt.Sprintf("LogNormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
 
 // Shifted wraps a distribution and adds a constant offset to every sample,
@@ -87,4 +91,5 @@ func (s Shifted) Sample(r *RNG) float64 { return s.Offset + s.Base.Sample(r) }
 // Mean returns Offset + Base.Mean.
 func (s Shifted) Mean() float64 { return s.Offset + s.Base.Mean() }
 
+// String renders the distribution for logs and reports.
 func (s Shifted) String() string { return fmt.Sprintf("%g+%s", s.Offset, s.Base) }

@@ -3,19 +3,20 @@
 # the repository's perf trajectory (ns/op, B/op, allocs/op per benchmark).
 #
 # Usage: scripts/bench.sh [PR-number] [benchtime]
-#   PR-number  suffix for the output file (default 2 -> BENCH_2.json)
+#   PR-number  suffix for the output file (default 3 -> BENCH_3.json)
 #   benchtime  passed to -benchtime (default 2s)
 #
-# The benchmark set covers the data plane end to end: the live engine
+# The benchmark set covers the data plane end to end — the live engine
 # (BenchmarkEngineThroughput), the DES simulator (BenchmarkSimThroughput),
-# a full controlled experiment (BenchmarkFig9VLD) and one control round
-# (BenchmarkSupervisorTick).
+# a full controlled experiment (BenchmarkFig9VLD) — plus the control
+# plane: one control round (BenchmarkSupervisorTick) and one multi-tenant
+# arbitration (BenchmarkSchedulerArbitration).
 set -eu
 
-PR="${1:-2}"
+PR="${1:-3}"
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick'
+PATTERN='BenchmarkEngineThroughput|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration'
 
 cd "$(dirname "$0")/.."
 
