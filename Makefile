@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench build vet checkdoc
+.PHONY: test race bench build vet checkdoc test-fuzz
 
 build:
 	$(GO) build ./...
@@ -18,12 +18,21 @@ test:
 	$(GO) test ./...
 
 # The concurrent fast paths (engine queues, pooled trees, supervisor) and
-# the multi-tenant scheduler's no-double-lease invariant.
+# the multi-tenant scheduler's no-double-lease invariant — plus the
+# randomized scheduler property test, which CI runs under -race here.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/...
 
+# Native fuzzing smoke: a short budget per target keeps it CI-sized; raise
+# FUZZTIME locally for real hunting. Seed corpora live in each package's
+# testdata/fuzz directory.
+FUZZTIME ?= 10s
+test-fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseTopology -fuzztime $(FUZZTIME) ./internal/topology
+	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/config
+
 # Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh).
-PR ?= 3
+PR ?= 4
 BENCHTIME ?= 2s
 bench:
 	sh scripts/bench.sh $(PR) $(BENCHTIME)

@@ -650,3 +650,55 @@ func BenchmarkSchedulerArbitration(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSchedulerFailover measures arbitration latency on a degraded
+// pool: the same 8-tenant contended Resize as BenchmarkSchedulerArbitration
+// but with one machine down — the failure-domain hot path (floors clipped
+// by the lost capacity, water-fill over the survivors, placement rebuilt
+// around the dead machine) that every post-crash re-arbitration runs.
+func BenchmarkSchedulerFailover(b *testing.B) {
+	pool, err := cluster.NewPool(cluster.PoolConfig{SlotsPerMachine: 8, MaxMachines: 8}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := make([]*cluster.Tenant, 8)
+	for i := range tenants {
+		t, err := sched.Register(cluster.TenantConfig{
+			Name:     string(rune('a' + i)),
+			Weight:   float64(i%3 + 1),
+			Priority: i % 2,
+			MinSlots: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Report(cluster.TenantReport{
+			Lambda0:     10,
+			Violating:   i%2 == 1,
+			GrowBenefit: float64(i),
+			ShrinkCost:  0.5,
+		})
+		tenants[i] = t
+	}
+	for _, t := range tenants {
+		if _, err := t.Resize(12); err != nil && !errors.Is(err, cluster.ErrNoCapacity) {
+			b.Fatal(err)
+		}
+	}
+	// Take one machine down: every arbitration below re-runs against the
+	// shrunken live capacity (56 slots for 96 demanded).
+	live := pool.LiveMachines()
+	if err := sched.FailMachine(live[len(live)-1].ID); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tenants[i%len(tenants)].Resize(12 + i%2); err != nil && !errors.Is(err, cluster.ErrNoCapacity) {
+			b.Fatal(err)
+		}
+	}
+}

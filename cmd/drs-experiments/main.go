@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|contention|all>
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|contention|churn|all>
 //
 // Flags:
 //
@@ -43,7 +43,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding contention all")
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding contention churn all")
 	}
 	opts := experiments.Options{Seed: *seed, Duration: *duration}
 	apps, err := appsFor(*app)
@@ -69,6 +69,8 @@ func run(args []string) error {
 		return runShedding(opts)
 	case "contention":
 		return runContention(opts)
+	case "churn":
+		return runChurn(opts)
 	case "all":
 		if err := runFig6(apps, opts); err != nil {
 			return err
@@ -94,6 +96,9 @@ func run(args []string) error {
 		if err := runContention(opts); err != nil {
 			return err
 		}
+		if err := runChurn(opts); err != nil {
+			return err
+		}
 		return runTable2(*iters)
 	default:
 		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
@@ -102,6 +107,15 @@ func run(args []string) error {
 
 func runContention(opts experiments.Options) error {
 	r, err := experiments.RunContention(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func runChurn(opts experiments.Options) error {
+	r, err := experiments.RunChurn(opts)
 	if err != nil {
 		return err
 	}

@@ -43,4 +43,7 @@ func TestRunShortExperiments(t *testing.T) {
 	if err := run([]string{"-iters", "50", "table2"}); err != nil {
 		t.Errorf("table2: %v", err)
 	}
+	if err := run([]string{"-duration", "240", "churn"}); err != nil {
+		t.Errorf("churn: %v", err)
+	}
 }

@@ -34,7 +34,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,21 +44,12 @@ import (
 	"github.com/drs-repro/drs/internal/queueing"
 	"github.com/drs-repro/drs/internal/sim"
 	"github.com/drs-repro/drs/internal/stats"
+	"github.com/drs-repro/drs/internal/topology"
 )
 
-// topoFile is the JSON schema of -topology.
-type topoFile struct {
-	Operators []struct {
-		Name         string  `json:"name"`
-		ServiceRate  float64 `json:"service_rate"`
-		ExternalRate float64 `json:"external_rate"`
-	} `json:"operators"`
-	Edges []struct {
-		From        string  `json:"from"`
-		To          string  `json:"to"`
-		Selectivity float64 `json:"selectivity"`
-	} `json:"edges"`
-}
+// topoFile is the JSON schema of -topology (fuzz-hardened in the topology
+// package, shared with everything else that reads the format).
+type topoFile = topology.File
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -140,23 +130,7 @@ func cmdQuantile(model *drs.Model, args []string) error {
 }
 
 func loadTopology(path string) (*drs.Topology, topoFile, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, topoFile{}, err
-	}
-	var tf topoFile
-	if err := json.Unmarshal(raw, &tf); err != nil {
-		return nil, topoFile{}, fmt.Errorf("parsing %s: %w", path, err)
-	}
-	b := drs.NewTopologyBuilder()
-	for _, op := range tf.Operators {
-		b.AddOperator(op.Name, op.ServiceRate, op.ExternalRate)
-	}
-	for _, e := range tf.Edges {
-		b.Connect(e.From, e.To, e.Selectivity)
-	}
-	topo, err := b.Build()
-	return topo, tf, err
+	return topology.Load(path)
 }
 
 func parseAlloc(s string, n int) ([]int, error) {

@@ -33,6 +33,10 @@ func cmdSchedule(args []string) error {
 	slots := fs.Int("slots", 4, "executor slots per machine")
 	maxMachines := fs.Int("max-machines", 8, "machine cap the negotiator may provision")
 	seed := fs.Int64("seed", 1, "workload seed")
+	failAfter := fs.Float64("fail-after", 0, "kill machines this many seconds into the run (0 disables)")
+	failCount := fs.Int("fail-machines", 1, "how many machines to kill at -fail-after")
+	failDown := fs.Float64("fail-down", 10, "outage length in seconds before the killed machines recover")
+	replace := fs.Bool("replace-on-failure", false, "return crashed machines to the provider and negotiate replacements")
 	verbose := fs.Bool("v", false, "log every loop event")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +89,11 @@ func cmdSchedule(args []string) error {
 	if err != nil {
 		return err
 	}
-	sched, err := drs.NewScheduler(drs.SchedulerConfig{Pool: pool, CostWindow: 30 * time.Second})
+	sched, err := drs.NewScheduler(drs.SchedulerConfig{
+		Pool:             pool,
+		CostWindow:       30 * time.Second,
+		ReplaceOnFailure: *replace,
+	})
 	if err != nil {
 		return err
 	}
@@ -171,7 +179,54 @@ func cmdSchedule(args []string) error {
 			return err
 		}
 	}
+	// The optional machine-churn injection: kill the highest-ID live
+	// machines mid-run and recover them after the outage, watching the
+	// scheduler re-arbitrate the leases out of band both times.
+	churnDone := make(chan struct{})
+	if *failAfter >= *duration {
+		fmt.Printf("  !! -fail-after %.0fs is at/past -duration %.0fs; churn injection disabled\n",
+			*failAfter, *duration)
+	}
+	if *failAfter > 0 && *failAfter < *duration {
+		// Clamp the outage inside the run: a -fail-down past the end
+		// recovers at the end instead of extending the run.
+		down := *failDown
+		if rest := *duration - *failAfter; down > rest {
+			down = rest
+		}
+		go func() {
+			defer close(churnDone)
+			time.Sleep(secondsDuration(*failAfter))
+			live := pool.LiveMachines()
+			if len(live) > *failCount {
+				live = live[len(live)-*failCount:]
+			}
+			var victims []int
+			for _, m := range live {
+				if err := sched.FailMachine(m.ID); err != nil {
+					fmt.Printf("  !! machine %d kill failed: %v\n", m.ID, err)
+					continue
+				}
+				victims = append(victims, m.ID)
+				fmt.Printf("  !! machine %d killed (capacity now %d)\n", m.ID, pool.Kmax())
+			}
+			if *failDown <= 0 || *replace {
+				return
+			}
+			time.Sleep(secondsDuration(down))
+			for _, id := range victims {
+				if err := sched.RecoverMachine(id); err != nil {
+					fmt.Printf("  !! machine %d recovery failed: %v\n", id, err)
+					continue
+				}
+				fmt.Printf("  !! machine %d recovered (capacity now %d)\n", id, pool.Kmax())
+			}
+		}()
+	} else {
+		close(churnDone)
+	}
 	time.Sleep(secondsDuration(*duration))
+	<-churnDone
 	for _, r := range runs {
 		r.sup.Stop()
 	}

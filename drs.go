@@ -32,6 +32,16 @@
 //     comparing marginal sojourn-time utilities across tenants via the
 //     Eq. 3 model. examples/multitenant runs two live topologies on one
 //     pool through a load surge.
+//   - The failure domain: pool machines have identity and a lifecycle
+//     (Fail / Recover / straggler flag), the Scheduler re-arbitrates every
+//     lease out of band the moment capacity moves — shrinking grants
+//     fairly with slots-lost attribution, optionally negotiating a
+//     replacement machine within the provider cap — and Supervisors
+//     re-fit their allocations to the surviving grant outside the
+//     cooldown gate (SlotsLost events). The engine recovers crashed
+//     executors by replaying their backlog onto a replacement, so
+//     at-least-once semantics hold through the crash. examples/churn runs
+//     the whole arc live; `drs-experiments churn` measures it.
 //
 // A minimal session:
 //
@@ -250,6 +260,23 @@ type ClusterCostModel = cluster.CostModel
 func NewClusterPool(cfg ClusterPoolConfig, startMachines int) (*ClusterPool, error) {
 	return cluster.NewPool(cfg, startMachines)
 }
+
+// MachineInfo is one pool machine's identity and lifecycle state — the
+// unit the failure domain operates on. Crash one with ClusterPool.Fail
+// (or Scheduler.FailMachine, which also re-arbitrates the leases), return
+// it with Recover, flag degradation with SetStraggler.
+type MachineInfo = cluster.MachineInfo
+
+// MachineUse is one live machine's row of a placement snapshot: how its
+// slots split between the reserved share and tenant leases. The scheduler
+// rebuilds the slot → machine mapping on every arbitration; stragglers
+// are filled last.
+type MachineUse = cluster.MachineUse
+
+// PoolChurnEvent is a machine lifecycle transition delivered to the
+// pool's OnChurn subscriber — the scheduler's out-of-band re-arbitration
+// trigger.
+type PoolChurnEvent = cluster.ChurnEvent
 
 // Scheduler is the multi-tenant cluster arbiter: it owns one machine pool
 // and arbitrates slot grants among N supervised topologies — weighted

@@ -1,0 +1,279 @@
+// Machine-failure and churn demo, live: two supervised topologies share
+// one machine pool through the cluster Scheduler, a machine crashes
+// mid-run and an executor of one topology is killed outright — and the
+// whole stack survives: the scheduler re-arbitrates the leases against
+// the surviving capacity out of band (slots-lost attribution, floors
+// intact), the affected supervisor vacates the lost slots at its next
+// tick (a SlotsLost event, not a preemption), the engine replays the
+// crashed executor's backlog onto a fresh replacement so no tuple is
+// lost, and when the machine recovers the standing demands re-claim the
+// capacity.
+//
+// The cast mirrors examples/multitenant: two identical extract -> match
+// pipelines on a pool of 3 machines x 3 slots —
+//
+//   - "analytics" (priority 0, weight 2) carries a steady 140 tuples/s
+//     and settles at 6 slots, floor 4: the two slots above its floor are
+//     what the crash takes;
+//   - "checkout" (priority 1) idles at 30 tuples/s on 2 slots, its floor.
+//
+// Killing one machine drops the capacity from 9 to 6 — exactly the two
+// floors — so analytics must shed its two comfort slots the moment the
+// crash lands, and reclaim them the moment the machine recovers.
+//
+// Run:
+//
+//	go run ./examples/churn
+package main
+
+import (
+	"fmt"
+	"log"
+	"log/slog"
+	"math"
+	"math/rand"
+	"os"
+	"sync/atomic"
+	"time"
+
+	drs "github.com/drs-repro/drs"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/loop"
+)
+
+// Demo parameters: millisecond-scale services keep the run under a minute
+// of wall time while preserving the failover dynamics.
+const (
+	muExtract = 100.0 // tuples/s one extract executor serves
+	muMatch   = 80.0  // tuples/s one match executor serves
+
+	analyticsTmax = 0.033 // seconds
+	checkoutTmax  = 0.090 // seconds
+
+	analyticsLoad = 140.0 // analytics' steady arrivals
+	checkoutLoad  = 30.0  // checkout's steady arrivals
+
+	settle   = 14 * time.Second // both tenants converge
+	outage   = 12 * time.Second // one machine down
+	recovery = 12 * time.Second // machine back; slots must return
+)
+
+// poissonSpout emits tuples with exponential inter-arrival times.
+type poissonSpout struct {
+	rate *atomic.Uint64 // math.Float64bits of tuples/s
+	rng  *rand.Rand
+}
+
+func (s *poissonSpout) Run(ctx engine.SpoutContext) error {
+	for {
+		rate := math.Float64frombits(s.rate.Load())
+		wait := time.Duration(s.rng.ExpFloat64() / rate * float64(time.Second))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(wait):
+			if !ctx.Paused() {
+				ctx.Emit(engine.Values{0})
+			}
+		}
+	}
+}
+
+// serviceBolt sleeps an exponential service time and forwards the tuple.
+func serviceBolt(mu float64) engine.BoltFactory {
+	return func(task int) engine.Bolt {
+		rng := rand.New(rand.NewSource(int64(task) + 1))
+		return engine.BoltFunc(func(_ engine.Tuple, emit engine.Emit) error {
+			time.Sleep(time.Duration(rng.ExpFloat64() / mu * float64(time.Second)))
+			emit(engine.Values{0})
+			return nil
+		})
+	}
+}
+
+// tenant bundles one supervised pipeline and its lease.
+type tenant struct {
+	name  string
+	run   *engine.Run
+	lease *drs.Tenant
+	sup   *drs.Supervisor
+}
+
+// startTenant builds, registers and supervises one pipeline.
+func startTenant(sched *drs.Scheduler, name string, prio int, weight, tmax, rate float64,
+	floor int, alloc map[string]int, seed int64) (*tenant, error) {
+	r := &atomic.Uint64{}
+	r.Store(math.Float64bits(rate))
+	topo, err := engine.NewTopology().
+		Spout("source", 1, func(int) engine.Spout {
+			return &poissonSpout{rate: r, rng: rand.New(rand.NewSource(seed))}
+		}).
+		Bolt("extract", 9, serviceBolt(muExtract)).
+		Bolt("match", 9, serviceBolt(muMatch)).
+		Shuffle("source", "extract").
+		Shuffle("extract", "match").
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	initial := 0
+	for _, k := range alloc {
+		initial += k
+	}
+	lease, err := sched.Register(drs.TenantConfig{
+		Name: name, Weight: weight, Priority: prio, MinSlots: floor, InitialSlots: initial,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 20 * time.Second})
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := drs.NewController(drs.ControllerConfig{
+		Mode:                  drs.ModeMinResource,
+		Tmax:                  tmax,
+		MinGain:               0.05,
+		ScaleInSlack:          0.25,
+		MaxScaleInUtilization: 0.9,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sup, err := drs.NewSupervisor(drs.SupervisorConfig{
+		Target:    loop.EngineTarget(run),
+		Operators: run.BoltNames(),
+		Stepper:   ctrl,
+		Pool:      lease,
+		Interval:  time.Second,
+		Cooldown:  3 * time.Second,
+		Logger:    slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &tenant{name: name, run: run, lease: lease, sup: sup}, nil
+}
+
+func main() {
+	pool, err := drs.NewClusterPool(drs.ClusterPoolConfig{
+		SlotsPerMachine: 3,
+		MaxMachines:     3,
+		Costs: drs.ClusterCostModel{
+			Rebalance:        200 * time.Millisecond,
+			MachineColdStart: 500 * time.Millisecond,
+			MachineRelease:   200 * time.Millisecond,
+		},
+	}, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := drs.NewScheduler(drs.SchedulerConfig{Pool: pool, CostWindow: 20 * time.Second})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	analytics, err := startTenant(sched, "analytics", 0, 2, analyticsTmax, analyticsLoad,
+		4, map[string]int{"extract": 3, "match": 3}, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	checkout, err := startTenant(sched, "checkout", 1, 1, checkoutTmax, checkoutLoad,
+		2, map[string]int{"extract": 1, "match": 1}, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tenants := []*tenant{analytics, checkout}
+	for _, t := range tenants {
+		if err := t.sup.Start(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := sched.State()
+	fmt.Printf("pool: %d machines, %d slots; analytics floor 4, checkout floor 2\n\n", st.Machines, st.Capacity)
+
+	start := time.Now()
+	doubleLeased := false
+	report := func(until time.Duration) {
+		for time.Since(start) < until {
+			time.Sleep(2 * time.Second)
+			st := sched.State()
+			if st.Leased > st.Capacity {
+				doubleLeased = true
+			}
+			line := fmt.Sprintf("  t=%4.1fs capacity=%-2d", time.Since(start).Seconds(), st.Capacity)
+			for _, t := range tenants {
+				line += fmt.Sprintf("  %s: %d slots (lost %d)", t.name, t.lease.Kmax(), t.lease.LostSlots())
+			}
+			fmt.Println(line)
+		}
+	}
+
+	fmt.Println("phase 1: both tenants settle")
+	report(settle)
+
+	// Pick the machine hosting the most analytics slots and kill it; at
+	// the same time crash one of analytics' extract executors outright.
+	victim, worst := 0, -1
+	for id, n := range analytics.lease.Placement() {
+		if n > worst {
+			victim, worst = id, n
+		}
+	}
+	fmt.Printf("\nphase 2: machine %d crashes (capacity drops to the floors) + one extract executor killed\n", victim)
+	if err := sched.FailMachine(victim); err != nil {
+		log.Fatal(err)
+	}
+	replayed, err := analytics.run.FailExecutor("extract", 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  executor crash: %d backlog tuples replayed onto the replacement\n", replayed)
+	report(settle + outage)
+
+	fmt.Printf("\nphase 3: machine %d recovers — the shed slots must return\n", victim)
+	if err := sched.RecoverMachine(victim); err != nil {
+		log.Fatal(err)
+	}
+	report(settle + outage + recovery)
+
+	for _, t := range tenants {
+		t.sup.Stop()
+	}
+	// Stop drains in-flight trees; a nil error is the zero-lost proof —
+	// every external tuple, the replayed backlog included, completed.
+	lost := false
+	for _, t := range tenants {
+		if err := t.run.Stop(); err != nil {
+			fmt.Printf("  %s: stop: %v\n", t.name, err)
+			lost = true
+		}
+	}
+
+	fmt.Println("\nscheduler history:")
+	sawSlotsLost, sawRecover := false, false
+	for _, ev := range sched.History() {
+		fmt.Printf("  %s\n", ev)
+		switch ev.Kind {
+		case "slots-lost":
+			sawSlotsLost = true
+		case "machine-recover":
+			sawRecover = true
+		}
+	}
+	supSlotsLost := false
+	for _, ev := range analytics.sup.History() {
+		if ev.SlotsLost && ev.Applied {
+			supSlotsLost = true
+		}
+	}
+	fmt.Printf("\nanalytics: lost-to-failure=%d, executor crashes=%d, tuples replayed=%d\n",
+		analytics.lease.LostSlots(), analytics.run.ExecutorFailures(), analytics.run.Replayed())
+	fmt.Printf("slots-lost arbitration: %v; supervisor SlotsLost re-fit: %v; machine recovered: %v\n",
+		sawSlotsLost, supSlotsLost, sawRecover)
+	fmt.Printf("double-leased: %v; tuples lost: %v; final grants: analytics=%d checkout=%d of %d\n",
+		doubleLeased, lost, analytics.lease.Kmax(), checkout.lease.Kmax(), sched.State().Capacity)
+	if doubleLeased || lost || !sawSlotsLost || !supSlotsLost || !sawRecover {
+		os.Exit(1)
+	}
+}

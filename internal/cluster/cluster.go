@@ -10,6 +10,15 @@
 // (seconds, because DRS reuses JVMs), a scale-out that must boot a new
 // machine is expensive (the ~4.8 s spike of ExpA), and Storm's default
 // stop-the-world rebalance is modeled for comparison (1-2 minutes).
+//
+// Machines have identity and a lifecycle: a provisioned machine is up
+// until Fail marks it crashed (its slots leave the capacity on offer) and
+// until Recover brings it back or Decommission returns it to the provider.
+// A machine can also be flagged as a straggler — still serving, but
+// degraded — which placement treats as a last-resort host. Fail/Recover
+// are the churn inputs the failure-domain tests and the churn experiment
+// drive; a Scheduler that owns the pool subscribes via OnChurn and
+// re-arbitrates the leases out of band the moment capacity moves.
 package cluster
 
 import (
@@ -22,6 +31,10 @@ import (
 // ErrNoCapacity is returned when a requested pool size exceeds the
 // provider's machine limit.
 var ErrNoCapacity = errors.New("cluster: provider machine limit reached")
+
+// ErrUnknownMachine is returned for lifecycle operations naming a machine
+// the pool does not hold.
+var ErrUnknownMachine = errors.New("cluster: unknown machine")
 
 // CostModel prices the three transition kinds, as durations of degraded
 // service applied to in-flight tuples during the change.
@@ -60,6 +73,8 @@ type PoolConfig struct {
 	ReservedSlots int
 	// MaxMachines caps what the negotiator may provision (6 in the paper:
 	// 5 for executors + 1 for Nimbus/ZooKeeper, which we fold into the cap).
+	// A failed machine still occupies the cap until it recovers or is
+	// decommissioned — the provider lease does not end with the crash.
 	MaxMachines int
 	// Costs prices transitions; zero values mean free transitions.
 	Costs CostModel
@@ -84,20 +99,55 @@ func (c PoolConfig) Validate() error {
 
 // Transition describes one applied pool change, with its modeled cost.
 type Transition struct {
-	// Kind is "rebalance", "scale-out" or "scale-in".
+	// Kind is "rebalance", "scale-out", "scale-in", "machine-fail" or
+	// "machine-recover".
 	Kind string
-	// MachinesBefore and MachinesAfter bracket the change.
+	// MachinesBefore and MachinesAfter bracket the change (live machines).
 	MachinesBefore, MachinesAfter int
 	// Pause is the modeled service disruption.
 	Pause time.Duration
 }
 
+// MachineInfo is one machine's identity and lifecycle state.
+type MachineInfo struct {
+	// ID identifies the machine for Fail/Recover/Decommission; IDs are
+	// assigned once at provisioning and never reused within a pool.
+	ID int
+	// Failed reports a crashed machine: provisioned (it occupies the cap)
+	// but contributing no capacity until Recover.
+	Failed bool
+	// Straggler flags a degraded machine: it still serves its slots, but
+	// placement treats it as a last-resort host.
+	Straggler bool
+}
+
+// ChurnEvent describes one machine lifecycle transition, delivered to the
+// OnChurn subscriber after the pool state has changed.
+type ChurnEvent struct {
+	// Kind is "machine-fail", "machine-recover", "straggler" or
+	// "straggler-clear".
+	Kind string
+	// Machine is the affected machine's ID.
+	Machine int
+	// LiveBefore and LiveAfter bracket the live machine count.
+	LiveBefore, LiveAfter int
+}
+
+// machine is one pool machine's mutable record.
+type machine struct {
+	id        int
+	failed    bool
+	straggler bool
+}
+
 // Pool is the simulated machine pool. Safe for concurrent use.
 type Pool struct {
-	mu       sync.Mutex
-	cfg      PoolConfig
-	machines int
-	history  []Transition
+	mu      sync.Mutex
+	cfg     PoolConfig
+	fleet   []machine // provisioned machines (live and failed), id order
+	nextID  int
+	history []Transition
+	churn   func(ChurnEvent) // called after mu is released
 }
 
 // NewPool builds a pool with the given starting machine count.
@@ -108,18 +158,181 @@ func NewPool(cfg PoolConfig, startMachines int) (*Pool, error) {
 	if startMachines < 1 || startMachines > cfg.MaxMachines {
 		return nil, fmt.Errorf("cluster: start machines %d out of [1, %d]", startMachines, cfg.MaxMachines)
 	}
-	return &Pool{cfg: cfg, machines: startMachines}, nil
+	p := &Pool{cfg: cfg}
+	for i := 0; i < startMachines; i++ {
+		p.nextID++
+		p.fleet = append(p.fleet, machine{id: p.nextID})
+	}
+	return p, nil
 }
 
-// Machines reports the current machine count.
+// OnChurn registers the machine-lifecycle subscriber (a Scheduler that
+// owns the pool). The callback runs after the transition is applied and
+// after the pool lock is released, so it may call back into the pool.
+// Only one subscriber is held; nil unregisters.
+func (p *Pool) OnChurn(fn func(ChurnEvent)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.churn = fn
+}
+
+// Machines reports the current live machine count.
 func (p *Pool) Machines() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.machines
+	return p.liveLocked()
 }
 
-// Kmax reports the processor budget the pool offers: total slots minus the
-// reserved ones.
+// Provisioned reports how many machines the pool holds from the provider,
+// failed ones included — the count the MaxMachines cap applies to.
+func (p *Pool) Provisioned() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.fleet)
+}
+
+// MachineList returns every provisioned machine's state, in ID order.
+func (p *Pool) MachineList() []MachineInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MachineInfo, len(p.fleet))
+	for i, m := range p.fleet {
+		out[i] = MachineInfo{ID: m.id, Failed: m.failed, Straggler: m.straggler}
+	}
+	return out
+}
+
+// LiveMachines returns the machines currently in service, in ID order —
+// the last entry is the newest live machine, the canonical victim for
+// failure-injection drivers.
+func (p *Pool) LiveMachines() []MachineInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]MachineInfo, 0, len(p.fleet))
+	for _, m := range p.fleet {
+		if !m.failed {
+			out = append(out, MachineInfo{ID: m.id, Straggler: m.straggler})
+		}
+	}
+	return out
+}
+
+func (p *Pool) liveLocked() int {
+	n := 0
+	for _, m := range p.fleet {
+		if !m.failed {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) failedLocked() int { return len(p.fleet) - p.liveLocked() }
+
+func (p *Pool) findLocked(id int) *machine {
+	for i := range p.fleet {
+		if p.fleet[i].id == id {
+			return &p.fleet[i]
+		}
+	}
+	return nil
+}
+
+// Fail marks a live machine crashed: its slots leave the capacity on offer
+// immediately, but the machine keeps occupying the provider cap until
+// Recover or Decommission. The OnChurn subscriber is notified.
+func (p *Pool) Fail(id int) error {
+	p.mu.Lock()
+	m := p.findLocked(id)
+	if m == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrUnknownMachine, id)
+	}
+	if m.failed {
+		p.mu.Unlock()
+		return fmt.Errorf("cluster: machine %d already failed", id)
+	}
+	before := p.liveLocked()
+	m.failed = true
+	p.history = append(p.history, Transition{Kind: "machine-fail", MachinesBefore: before, MachinesAfter: before - 1})
+	notify := p.churn
+	p.mu.Unlock()
+	if notify != nil {
+		notify(ChurnEvent{Kind: "machine-fail", Machine: id, LiveBefore: before, LiveAfter: before - 1})
+	}
+	return nil
+}
+
+// Recover brings a failed machine back into service (MTTR elapsed, or the
+// operator repaired it). The OnChurn subscriber is notified.
+func (p *Pool) Recover(id int) error {
+	p.mu.Lock()
+	m := p.findLocked(id)
+	if m == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrUnknownMachine, id)
+	}
+	if !m.failed {
+		p.mu.Unlock()
+		return fmt.Errorf("cluster: machine %d is not failed", id)
+	}
+	before := p.liveLocked()
+	m.failed = false
+	p.history = append(p.history, Transition{Kind: "machine-recover", MachinesBefore: before, MachinesAfter: before + 1})
+	notify := p.churn
+	p.mu.Unlock()
+	if notify != nil {
+		notify(ChurnEvent{Kind: "machine-recover", Machine: id, LiveBefore: before, LiveAfter: before + 1})
+	}
+	return nil
+}
+
+// Decommission returns a failed machine to the provider, freeing its place
+// under the MaxMachines cap (so a replacement can be negotiated). Only
+// failed machines can be decommissioned; live ones leave through Resize.
+func (p *Pool) Decommission(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.fleet {
+		if p.fleet[i].id == id {
+			if !p.fleet[i].failed {
+				return fmt.Errorf("cluster: machine %d is live; scale in instead", id)
+			}
+			p.fleet = append(p.fleet[:i], p.fleet[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: id %d", ErrUnknownMachine, id)
+}
+
+// SetStraggler flags or clears a machine's straggler state — the "slow but
+// alive" signal a health checker raises. Capacity is unchanged; placement
+// (and whoever watches the signal) treats the machine as a last-resort
+// host. The OnChurn subscriber is notified so placements refresh.
+func (p *Pool) SetStraggler(id int, on bool) error {
+	p.mu.Lock()
+	m := p.findLocked(id)
+	if m == nil {
+		p.mu.Unlock()
+		return fmt.Errorf("%w: id %d", ErrUnknownMachine, id)
+	}
+	changed := m.straggler != on
+	m.straggler = on
+	live := p.liveLocked()
+	notify := p.churn
+	p.mu.Unlock()
+	if changed && notify != nil {
+		kind := "straggler"
+		if !on {
+			kind = "straggler-clear"
+		}
+		notify(ChurnEvent{Kind: kind, Machine: id, LiveBefore: live, LiveAfter: live})
+	}
+	return nil
+}
+
+// Kmax reports the processor budget the pool offers: the live machines'
+// slots minus the reserved ones.
 func (p *Pool) Kmax() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -127,16 +340,32 @@ func (p *Pool) Kmax() int {
 }
 
 func (p *Pool) kmaxLocked() int {
-	return p.machines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
+	k := p.liveLocked()*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
+	if k < 0 {
+		k = 0
+	}
+	return k
 }
 
-// MaxKmax reports the largest processor budget the provider can ever
-// offer: every machine up to the cap, minus the reserved slots.
+// MaxKmax reports the largest processor budget the provider can offer
+// right now: every machine up to the cap — failed machines still occupy
+// their cap places — minus the reserved slots.
 func (p *Pool) MaxKmax() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.cfg.MaxMachines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
+	k := (p.cfg.MaxMachines-p.failedLocked())*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots
+	if k < 0 {
+		k = 0
+	}
+	return k
 }
+
+// SlotsPerMachine reports the executor capacity of one machine.
+func (p *Pool) SlotsPerMachine() int { return p.cfg.SlotsPerMachine }
+
+// ReservedSlots reports the slots taken off the top of the pool for
+// spouts and the DRS executor.
+func (p *Pool) ReservedSlots() int { return p.cfg.ReservedSlots }
 
 // Costs returns the transition cost model the pool prices changes with.
 func (p *Pool) Costs() CostModel {
@@ -145,7 +374,7 @@ func (p *Pool) Costs() CostModel {
 	return p.cfg.Costs
 }
 
-// MachinesFor returns the fewest machines whose pool covers the given
+// MachinesFor returns the fewest live machines whose pool covers the given
 // number of processors, and the resulting Kmax.
 func (p *Pool) MachinesFor(processors int) (machines, kmax int, err error) {
 	if processors < 0 {
@@ -161,20 +390,22 @@ func (p *Pool) MachinesFor(processors int) (machines, kmax int, err error) {
 func (p *Pool) Rebalance() Transition {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	live := p.liveLocked()
 	tr := Transition{
 		Kind:           "rebalance",
-		MachinesBefore: p.machines,
-		MachinesAfter:  p.machines,
+		MachinesBefore: live,
+		MachinesAfter:  live,
 		Pause:          p.cfg.Costs.Rebalance,
 	}
 	p.history = append(p.history, tr)
 	return tr
 }
 
-// Resize negotiates the pool to the given Kmax (quantized up to whole
-// machines) and returns the transition. Growing pays the cold-start cost;
-// shrinking pays the release cost; a no-op change returns a zero-cost
-// rebalance-kind transition.
+// Resize negotiates the pool to the given Kmax (quantized up to whole live
+// machines) and returns the transition. Growing provisions fresh machines
+// and pays the cold-start cost; shrinking decommissions live machines —
+// stragglers first, then youngest — and pays the release cost; a no-op
+// change returns a zero-cost rebalance-kind transition.
 func (p *Pool) Resize(targetKmax int) (Transition, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -182,21 +413,45 @@ func (p *Pool) Resize(targetKmax int) (Transition, error) {
 	if err != nil {
 		return Transition{}, err
 	}
-	tr := Transition{MachinesBefore: p.machines, MachinesAfter: machines}
+	live := p.liveLocked()
+	tr := Transition{MachinesBefore: live, MachinesAfter: machines}
 	switch {
-	case machines > p.machines:
+	case machines > live:
 		tr.Kind = "scale-out"
 		tr.Pause = p.cfg.Costs.Rebalance + p.cfg.Costs.MachineColdStart
-	case machines < p.machines:
+		for i := live; i < machines; i++ {
+			p.nextID++
+			p.fleet = append(p.fleet, machine{id: p.nextID})
+		}
+	case machines < live:
 		tr.Kind = "scale-in"
 		tr.Pause = p.cfg.Costs.Rebalance + p.cfg.Costs.MachineRelease
+		p.releaseLocked(live - machines)
 	default:
 		tr.Kind = "rebalance"
 		tr.Pause = p.cfg.Costs.Rebalance
 	}
-	p.machines = machines
 	p.history = append(p.history, tr)
 	return tr, nil
+}
+
+// releaseLocked removes n live machines: stragglers first (the shrink is
+// the moment to shed degraded hardware), then the youngest healthy ones.
+func (p *Pool) releaseLocked(n int) {
+	drop := func(wantStraggler bool) bool {
+		for i := len(p.fleet) - 1; i >= 0; i-- {
+			if !p.fleet[i].failed && p.fleet[i].straggler == wantStraggler {
+				p.fleet = append(p.fleet[:i], p.fleet[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	for ; n > 0; n-- {
+		if !drop(true) && !drop(false) {
+			return
+		}
+	}
 }
 
 func (p *Pool) machinesForLocked(processors int) (machines, kmax int, err error) {
@@ -205,8 +460,9 @@ func (p *Pool) machinesForLocked(processors int) (machines, kmax int, err error)
 	if machines < 1 {
 		machines = 1
 	}
-	if machines > p.cfg.MaxMachines {
-		return 0, 0, fmt.Errorf("%w: need %d machines, cap %d", ErrNoCapacity, machines, p.cfg.MaxMachines)
+	if limit := p.cfg.MaxMachines - p.failedLocked(); machines > limit {
+		return 0, 0, fmt.Errorf("%w: need %d machines, cap %d (%d failed)",
+			ErrNoCapacity, machines, p.cfg.MaxMachines, p.failedLocked())
 	}
 	return machines, machines*p.cfg.SlotsPerMachine - p.cfg.ReservedSlots, nil
 }

@@ -92,12 +92,20 @@ func (c TenantConfig) validate() error {
 // SchedulerConfig assembles a scheduler.
 type SchedulerConfig struct {
 	// Pool is the machine pool the scheduler takes ownership of
-	// (required). Nothing else may resize it afterwards.
+	// (required). Nothing else may resize it afterwards; the scheduler
+	// subscribes to the pool's machine churn and re-arbitrates out of band
+	// when a machine fails, recovers or is flagged a straggler.
 	Pool *Pool
 	// CostWindow is the Appendix-B amortization horizon: a preemption must
 	// recoup its transition pauses within this span of predicted benefit
 	// (default 60s).
 	CostWindow time.Duration
+	// ReplaceOnFailure returns a crashed machine to the provider the
+	// moment it fails, freeing its place under the MaxMachines cap so the
+	// same arbitration can negotiate a fresh replacement machine (paying
+	// the cold-start pause). When false, the wreck occupies the cap until
+	// Recover and the tenants ride out the outage on shrunken grants.
+	ReplaceOnFailure bool
 	// MaxHistory caps the retained decision history (default 256).
 	MaxHistory int
 	// Clock defaults to the wall clock.
@@ -111,7 +119,10 @@ type SchedulerEvent struct {
 	// At is the scheduler clock time of the event.
 	At time.Time
 	// Kind is "register", "grant", "shrink" (voluntary), "preempt"
-	// (involuntary), "release" (tenant gone) or "pool" (machine change).
+	// (involuntary), "slots-lost" (involuntary, machine failure),
+	// "release" (tenant gone), "pool" (negotiated machine change),
+	// "priority" (a tenant's rank changed) or a machine lifecycle kind
+	// ("machine-fail", "machine-recover", "straggler", "straggler-clear").
 	Kind string
 	// Tenant names the affected tenant ("" for pool events).
 	Tenant string
@@ -139,18 +150,43 @@ type TenantState struct {
 	Name                                string
 	Weight                              float64
 	Priority, MinSlots, Demand, Granted int
+	// Lost is the cumulative number of slots machine failures have taken
+	// from this tenant's grant.
+	Lost int
+}
+
+// MachineUse is one live machine's row in a placement snapshot: how its
+// slots are split between the reserved share and tenant leases.
+type MachineUse struct {
+	// ID is the machine's pool identity.
+	ID int
+	// Straggler reports the degraded-machine flag; stragglers are filled
+	// last, so they hold slots only when the healthy machines are full.
+	Straggler bool
+	// Slots is the machine's slot capacity; Reserved and Leased are the
+	// slots placed on it (Reserved + Leased <= Slots always holds).
+	Slots, Reserved, Leased int
 }
 
 // SchedulerState is an atomic snapshot of the arbitration state, for
 // dashboards and invariant-checking tests.
 type SchedulerState struct {
-	// Machines and Capacity describe the pool under the grants.
+	// Machines and Capacity describe the pool under the grants (live
+	// machines only — failed ones offer no capacity).
 	Machines, Capacity int
-	// Leased is the total of all grants; Leased <= Capacity always holds
-	// (no slot is ever double-leased).
+	// Leased is the total of all grants; after every arbitration
+	// Leased <= Capacity holds (no slot is ever double-leased). One
+	// unavoidable transient exists: between a machine crash and the
+	// scheduler's out-of-band re-arbitration — a window of one callback
+	// dispatch — a snapshot can catch the pre-crash grants against the
+	// post-crash capacity, which is the physically true state of a
+	// cluster at the instant slots die.
 	Leased int
 	// Tenants lists every registered tenant in registration order.
 	Tenants []TenantState
+	// Placement maps the grants onto live machines, one row per machine in
+	// fill order (healthy before stragglers).
+	Placement []MachineUse
 }
 
 // Scheduler arbitrates one machine pool among N tenant topologies. Safe
@@ -162,12 +198,13 @@ type Scheduler struct {
 	mu        sync.Mutex
 	tenants   []*Tenant      // registration order; tie-break for fairness
 	preempts  map[string]int // claimant -> slots preempted on its behalf, in force
+	placement []MachineUse   // per-machine slot use, rebuilt each arbitration
 	history   []SchedulerEvent
 	histStart int
 }
 
-// NewScheduler validates the config, fills defaults and takes ownership of
-// the pool.
+// NewScheduler validates the config, fills defaults, takes ownership of
+// the pool and subscribes to its machine churn.
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.Pool == nil {
 		return nil, errors.New("cluster: scheduler requires a pool")
@@ -184,7 +221,55 @@ func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = schedWallClock{}
 	}
-	return &Scheduler{cfg: cfg, clock: cfg.Clock, preempts: make(map[string]int)}, nil
+	s := &Scheduler{cfg: cfg, clock: cfg.Clock, preempts: make(map[string]int)}
+	s.mu.Lock()
+	s.placeLocked()
+	s.mu.Unlock()
+	cfg.Pool.OnChurn(s.poolChurn)
+	return s, nil
+}
+
+// poolChurn is the out-of-band re-arbitration path: the pool delivers a
+// machine lifecycle transition (failure, recovery, straggler flag) and the
+// scheduler immediately recomputes every grant against the new live
+// capacity — without waiting for any tenant's next Resize. A failure
+// shrinks grants fairly through the same floors → water-fill → preemption
+// pipeline, with the lost-capacity overlay attributing the involuntary
+// shrinks to the crash ("slots-lost" events, Tenant.LostSlots) so
+// supervisors can tell failover from preemption.
+func (s *Scheduler) poolChurn(ev ChurnEvent) {
+	if ev.Kind == "machine-fail" && s.cfg.ReplaceOnFailure {
+		// Return the wreck to the provider right away: its place under the
+		// cap frees, so the demand-driven negotiation inside the
+		// arbitration below can provision a fresh replacement machine.
+		_ = s.cfg.Pool.Decommission(ev.Machine)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.recordLocked(SchedulerEvent{At: s.clock.Now(), Kind: ev.Kind,
+		From: ev.LiveBefore, To: ev.LiveAfter,
+		Detail: fmt.Sprintf("machine %d", ev.Machine)})
+	lost := 0
+	if ev.Kind == "machine-fail" {
+		if lost = (ev.LiveBefore - ev.LiveAfter) * s.cfg.Pool.SlotsPerMachine(); lost < 0 {
+			lost = 0
+		}
+	}
+	s.arbitrateLocked(lost)
+}
+
+// FailMachine reports a machine crash to the pool; the churn subscription
+// re-arbitrates every lease against the surviving capacity immediately.
+func (s *Scheduler) FailMachine(id int) error { return s.cfg.Pool.Fail(id) }
+
+// RecoverMachine returns a failed machine to service; the freed capacity
+// is re-arbitrated to the pending demands immediately.
+func (s *Scheduler) RecoverMachine(id int) error { return s.cfg.Pool.Recover(id) }
+
+// MarkStraggler flags (or clears) a machine as degraded-but-alive; the
+// placement refreshes so leases concentrate on healthy machines first.
+func (s *Scheduler) MarkStraggler(id int, on bool) error {
+	return s.cfg.Pool.SetStraggler(id, on)
 }
 
 // Tenant is one topology's lease on the shared pool. It implements the
@@ -201,6 +286,8 @@ type Tenant struct {
 	// All fields below are guarded by s.mu.
 	demand     int
 	granted    int
+	lost       int         // cumulative slots taken by machine failures
+	placement  map[int]int // machine id -> slots of the current grant
 	report     TenantReport
 	haveReport bool
 	released   bool
@@ -225,12 +312,12 @@ func (s *Scheduler) Register(cfg TenantConfig) (*Tenant, error) {
 	}
 	t := &Tenant{s: s, cfg: cfg, demand: cfg.InitialSlots}
 	s.tenants = append(s.tenants, t)
-	s.arbitrateLocked()
+	s.arbitrateLocked(0)
 	if t.granted < cfg.InitialSlots {
 		s.tenants = s.tenants[:len(s.tenants)-1]
 		t.demand, t.granted = 0, 0
 		t.released = true
-		s.arbitrateLocked()
+		s.arbitrateLocked(0)
 		return nil, fmt.Errorf("%w: tenant %q needs %d initial slots", ErrNoCapacity, cfg.Name, cfg.InitialSlots)
 	}
 	s.recordLocked(SchedulerEvent{At: s.clock.Now(), Kind: "register", Tenant: cfg.Name,
@@ -251,8 +338,10 @@ func (s *Scheduler) State() SchedulerState {
 		st.Tenants = append(st.Tenants, TenantState{
 			Name: t.cfg.Name, Weight: t.cfg.Weight, Priority: t.cfg.Priority,
 			MinSlots: t.cfg.MinSlots, Demand: t.demand, Granted: t.granted,
+			Lost: t.lost,
 		})
 	}
+	st.Placement = append([]MachineUse(nil), s.placement...)
 	return st
 }
 
@@ -287,15 +376,25 @@ func (s *Scheduler) recordLocked(ev SchedulerEvent) {
 //     to the unsatisfied tenant with the smallest granted/weight ratio,
 //  4. overlay preemption: a violating higher-priority tenant still short
 //     of its demand takes slots from lower-priority tenants (never below
-//     their floors) where the Appendix-B cost/benefit guard clears.
+//     their floors) where the Appendix-B cost/benefit guard clears,
+//  5. map every grant onto live machines (healthy first, stragglers last).
 //
 // Because the computation is deterministic and depends only on those
 // inputs, repeated arbitrations with unchanged inputs reproduce the same
 // grants exactly — no churn — and the moment a violation clears or a
 // demand drops, the next arbitration returns the slots automatically.
 //
+// lostCapacity is the slot count a machine failure just removed (0 for
+// demand-driven arbitrations): involuntary shrinks that are not
+// preemptions are attributed to the crash — the "lost capacity" overlay
+// ("slots-lost" events, per-tenant lost counters) that lets a supervisor
+// distinguish failover from preemption. The attribution is bounded by
+// lostCapacity, so an unrelated shrink that happens to land in the same
+// arbitration (say, a preemption overlay unwinding because its claimant's
+// violation cleared) cannot inflate the failure accounting.
+//
 // It returns the pool transition and whether the machine count changed.
-func (s *Scheduler) arbitrateLocked() (Transition, bool) {
+func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 	now := s.clock.Now()
 	before := make(map[*Tenant]int, len(s.tenants))
 	for _, t := range s.tenants {
@@ -385,12 +484,80 @@ func (s *Scheduler) arbitrateLocked() (Transition, bool) {
 			s.recordLocked(SchedulerEvent{At: now, Kind: "preempt", Tenant: t.cfg.Name,
 				From: old, To: t.granted, Pause: rebalance,
 				Detail: fmt.Sprintf("floor %d", t.cfg.MinSlots)})
+		case t.granted < old && lostCapacity > 0:
+			// The lost-capacity overlay: the demand did not drop and no
+			// preemption fired — the slots went down with a machine. The
+			// remaining lost-capacity budget bounds the attribution.
+			took := old - t.granted
+			if took > lostCapacity {
+				took = lostCapacity
+			}
+			lostCapacity -= took
+			t.lost += took
+			s.recordLocked(SchedulerEvent{At: now, Kind: "slots-lost", Tenant: t.cfg.Name,
+				From: old, To: t.granted, Pause: rebalance,
+				Detail: fmt.Sprintf("machine failure; capacity %d", capacity)})
 		case t.granted < old:
 			s.recordLocked(SchedulerEvent{At: now, Kind: "shrink", Tenant: t.cfg.Name,
 				From: old, To: t.granted, Detail: fmt.Sprintf("demand %d", t.demand)})
 		}
 	}
+	s.placeLocked()
 	return poolTr, poolChanged
+}
+
+// placeLocked rebuilds the slot → machine mapping for the current grants:
+// live machines are filled in ID order with healthy machines before
+// stragglers, the reserved slots land first, then each tenant's grant in
+// registration order. The mapping is a pure function of the grants and the
+// machine states, so it never disagrees with the arbitration — and because
+// Leased <= Capacity is an arbitration invariant, every granted slot finds
+// a machine.
+func (s *Scheduler) placeLocked() {
+	list := s.cfg.Pool.MachineList()
+	s.placement = s.placement[:0]
+	for pass := 0; pass < 2; pass++ { // healthy machines first, stragglers second
+		for _, m := range list {
+			if m.Failed || m.Straggler != (pass == 1) {
+				continue
+			}
+			s.placement = append(s.placement, MachineUse{
+				ID: m.ID, Straggler: m.Straggler, Slots: s.cfg.Pool.SlotsPerMachine(),
+			})
+		}
+	}
+	reserved := s.cfg.Pool.ReservedSlots()
+	cursor := 0
+	for i := range s.placement {
+		if reserved == 0 {
+			break
+		}
+		take := reserved
+		if take > s.placement[i].Slots {
+			take = s.placement[i].Slots
+		}
+		s.placement[i].Reserved = take
+		reserved -= take
+	}
+	for _, t := range s.tenants {
+		t.placement = make(map[int]int, 2)
+		need := t.granted
+		for need > 0 && cursor < len(s.placement) {
+			row := &s.placement[cursor]
+			free := row.Slots - row.Reserved - row.Leased
+			if free <= 0 {
+				cursor++
+				continue
+			}
+			take := need
+			if take > free {
+				take = free
+			}
+			row.Leased += take
+			t.placement[row.ID] += take
+			need -= take
+		}
+	}
 }
 
 // preemptLocked moves slots from lower-priority tenants to unsatisfied
@@ -520,7 +687,7 @@ func (t *Tenant) Resize(target int) (Transition, error) {
 	old := t.granted
 	machinesBefore := t.s.cfg.Pool.Machines()
 	t.demand = target
-	poolTr, poolChanged := t.s.arbitrateLocked()
+	poolTr, poolChanged := t.s.arbitrateLocked(0)
 	costs := t.s.cfg.Pool.Costs()
 	tr := Transition{MachinesBefore: machinesBefore, MachinesAfter: t.s.cfg.Pool.Machines()}
 	switch {
@@ -560,6 +727,51 @@ func (t *Tenant) Report(r TenantReport) {
 // that read it as scheduler state rather than as a pool budget).
 func (t *Tenant) Granted() int { return t.Kmax() }
 
+// LostSlots reports the cumulative number of slots machine failures have
+// taken from this tenant's grant — the supervisor's signal that a shrink
+// is failover, not preemption. The counter only grows; callers diff
+// successive reads to detect fresh losses. It survives Release as the
+// lease's final tally.
+func (t *Tenant) LostSlots() int {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	return t.lost
+}
+
+// Placement reports which machines currently host the tenant's granted
+// slots (machine ID -> slot count). The mapping shifts on every
+// arbitration and machine lifecycle change; after Release it is empty.
+func (t *Tenant) Placement() map[int]int {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	out := make(map[int]int, len(t.placement))
+	for id, n := range t.placement {
+		out[id] = n
+	}
+	return out
+}
+
+// SetPriority changes the tenant's preemption rank and re-arbitrates. The
+// claimant's sticky preemption authorization is reset — it was earned at
+// the old rank.
+func (t *Tenant) SetPriority(priority int) error {
+	t.s.mu.Lock()
+	defer t.s.mu.Unlock()
+	if t.released {
+		return ErrTenantReleased
+	}
+	if t.cfg.Priority == priority {
+		return nil
+	}
+	old := t.cfg.Priority
+	t.cfg.Priority = priority
+	delete(t.s.preempts, t.cfg.Name)
+	t.s.recordLocked(SchedulerEvent{At: t.s.clock.Now(), Kind: "priority",
+		Tenant: t.cfg.Name, From: old, To: priority})
+	t.s.arbitrateLocked(0)
+	return nil
+}
+
 // Release withdraws the tenant: its slots return to the pool and the
 // remaining tenants' pending demands are re-arbitrated. Further lease
 // operations fail with ErrTenantReleased.
@@ -572,6 +784,7 @@ func (t *Tenant) Release() {
 	old := t.granted
 	t.released = true
 	t.demand, t.granted = 0, 0
+	t.placement = nil // the slots return to the pool; no stale mapping
 	delete(t.s.preempts, t.cfg.Name)
 	for i, other := range t.s.tenants {
 		if other == t {
@@ -581,5 +794,5 @@ func (t *Tenant) Release() {
 	}
 	t.s.recordLocked(SchedulerEvent{At: t.s.clock.Now(), Kind: "release",
 		Tenant: t.cfg.Name, From: old, To: 0})
-	t.s.arbitrateLocked()
+	t.s.arbitrateLocked(0)
 }

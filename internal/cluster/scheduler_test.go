@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -420,6 +422,162 @@ func TestRegisterAndRelease(t *testing.T) {
 		t.Fatalf("want ErrTenantReleased, got %v", err)
 	}
 	a.Release() // idempotent
+}
+
+// checkSchedulerInvariants asserts, from one State snapshot, everything an
+// arbitration must never break, whatever sequence of operations led here:
+//
+//  1. no double-lease: total grants never exceed the live capacity;
+//  2. the placement is physical: every machine row fits its slot count,
+//     no failed machine appears, machine IDs are unique, and the placed
+//     slots account for exactly the leased total plus the reserved share;
+//  3. no grant exceeds its demand;
+//  4. floors hold whenever capacity allows: if the floor sum fits the
+//     capacity, every tenant keeps at least min(demand, MinSlots).
+func checkSchedulerInvariants(t *testing.T, s *Scheduler, ctx string) {
+	t.Helper()
+	st := s.State()
+	if st.Leased > st.Capacity {
+		t.Fatalf("%s: double-leased: %d slots over capacity %d", ctx, st.Leased, st.Capacity)
+	}
+	placed, seen := 0, map[int]bool{}
+	for _, row := range st.Placement {
+		if row.Reserved+row.Leased > row.Slots {
+			t.Fatalf("%s: machine %d overcommitted: %+v", ctx, row.ID, row)
+		}
+		if seen[row.ID] {
+			t.Fatalf("%s: machine %d placed twice", ctx, row.ID)
+		}
+		seen[row.ID] = true
+		placed += row.Leased
+	}
+	if placed != st.Leased {
+		t.Fatalf("%s: placement holds %d slots, leases total %d", ctx, placed, st.Leased)
+	}
+	floorSum := 0
+	for _, ts := range st.Tenants {
+		if ts.Granted > ts.Demand {
+			t.Fatalf("%s: tenant %s granted %d over demand %d", ctx, ts.Name, ts.Granted, ts.Demand)
+		}
+		if ts.Granted < 0 {
+			t.Fatalf("%s: tenant %s negative grant %d", ctx, ts.Name, ts.Granted)
+		}
+		floorSum += minInt(ts.Demand, ts.MinSlots)
+	}
+	if floorSum <= st.Capacity {
+		for _, ts := range st.Tenants {
+			if floor := minInt(ts.Demand, ts.MinSlots); ts.Granted < floor {
+				t.Fatalf("%s: tenant %s under floor: granted %d < %d with capacity %d free for all floors (%d)",
+					ctx, ts.Name, ts.Granted, floor, st.Capacity, floorSum)
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSchedulerPropertyRandomOps is the property-based invariant net over
+// the whole arbitration surface: ~1k randomized operation sequences —
+// resize requests, utility reports, machine failures and recoveries,
+// straggler flags, priority flips, registrations and releases — with the
+// full invariant set re-checked after every single operation. Run under
+// -race in CI (the cluster package race job covers it).
+func TestSchedulerPropertyRandomOps(t *testing.T) {
+	sequences := 1000
+	if testing.Short() {
+		sequences = 100
+	}
+	for seq := 0; seq < sequences; seq++ {
+		rng := rand.New(rand.NewSource(int64(seq) + 1))
+		pool, err := NewPool(PoolConfig{
+			SlotsPerMachine: 1 + rng.Intn(4),
+			ReservedSlots:   rng.Intn(2),
+			MaxMachines:     2 + rng.Intn(5),
+		}, 1+rng.Intn(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewScheduler(SchedulerConfig{Pool: pool, ReplaceOnFailure: seq%5 == 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var leases []*Tenant
+		names := 0
+		register := func(initial int) {
+			names++
+			lease, err := s.Register(TenantConfig{
+				Name:         fmt.Sprintf("t%d", names),
+				Weight:       float64(1 + rng.Intn(3)),
+				Priority:     rng.Intn(3),
+				MinSlots:     rng.Intn(5),
+				InitialSlots: initial,
+			})
+			if err == nil {
+				leases = append(leases, lease)
+			} else if !errors.Is(err, ErrNoCapacity) {
+				t.Fatalf("seq %d: register: %v", seq, err)
+			}
+		}
+		// An empty initial grant always fits, so at least one lease exists.
+		register(0)
+		pick := func() *Tenant { return leases[rng.Intn(len(leases))] }
+		// A machine ID drawn near the live range; stale and bogus IDs are
+		// deliberately included — lifecycle calls must fail cleanly.
+		someMachine := func() int {
+			list := pool.MachineList()
+			if len(list) == 0 || rng.Intn(8) == 0 {
+				return rng.Intn(20)
+			}
+			return list[rng.Intn(len(list))].ID
+		}
+		ops := 15 + rng.Intn(15)
+		for op := 0; op < ops; op++ {
+			ctx := fmt.Sprintf("seq %d op %d", seq, op)
+			switch rng.Intn(12) {
+			case 0:
+				register(rng.Intn(4))
+			case 1:
+				if len(leases) > 1 {
+					i := rng.Intn(len(leases))
+					leases[i].Release()
+					leases = append(leases[:i], leases[i+1:]...)
+				}
+			case 2, 3, 4, 5:
+				if _, err := pick().Resize(rng.Intn(20)); err != nil &&
+					!errors.Is(err, ErrNoCapacity) && !errors.Is(err, ErrTenantReleased) {
+					t.Fatalf("%s: resize: %v", ctx, err)
+				}
+			case 6, 7:
+				shrink := rng.Float64() * 3
+				if rng.Intn(6) == 0 {
+					shrink = math.Inf(1)
+				}
+				pick().Report(TenantReport{
+					Lambda0:     rng.Float64() * 20,
+					Violating:   rng.Intn(2) == 0,
+					GrowBenefit: rng.Float64() * 3,
+					ShrinkCost:  shrink,
+				})
+			case 8:
+				_ = s.FailMachine(someMachine())
+			case 9:
+				_ = s.RecoverMachine(someMachine())
+			case 10:
+				_ = s.MarkStraggler(someMachine(), rng.Intn(2) == 0)
+			case 11:
+				if err := pick().SetPriority(rng.Intn(3)); err != nil &&
+					!errors.Is(err, ErrTenantReleased) {
+					t.Fatalf("%s: set priority: %v", ctx, err)
+				}
+			}
+			checkSchedulerInvariants(t, s, ctx)
+		}
+	}
 }
 
 // TestNoDoubleLeaseUnderConcurrency hammers the scheduler from many

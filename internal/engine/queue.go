@@ -247,6 +247,25 @@ func (q *queue) close() {
 	q.cond.Broadcast()
 }
 
+// crashCapture models the queue's owner dying: the queue closes *and* its
+// undelivered backlog is taken away in one atomic step, so the consumer
+// exits without processing it (a real crash loses exactly these tuples)
+// and the caller gets them for replay. Producers racing the crash see a
+// closed queue and re-route through the live route table.
+func (q *queue) crashCapture() []queueItem {
+	q.mu.Lock()
+	q.closed = true
+	var out []queueItem
+	if q.n > 0 {
+		out = make([]queueItem, q.n)
+		q.copyOutLocked(out)
+		q.buf, q.head, q.n, q.peak = nil, 0, 0, 0
+	}
+	q.mu.Unlock()
+	q.cond.Broadcast()
+	return out
+}
+
 // len reports the number of queued items.
 func (q *queue) len() int {
 	q.mu.Lock()

@@ -38,6 +38,11 @@ type executor struct {
 	q     *queue
 	probe *metrics.ExecutorProbe
 	done  chan struct{}
+	// crashed is the failure-injection kill switch: the executor checks it
+	// at every tuple boundary and, when set, abandons the unprocessed tail
+	// of its in-progress batch for replay instead of draining it — a real
+	// crash does not get to finish its backlog.
+	crashed atomic.Bool
 }
 
 // routeTable is the immutable task->executor assignment of one bolt,
@@ -78,6 +83,11 @@ type Run struct {
 	spoutErrCount atomic.Int64
 	spoutLastErr  atomic.Pointer[error]
 	timeouts      *timeoutWatch
+
+	// Failure-domain accounting: executor crashes injected, and tuples
+	// re-delivered after landing on (or being bound for) a dead executor.
+	execFailures atomic.Int64
+	replayed     atomic.Int64
 
 	drainMu   sync.Mutex // serializes DrainInterval; guards the last* fields
 	lastDrain time.Time
@@ -215,6 +225,14 @@ func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
 		// probe once per batch.
 		var sampled, busyNanos, busySqMicros int64
 		for i := 0; i < n; i++ {
+			// A crash ends service at the tuple boundary: the batch's
+			// unprocessed tail replays through the current route table
+			// (one relaxed atomic load per tuple buys the failure domain).
+			if ex.crashed.Load() {
+				ex.probe.TuplesServed(int64(i), sampled, busyNanos, busySqMicros)
+				r.replayRemainder(br, ring, head+i, n-i)
+				return
+			}
 			it := &ring[(head+i)&mask]
 			// A sampled duration must cover exactly one tuple: read a fresh
 			// start unless the previous tuple was sampled too (Nm = 1), in

@@ -97,9 +97,19 @@ type ContentionResult struct {
 	FinalState cluster.SchedulerState
 }
 
-// contentionSimConfig builds one tenant's two-stage chain. A non-nil step
+// twoStageParams fixes one tenant chain's model constants — the contention
+// and churn experiments share the tenant scaffolding but differ in rates
+// and thresholds.
+type twoStageParams struct {
+	// mu is the per-processor service rate of both stages.
+	mu float64
+	// tmax, slack and maxScaleInUtil parameterize the tenant's controller.
+	tmax, slack, maxScaleInUtil float64
+}
+
+// twoStageSimConfig builds one tenant's two-stage chain. A non-nil step
 // wraps the source in a SteppedRate surge.
-func contentionSimConfig(lambda0 float64, alloc []int, seed uint64, step *sim.SteppedRate) (sim.Config, error) {
+func twoStageSimConfig(p twoStageParams, lambda0 float64, alloc []int, seed uint64, step *sim.SteppedRate) (sim.Config, error) {
 	emit, err := sim.NewFractionalEmission(1)
 	if err != nil {
 		return sim.Config{}, err
@@ -111,8 +121,8 @@ func contentionSimConfig(lambda0 float64, alloc []int, seed uint64, step *sim.St
 	}
 	return sim.Config{
 		Operators: []sim.OperatorSpec{
-			{Name: "stage1", Service: stats.Exponential{Rate: contentionMu}},
-			{Name: "stage2", Service: stats.Exponential{Rate: contentionMu}},
+			{Name: "stage1", Service: stats.Exponential{Rate: p.mu}},
+			{Name: "stage2", Service: stats.Exponential{Rate: p.mu}},
 		},
 		Sources: []sim.SourceSpec{{Op: 0, Arrivals: arrivals}},
 		Edges:   []sim.EdgeSpec{{From: 0, To: 1, Emit: emit}},
@@ -127,11 +137,12 @@ type contentionTenant struct {
 	sup *loop.Supervisor
 }
 
-// newContentionTenant starts one supervised tenant against its lease.
-func newContentionTenant(lambda0 float64, initial []int, lease *cluster.Tenant,
+// newTwoStageTenant starts one supervised two-stage tenant against its
+// lease.
+func newTwoStageTenant(p twoStageParams, lambda0 float64, initial []int, lease *cluster.Tenant,
 	clock loop.Clock, failures *loopFailures, interval float64, seed uint64,
 	step *sim.SteppedRate) (*contentionTenant, error) {
-	cfg, err := contentionSimConfig(lambda0, initial, seed, step)
+	cfg, err := twoStageSimConfig(p, lambda0, initial, seed, step)
 	if err != nil {
 		return nil, err
 	}
@@ -142,14 +153,11 @@ func newContentionTenant(lambda0 float64, initial []int, lease *cluster.Tenant,
 	s.EnableSeries(60)
 	names := []string{"stage1", "stage2"}
 	ctrl, err := core.NewController(core.ControllerConfig{
-		Mode:         core.ModeMinResource,
-		Tmax:         contentionTmax,
-		MinGain:      0.05,
-		ScaleInSlack: contentionSlack,
-		// 0.6 pins the scale-in floor at the designed steady-state sizes:
-		// the next-smaller allocation of either tenant runs an operator at
-		// ρ > 0.6, so a noisy (optimistic) snapshot cannot shrink past it.
-		MaxScaleInUtilization: 0.6,
+		Mode:                  core.ModeMinResource,
+		Tmax:                  p.tmax,
+		MinGain:               0.05,
+		ScaleInSlack:          p.slack,
+		MaxScaleInUtilization: p.maxScaleInUtil,
 		// Slots are granted individually by the scheduler — machine
 		// quantization happens below the leases, not per tenant.
 	})
@@ -170,6 +178,19 @@ func newContentionTenant(lambda0 float64, initial []int, lease *cluster.Tenant,
 		return nil, err
 	}
 	return &contentionTenant{s: s, sup: sup}, nil
+}
+
+// newContentionTenant starts one supervised tenant against its lease.
+func newContentionTenant(lambda0 float64, initial []int, lease *cluster.Tenant,
+	clock loop.Clock, failures *loopFailures, interval float64, seed uint64,
+	step *sim.SteppedRate) (*contentionTenant, error) {
+	return newTwoStageTenant(twoStageParams{
+		mu: contentionMu, tmax: contentionTmax, slack: contentionSlack,
+		// 0.6 pins the scale-in floor at the designed steady-state sizes:
+		// the next-smaller allocation of either tenant runs an operator at
+		// ρ > 0.6, so a noisy (optimistic) snapshot cannot shrink past it.
+		maxScaleInUtil: 0.6,
+	}, lambda0, initial, lease, clock, failures, interval, seed, step)
 }
 
 // RunContention runs the two-tenant arbitration experiment: 27 simulated

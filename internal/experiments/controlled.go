@@ -30,6 +30,9 @@ type Transition struct {
 	// Preempted marks a forced shrink: the cluster arbiter moved this
 	// tenant's slots to another topology (multi-tenant runs only).
 	Preempted bool
+	// SlotsLost marks a failover shrink: machine failure took the slots
+	// and the supervisor re-fit to the surviving grant (churn runs only).
+	SlotsLost bool
 	// Reason is the controller's justification.
 	Reason string
 }
@@ -48,6 +51,7 @@ func transitionsFrom(sup *loop.Supervisor) []Transition {
 			Kmax:         ev.Kmax,
 			PauseSeconds: ev.Pause.Seconds(),
 			Preempted:    ev.Preempted,
+			SlotsLost:    ev.SlotsLost,
 			Reason:       ev.Reason,
 		})
 	}

@@ -53,17 +53,28 @@ func (ft *failureTracker) shouldSkip(kind string, now time.Time) bool {
 	return rec.count >= ft.threshold
 }
 
+// pruneLocked deletes every record whose window has fully elapsed. Without
+// it, a kind that stops occurring (a one-off resize refusal, a shrink kind
+// that never fails again) would keep its record alive for the life of the
+// daemon; the sweep is O(kinds), and kinds are a small closed set, so it
+// runs on every recordFailure.
+func (ft *failureTracker) pruneLocked(now time.Time) {
+	for kind, rec := range ft.records {
+		if now.Sub(rec.lastAt) > ft.window {
+			delete(ft.records, kind)
+		}
+	}
+}
+
 // recordFailure increments the failure counter for an action kind.
 func (ft *failureTracker) recordFailure(kind string, err error, now time.Time) {
 	ft.mu.Lock()
 	defer ft.mu.Unlock()
+	ft.pruneLocked(now)
 	rec, ok := ft.records[kind]
 	if !ok {
 		rec = &failureRecord{}
 		ft.records[kind] = rec
-	}
-	if now.Sub(rec.lastAt) > ft.window {
-		rec.count = 0
 	}
 	rec.count++
 	rec.lastErr = err

@@ -109,6 +109,19 @@ type TenantReporter interface {
 
 var _ TenantReporter = (*cluster.Tenant)(nil)
 
+// ChurnReporter is the optional failure-domain half of an arbitrated
+// lease: LostSlots reports the cumulative slots machine failures have
+// taken from the grant. The supervisor diffs successive reads to tell a
+// failover shrink (SlotsLost) from a preemption — both vacate slots
+// outside the cooldown gate, but they are different operational events
+// (a failover resolves by machine recovery or replacement, a preemption
+// by the claimant's violation clearing).
+type ChurnReporter interface {
+	LostSlots() int
+}
+
+var _ ChurnReporter = (*cluster.Tenant)(nil)
+
 // fixedPool is a Pool with an immutable budget and free rebalances.
 type fixedPool int
 
@@ -200,6 +213,10 @@ type Event struct {
 	// Preempted reports a forced shrink: the cluster arbiter moved leased
 	// slots to another tenant and this supervisor vacated them.
 	Preempted bool
+	// SlotsLost reports a failover shrink: machine failure took leased
+	// slots down with it and this supervisor re-fit its allocation to the
+	// surviving grant.
+	SlotsLost bool
 	// Err is the apply failure, when there was one.
 	Err error
 }
@@ -225,10 +242,14 @@ type Supervisor struct {
 	// check can skip the target's Allocation() map walk while the grant
 	// comfortably covers it.
 	lastAllocTotal int
-	history        []Event // ring once MaxHistory is reached
-	histStart      int     // oldest event's index once the ring is full
-	rounds         int64
-	suppressing    map[string]bool // action kinds in an ongoing suppression episode
+	// seenLostSlots is the lease's cumulative failure-loss counter at the
+	// last look; a higher reading marks the next forced shrink as
+	// failover (SlotsLost) rather than preemption.
+	seenLostSlots int
+	history       []Event // ring once MaxHistory is reached
+	histStart     int     // oldest event's index once the ring is full
+	rounds        int64
+	suppressing   map[string]bool // action kinds in an ongoing suppression episode
 
 	runMu   sync.Mutex
 	stop    chan struct{}
@@ -364,6 +385,10 @@ func (s *Supervisor) Tick() {
 	if s.shrinkToGrant(now) {
 		return
 	}
+	// No forced shrink this tick: consume any failure-loss reading that
+	// never forced a re-fit (the shrunken grant still covered the
+	// allocation), so a later preemption is not misattributed to it.
+	s.syncLostSlots()
 	if now.Before(cooldownUntil) {
 		return
 	}
@@ -571,11 +596,15 @@ func (s *Supervisor) reportTenant(snap core.Snapshot) {
 }
 
 // shrinkToGrant is the graceful-shrink half of the request/grant protocol:
-// when the pool budget has dropped below the allocation in force (the
-// cluster arbiter preempted leased slots for another tenant), rebalance
-// down to fit the remaining grant and report whether the tick is consumed.
-// The shrunk allocation is the model optimum for the smaller budget when a
-// snapshot exists, else slots are peeled off the largest operators.
+// when the pool budget has dropped below the allocation in force — the
+// cluster arbiter preempted leased slots for another tenant, or a machine
+// failure took them down — rebalance down to fit the remaining grant and
+// report whether the tick is consumed. The two causes are told apart
+// through the lease's ChurnReporter counter and reported as Preempted or
+// SlotsLost events; both re-solve outside the cooldown gate, because the
+// slots are gone whether or not this supervisor cooperates. The shrunk
+// allocation is the model optimum for the smaller budget when a snapshot
+// exists, else slots are peeled off the largest operators.
 func (s *Supervisor) shrinkToGrant(now time.Time) bool {
 	budget := s.cfg.Pool.Kmax()
 	if budget <= 0 {
@@ -601,7 +630,22 @@ func (s *Supervisor) shrinkToGrant(now time.Time) bool {
 		s.mu.Unlock()
 		return false
 	}
-	const kind = "preempt-shrink"
+	// Attribute the shrink: a fresh failure-loss reading marks failover.
+	// The reading is consumed (seenLostSlots advanced) only once the
+	// shrink is applied — a skipped or failed attempt must keep its
+	// failover classification for the retry.
+	lost := false
+	lostCum := 0
+	if cr, ok := s.cfg.Pool.(ChurnReporter); ok {
+		lostCum = cr.LostSlots()
+		s.mu.Lock()
+		lost = lostCum > s.seenLostSlots
+		s.mu.Unlock()
+	}
+	kind, cause := "preempt-shrink", "vacating preempted slots"
+	if lost {
+		kind, cause = "failover-shrink", "re-fitting after machine failure"
+	}
 	if s.fails.shouldSkip(kind, now) {
 		return true
 	}
@@ -620,25 +664,45 @@ func (s *Supervisor) shrinkToGrant(now time.Time) bool {
 	tr := s.cfg.Pool.Rebalance()
 	err := s.cfg.Target.Rebalance(m, tr.Pause)
 	ev := Event{At: now, Action: core.ActionRebalance, Target: target, Kmax: budget,
-		Pause: tr.Pause, Preempted: true,
-		Reason: fmt.Sprintf("grant shrank to %d below allocation total %d; vacating preempted slots", budget, total)}
+		Pause: tr.Pause, Preempted: !lost, SlotsLost: lost,
+		Reason: fmt.Sprintf("grant shrank to %d below allocation total %d; %s", budget, total, cause)}
 	if err != nil {
 		s.fails.recordFailure(kind, err, now)
 		ev.Err = err
 		s.finishRound(ev)
-		s.log.Warn("preemption shrink failed", slog.Any("err", err))
+		s.log.Warn("forced shrink failed", slog.String("kind", kind), slog.Any("err", err))
 		return true
 	}
 	s.fails.recordSuccess(kind)
 	s.cfg.Source.Reset()
 	s.mu.Lock()
 	s.lastAllocTotal = sumInts(target)
+	if lost && lostCum > s.seenLostSlots {
+		s.seenLostSlots = lostCum
+	}
 	s.mu.Unlock()
 	ev.Applied = true
 	s.finishRound(ev)
-	s.log.Info("preempted: shrank to grant", slog.Any("alloc", target), slog.Int("kmax", budget),
-		slog.Duration("pause", tr.Pause))
+	s.log.Info("shrank to grant", slog.String("cause", cause), slog.Any("alloc", target),
+		slog.Int("kmax", budget), slog.Duration("pause", tr.Pause))
 	return true
+}
+
+// syncLostSlots advances the consumed failure-loss reading to the lease's
+// current cumulative counter. Called on ticks that needed no forced
+// shrink: a loss that never forced a re-fit must not taint the
+// classification of a later preemption shrink.
+func (s *Supervisor) syncLostSlots() {
+	cr, ok := s.cfg.Pool.(ChurnReporter)
+	if !ok {
+		return
+	}
+	cum := cr.LostSlots()
+	s.mu.Lock()
+	if cum > s.seenLostSlots {
+		s.seenLostSlots = cum
+	}
+	s.mu.Unlock()
 }
 
 // sumInts totals a slot vector.

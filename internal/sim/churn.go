@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+// Machine-churn modeling. The simulator's stations abstract away the
+// machines they run on, but the control plane above (cluster.Scheduler)
+// does not: its capacity comes and goes with machine failures. A
+// FailureTrace generates that churn as a schedule of machine up/down
+// transitions — MTBF/MTTR driven, the standard renewal model of cluster
+// reliability — which an experiment driver applies to the scheduler in
+// virtual time alongside the tuple-level simulation.
+
+// ChurnEvent is one machine lifecycle transition of a churn schedule.
+type ChurnEvent struct {
+	// At is the event time in simulated seconds.
+	At float64
+	// Machine identifies the affected machine (a cluster.Pool machine ID).
+	Machine int
+	// Fail is true when the machine goes down, false when it comes back.
+	Fail bool
+}
+
+// FailureTrace parameterizes MTBF/MTTR-driven machine churn: each machine
+// alternates an up period (exponential, mean MTBF) and a down period
+// (exponential, mean MTTR), independently of the others — the classic
+// alternating renewal process, seeded for reproducibility.
+type FailureTrace struct {
+	// MTBF is the mean time between failures (up-period mean), seconds.
+	MTBF float64
+	// MTTR is the mean time to recovery (down-period mean), seconds.
+	MTTR float64
+	// Machines lists the machine IDs the trace churns.
+	Machines []int
+	// Seed makes the trace reproducible.
+	Seed uint64
+}
+
+// Events samples the churn schedule over [0, horizon) seconds, merged
+// across machines and sorted by time. Every failure within the horizon is
+// paired with its recovery event, even when the recovery lands past the
+// horizon, so a driver that consumes the whole slice never leaks a
+// permanently dead machine.
+func (ft FailureTrace) Events(horizon float64) ([]ChurnEvent, error) {
+	if ft.MTBF <= 0 || ft.MTTR <= 0 {
+		return nil, fmt.Errorf("sim: failure trace needs positive MTBF/MTTR, got %g/%g", ft.MTBF, ft.MTTR)
+	}
+	if horizon <= 0 {
+		return nil, fmt.Errorf("sim: failure trace needs a positive horizon, got %g", horizon)
+	}
+	rng := stats.NewRNG(ft.Seed)
+	var out []ChurnEvent
+	for _, id := range ft.Machines {
+		clock := 0.0
+		for {
+			clock += rng.Exp(1 / ft.MTBF) // up period ends: failure
+			if clock >= horizon {
+				break
+			}
+			down := rng.Exp(1 / ft.MTTR)
+			out = append(out, ChurnEvent{At: clock, Machine: id, Fail: true})
+			clock += down
+			out = append(out, ChurnEvent{At: clock, Machine: id, Fail: false})
+		}
+	}
+	sortChurn(out)
+	return out, nil
+}
+
+// Kill describes one scripted machine outage: Machine goes down At and
+// recovers Down seconds later.
+type Kill struct {
+	// Machine is the pool machine ID to crash.
+	Machine int
+	// At is the failure time in simulated seconds.
+	At float64
+	// Down is the outage length in seconds (the kill's MTTR draw).
+	Down float64
+}
+
+// Script builds a deterministic churn schedule from explicit kills — the
+// experiment form of a failure trace, where the outage must land exactly
+// mid-surge rather than wherever the renewal process puts it.
+func Script(kills ...Kill) []ChurnEvent {
+	out := make([]ChurnEvent, 0, 2*len(kills))
+	for _, k := range kills {
+		out = append(out,
+			ChurnEvent{At: k.At, Machine: k.Machine, Fail: true},
+			ChurnEvent{At: k.At + k.Down, Machine: k.Machine, Fail: false})
+	}
+	sortChurn(out)
+	return out
+}
+
+// sortChurn orders events by time, failures before recoveries on ties
+// (a tie means a zero-length outage; failing first keeps it observable).
+func sortChurn(evs []ChurnEvent) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].At != evs[j].At {
+			return evs[i].At < evs[j].At
+		}
+		return evs[i].Fail && !evs[j].Fail
+	})
+}

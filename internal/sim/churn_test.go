@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/stats"
+)
+
+// TestFailureTraceStatistics samples a long trace and checks the renewal
+// arithmetic: failures per machine ≈ horizon / (MTBF + MTTR), every
+// failure paired with a recovery, events ordered, and the availability
+// implied by the down time ≈ MTBF / (MTBF + MTTR).
+func TestFailureTraceStatistics(t *testing.T) {
+	const (
+		mtbf    = 500.0
+		mttr    = 100.0
+		horizon = 200_000.0
+	)
+	ft := FailureTrace{MTBF: mtbf, MTTR: mttr, Machines: []int{1, 2, 3}, Seed: 7}
+	evs, err := ft.Events(horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails, recovers := 0, 0
+	down := map[int]float64{}
+	lastFail := map[int]float64{}
+	prev := 0.0
+	for _, ev := range evs {
+		if ev.At < prev {
+			t.Fatalf("events out of order: %v after %.1f", ev, prev)
+		}
+		prev = ev.At
+		if ev.Fail {
+			fails++
+			lastFail[ev.Machine] = ev.At
+		} else {
+			recovers++
+			down[ev.Machine] += ev.At - lastFail[ev.Machine]
+		}
+	}
+	if fails != recovers {
+		t.Fatalf("%d failures but %d recoveries", fails, recovers)
+	}
+	wantFails := 3 * horizon / (mtbf + mttr)
+	if ratio := float64(fails) / wantFails; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("failure count %d, want ≈ %.0f", fails, wantFails)
+	}
+	meanDown := (down[1] + down[2] + down[3]) / float64(recovers)
+	if ratio := meanDown / mttr; ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("mean outage %.1fs, want ≈ %.0fs", meanDown, mttr)
+	}
+}
+
+// TestFailureTraceDeterministicAndValidated: same seed, same trace; bad
+// parameters are rejected.
+func TestFailureTraceDeterministicAndValidated(t *testing.T) {
+	ft := FailureTrace{MTBF: 100, MTTR: 10, Machines: []int{4, 5}, Seed: 3}
+	a, err := ft.Events(5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := ft.Events(5000)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("trace lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if _, err := (FailureTrace{MTBF: 0, MTTR: 1}).Events(10); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	if _, err := (FailureTrace{MTBF: 1, MTTR: -1}).Events(10); err == nil {
+		t.Error("negative MTTR accepted")
+	}
+	if _, err := ft.Events(0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+// TestScriptOrdersKills: scripted outages sort into a single timeline with
+// paired recoveries.
+func TestScriptOrdersKills(t *testing.T) {
+	evs := Script(Kill{Machine: 2, At: 50, Down: 20}, Kill{Machine: 1, At: 10, Down: 100})
+	want := []ChurnEvent{
+		{At: 10, Machine: 1, Fail: true},
+		{At: 50, Machine: 2, Fail: true},
+		{At: 70, Machine: 2, Fail: false},
+		{At: 110, Machine: 1, Fail: false},
+	}
+	if len(evs) != len(want) {
+		t.Fatalf("got %d events, want %d", len(evs), len(want))
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v", i, evs[i], want[i])
+		}
+	}
+}
+
+// finiteArrivals emits exactly n evenly-spaced tuples, then goes silent —
+// so a test can let the system drain completely.
+type finiteArrivals struct {
+	n    int
+	rate float64
+}
+
+func (f *finiteArrivals) NextInterArrival(*stats.RNG) float64 {
+	if f.n <= 0 {
+		return math.Inf(1)
+	}
+	f.n--
+	return 1 / f.rate
+}
+
+func (f *finiteArrivals) MeanRate() float64 { return f.rate }
+
+// TestPendingRootsDrainsToZero: in-flight trees are visible while work is
+// queued and the counter returns to zero once the system drains.
+func TestPendingRootsDrainsToZero(t *testing.T) {
+	emit, err := NewFractionalEmission(2) // fan-out: trees outlive first hop
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Operators: []OperatorSpec{
+			{Name: "a", Service: stats.Exponential{Rate: 4}},
+			{Name: "b", Service: stats.Exponential{Rate: 8}},
+		},
+		Sources: []SourceSpec{{Op: 0, Arrivals: &finiteArrivals{n: 500, rate: 3}}},
+		Edges:   []EdgeSpec{{From: 0, To: 1, Emit: emit}},
+		Alloc:   []int{1, 1},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunUntil(20)
+	if s.PendingRoots() <= 0 {
+		t.Fatalf("pending roots mid-run = %d, want > 0", s.PendingRoots())
+	}
+	// All 500 arrivals land by ~167s; give the queues time to drain.
+	s.RunUntil(10_000)
+	if got := s.PendingRoots(); got != 0 {
+		t.Fatalf("pending roots after drain = %d, want 0", got)
+	}
+}

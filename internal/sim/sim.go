@@ -172,6 +172,10 @@ type Sim struct {
 
 	// onDecision lets a controller harness observe interval boundaries.
 	totalCompleted int64
+	// liveRoots counts external tuples whose processing tree has not yet
+	// resolved — the lost-forever audit of the churn experiment: at drain
+	// time it must return to zero, or a tuple leaked.
+	liveRoots int64
 }
 
 // SeriesPoint is one time bucket of the Figure 9/10 curves.
@@ -264,6 +268,7 @@ func (s *Sim) push(e event) {
 // newRoot starts a processing tree, reusing a recycled record when one is
 // available.
 func (s *Sim) newRoot() *rootRecord {
+	s.liveRoots++
 	if n := len(s.rootFree); n > 0 {
 		r := s.rootFree[n-1]
 		s.rootFree = s.rootFree[:n-1]
@@ -403,6 +408,7 @@ func (s *Sim) finishTuple(t tuple) {
 	}
 	sojourn := s.clock - t.root.arrival
 	s.rootFree = append(s.rootFree, t.root) // tree resolved; recycle
+	s.liveRoots--
 	s.totalCompleted++
 	s.sojournCount++
 	s.sojournTotal += sojourn
@@ -482,6 +488,11 @@ func (s *Sim) DrainInterval() metrics.IntervalReport {
 	s.sojournTotal = 0
 	return rep
 }
+
+// PendingRoots reports external tuples whose processing tree has not yet
+// resolved — in-flight work. After arrivals stop and the queues drain it
+// returns to zero; anything else means tuples were lost forever.
+func (s *Sim) PendingRoots() int64 { return s.liveRoots }
 
 // QueueLengths reports the instantaneous queue length per operator.
 func (s *Sim) QueueLengths() []int {

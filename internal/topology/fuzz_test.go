@@ -1,0 +1,52 @@
+package topology
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseTopology throws arbitrary bytes at the topology-file parser and
+// checks the contract that every caller relies on: no panic, a non-nil
+// topology exactly when err == nil, and a successfully built topology
+// whose traffic equations solve to finite non-negative rates — the
+// validation Build promises. Seed corpus: testdata/fuzz/FuzzParseTopology.
+func FuzzParseTopology(f *testing.F) {
+	f.Add([]byte(`{"operators":[{"name":"extract","service_rate":2.22,"external_rate":13},
+		{"name":"match","service_rate":2.0}],
+		"edges":[{"from":"extract","to":"match","selectivity":1.0}]}`))
+	f.Add([]byte(`{"operators":[{"name":"det","service_rate":10,"external_rate":3}],
+		"edges":[{"from":"det","to":"det","selectivity":0.5}]}`))
+	f.Add([]byte(`{"operators":[],"edges":[]}`))
+	f.Add([]byte(`{"operators":[{"name":"a","service_rate":1,"external_rate":1}],
+		"edges":[{"from":"a","to":"zzz","selectivity":2}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"operators":[{"name":"a","service_rate":1e308,"external_rate":1e308},
+		{"name":"a","service_rate":-0,"external_rate":-1}]}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		topo, tf, err := Parse(raw)
+		if err != nil {
+			if topo != nil {
+				t.Fatalf("error %v with non-nil topology", err)
+			}
+			return
+		}
+		if topo == nil {
+			t.Fatal("nil topology without error")
+		}
+		if topo.N() != len(tf.Operators) {
+			t.Fatalf("topology has %d operators, file has %d", topo.N(), len(tf.Operators))
+		}
+		rates, err := topo.ArrivalRates()
+		if err != nil {
+			t.Fatalf("built topology fails its own traffic equations: %v", err)
+		}
+		for i, l := range rates {
+			if math.IsNaN(l) || math.IsInf(l, 0) || l < 0 {
+				t.Fatalf("operator %d solves to rate %g", i, l)
+			}
+		}
+		if topo.ExternalRate() <= 0 || math.IsInf(topo.ExternalRate(), 0) {
+			t.Fatalf("built topology has external rate %g", topo.ExternalRate())
+		}
+	})
+}

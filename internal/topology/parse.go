@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// File is the on-disk JSON description of a topology — the format drsctl
+// reads:
+//
+//	{
+//	  "operators": [
+//	    {"name": "extract", "service_rate": 2.22, "external_rate": 13}
+//	  ],
+//	  "edges": [
+//	    {"from": "extract", "to": "match", "selectivity": 1.0}
+//	  ]
+//	}
+//
+// service_rate is µ_i (tuples/sec per processor); external_rate is the
+// operator's share of λ0. Loops are allowed (and solved) as long as the
+// cycle gain is below one.
+type File struct {
+	// Operators lists the network's nodes.
+	Operators []FileOperator `json:"operators"`
+	// Edges lists the directed connections.
+	Edges []FileEdge `json:"edges"`
+}
+
+// FileOperator is one operator row of a topology file.
+type FileOperator struct {
+	// Name identifies the operator; unique within the file.
+	Name string `json:"name"`
+	// ServiceRate is µ_i, tuples per second one processor completes.
+	ServiceRate float64 `json:"service_rate"`
+	// ExternalRate is the operator's share of λ0 (0 for internal operators).
+	ExternalRate float64 `json:"external_rate"`
+}
+
+// FileEdge is one edge row of a topology file.
+type FileEdge struct {
+	// From and To name the connected operators.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Selectivity is the mean tuples emitted on this edge per input tuple.
+	Selectivity float64 `json:"selectivity"`
+}
+
+// Parse decodes a topology file and builds the validated network from it
+// (solving the traffic equations once, so an infeasible loop fails here).
+// Unknown JSON fields are rejected to catch typos. The raw File is
+// returned alongside the topology for callers that mirror the description
+// into another substrate (drsctl's simulate builds a DES from it).
+func Parse(raw []byte) (*Topology, File, error) {
+	var tf File
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tf); err != nil {
+		return nil, File{}, fmt.Errorf("topology: decoding: %w", err)
+	}
+	b := NewBuilder()
+	for _, op := range tf.Operators {
+		b.AddOperator(op.Name, op.ServiceRate, op.ExternalRate)
+	}
+	for _, e := range tf.Edges {
+		b.Connect(e.From, e.To, e.Selectivity)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		return nil, File{}, err
+	}
+	return topo, tf, nil
+}
+
+// Load reads and parses a topology file from disk.
+func Load(path string) (*Topology, File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, File{}, fmt.Errorf("topology: reading %s: %w", path, err)
+	}
+	topo, tf, err := Parse(raw)
+	if err != nil {
+		return nil, File{}, fmt.Errorf("topology: %s: %w", path, err)
+	}
+	return topo, tf, nil
+}

@@ -83,12 +83,12 @@ func (b *Builder) AddOperator(name string, serviceRate, externalRate float64) *B
 		b.errs = append(b.errs, fmt.Errorf("topology: duplicate operator %q", name))
 		return b
 	}
-	if serviceRate <= 0 || math.IsNaN(serviceRate) {
-		b.errs = append(b.errs, fmt.Errorf("topology: operator %q: service rate %g must be > 0", name, serviceRate))
+	if serviceRate <= 0 || math.IsNaN(serviceRate) || math.IsInf(serviceRate, 0) {
+		b.errs = append(b.errs, fmt.Errorf("topology: operator %q: service rate %g must be positive and finite", name, serviceRate))
 		return b
 	}
-	if externalRate < 0 || math.IsNaN(externalRate) {
-		b.errs = append(b.errs, fmt.Errorf("topology: operator %q: external rate %g must be >= 0", name, externalRate))
+	if externalRate < 0 || math.IsNaN(externalRate) || math.IsInf(externalRate, 0) {
+		b.errs = append(b.errs, fmt.Errorf("topology: operator %q: external rate %g must be finite and >= 0", name, externalRate))
 		return b
 	}
 	b.index[name] = len(b.ops)

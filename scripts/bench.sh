@@ -3,20 +3,21 @@
 # the repository's perf trajectory (ns/op, B/op, allocs/op per benchmark).
 #
 # Usage: scripts/bench.sh [PR-number] [benchtime]
-#   PR-number  suffix for the output file (default 3 -> BENCH_3.json)
+#   PR-number  suffix for the output file (default 4 -> BENCH_4.json)
 #   benchtime  passed to -benchtime (default 2s)
 #
 # The benchmark set covers the data plane end to end — the live engine
 # (BenchmarkEngineThroughput), the DES simulator (BenchmarkSimThroughput),
 # a full controlled experiment (BenchmarkFig9VLD) — plus the control
-# plane: one control round (BenchmarkSupervisorTick) and one multi-tenant
-# arbitration (BenchmarkSchedulerArbitration).
+# plane: one control round (BenchmarkSupervisorTick), one multi-tenant
+# arbitration (BenchmarkSchedulerArbitration) and one degraded-pool
+# arbitration with a machine down (BenchmarkSchedulerFailover).
 set -eu
 
-PR="${1:-3}"
+PR="${1:-4}"
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration'
+PATTERN='BenchmarkEngineThroughput|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover'
 
 cd "$(dirname "$0")/.."
 
