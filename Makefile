@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench build vet checkdoc test-fuzz
+.PHONY: test race bench build vet checkdoc test-fuzz serve-smoke
 
 build:
 	$(GO) build ./...
@@ -19,9 +19,11 @@ test:
 
 # The concurrent fast paths (engine queues, pooled trees, supervisor) and
 # the multi-tenant scheduler's no-double-lease invariant — plus the
-# randomized scheduler property test, which CI runs under -race here.
+# randomized scheduler property test, the ingest gate's concurrent-clients
+# -vs-shed-threshold-flips test and the simulator, all under -race here
+# exactly as in CI.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/...
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/...
 
 # Native fuzzing smoke: a short budget per target keeps it CI-sized; raise
 # FUZZTIME locally for real hunting. Seed corpora live in each package's
@@ -31,8 +33,15 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseTopology -fuzztime $(FUZZTIME) ./internal/topology
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/config
 
-# Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh).
-PR ?= 4
+# Boots `drsctl serve` on a loopback port, pushes a client burst through
+# the HTTP front door and asserts a 2xx/429 split (admitted + backpressure).
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh). PR
+# defaults to the next point on the perf trajectory (highest existing
+# BENCH_<n>.json + 1).
+PR ?=
 BENCHTIME ?= 2s
 bench:
-	sh scripts/bench.sh $(PR) $(BENCHTIME)
+	sh scripts/bench.sh "$(PR)" $(BENCHTIME)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|contention|churn|all>
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|all>
 //
 // Flags:
 //
@@ -43,7 +43,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding contention churn all")
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn all")
 	}
 	opts := experiments.Options{Seed: *seed, Duration: *duration}
 	apps, err := appsFor(*app)
@@ -67,6 +67,8 @@ func run(args []string) error {
 		return runBaseline(apps, opts)
 	case "shedding":
 		return runShedding(opts)
+	case "overload":
+		return runOverload(opts)
 	case "contention":
 		return runContention(opts)
 	case "churn":
@@ -93,6 +95,9 @@ func run(args []string) error {
 		if err := runShedding(opts); err != nil {
 			return err
 		}
+		if err := runOverload(opts); err != nil {
+			return err
+		}
 		if err := runContention(opts); err != nil {
 			return err
 		}
@@ -116,6 +121,15 @@ func runContention(opts experiments.Options) error {
 
 func runChurn(opts experiments.Options) error {
 	r, err := experiments.RunChurn(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+func runOverload(opts experiments.Options) error {
+	r, err := experiments.RunOverload(opts)
 	if err != nil {
 		return err
 	}

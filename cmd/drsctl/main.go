@@ -3,9 +3,12 @@
 // processor budget (Program (4)) or a latency target (Program (6)), can
 // validate a recommendation with a discrete-event simulation, can run the
 // topology live under the DRS Supervisor — the closed §IV control loop:
-// measure, re-solve, rebalance — and can run *several* topologies on one
+// measure, re-solve, rebalance — can run *several* topologies on one
 // shared machine pool under the cluster Scheduler (multi-tenant
-// arbitration with weighted max-min fairness and preemption).
+// arbitration with weighted max-min fairness and preemption), and can
+// `serve` the topology behind the network ingest front end — HTTP/TCP
+// clients in, model-driven admission control and explicit backpressure at
+// the door, scale-out against the offered (pre-shed) arrival rate.
 //
 // Usage:
 //
@@ -15,6 +18,7 @@
 //	drsctl -topology topo.json simulate -alloc 10,11,1 -duration 600
 //	drsctl -topology topo.json supervise -tmax-ms 500 -duration 30
 //	drsctl -topology topo.json supervise -kmax 8 -duration 30
+//	drsctl -topology topo.json serve -tmax-ms 500 -http 127.0.0.1:8080 -duration 60
 //	drsctl schedule -topologies api.json,batch.json -tmax-ms 500,900 -duration 30
 //
 // The topology file format:
@@ -73,7 +77,7 @@ func run(args []string) error {
 		return fmt.Errorf("-topology is required")
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("need a subcommand: model, recommend, simulate, supervise, quantile or schedule")
+		return fmt.Errorf("need a subcommand: model, recommend, simulate, supervise, serve, quantile or schedule")
 	}
 	topo, tf, err := loadTopology(*topoPath)
 	if err != nil {
@@ -94,6 +98,8 @@ func run(args []string) error {
 		return cmdSimulate(model, topo, tf, rest)
 	case "supervise":
 		return cmdSupervise(tf, rest)
+	case "serve":
+		return cmdServe(tf, rest)
 	case "quantile":
 		return cmdQuantile(model, rest)
 	default:

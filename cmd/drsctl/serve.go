@@ -1,0 +1,253 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/ingest"
+	"github.com/drs-repro/drs/internal/loop"
+)
+
+// cmdServe runs the topology behind the network ingest front end: real
+// clients push records over HTTP POST or length-prefixed TCP, the
+// admission gate applies per-client token buckets and the DRS model's
+// shed policy, admitted tuples flow through a NetworkSpout into the live
+// engine, and the Supervisor provisions machines against the *offered*
+// (pre-shed) arrival rate. It is the paper's control loop with a front
+// door: overload produces explicit 429/NACK backpressure while the
+// cluster scales out, never unbounded queues.
+func cmdServe(tf topoFile, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	tmaxMS := fs.Float64("tmax-ms", 0, "latency target in ms the gate and supervisor defend (required)")
+	httpAddr := fs.String("http", "127.0.0.1:8080", "HTTP listen address (empty disables)")
+	tcpAddr := fs.String("tcp", "", "length-prefixed TCP listen address (empty disables)")
+	duration := fs.Float64("duration", 60, "wall-clock seconds to serve")
+	intervalMS := fs.Int("interval-ms", 500, "measurement cadence Tm in ms")
+	entry := fs.String("entry", "", "operator ingested records enter at (default: first with an external rate, else the first operator)")
+	tasks := fs.Int("tasks", 16, "tasks per operator (caps executor parallelism)")
+	slots := fs.Int("slots", 4, "executor slots per machine")
+	maxMachines := fs.Int("max-machines", 4, "machine cap the negotiator may provision")
+	ringCap := fs.Int("ring", 4096, "ingest ring capacity (bounded hand-off to the engine)")
+	clientRate := fs.Float64("client-rate", 0, "per-client token-bucket rate in records/s (0 = unlimited)")
+	clientBurst := fs.Int("client-burst", 0, "per-client token-bucket burst (default = rate)")
+	weights := fs.String("client-weights", "", "shedding weights per client id, e.g. gold=4,bronze=1")
+	seed := fs.Int64("seed", 1, "workload seed")
+	verbose := fs.Bool("v", false, "log every loop event")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tmaxMS <= 0 {
+		return fmt.Errorf("-tmax-ms is required and must be positive")
+	}
+	if *httpAddr == "" && *tcpAddr == "" {
+		return fmt.Errorf("need at least one listener: -http or -tcp")
+	}
+	weightMap, err := parseWeights(*weights)
+	if err != nil {
+		return err
+	}
+	entryOp := *entry
+	if entryOp == "" {
+		entryOp = tf.Operators[0].Name
+		for _, op := range tf.Operators {
+			if op.ExternalRate > 0 {
+				entryOp = op.Name
+				break
+			}
+		}
+	}
+	found := false
+	for _, op := range tf.Operators {
+		if op.Name == entryOp {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("entry operator %q is not in the topology", entryOp)
+	}
+
+	// The gate, then the engine behind it: a NetworkSpout drains the
+	// gate's ring into the entry operator.
+	maxSlots := *slots * *maxMachines
+	gate := ingest.NewGate(ingest.GateConfig{
+		Tmax:         *tmaxMS / 1e3,
+		MaxSlots:     maxSlots,
+		RingCapacity: *ringCap,
+		ReplanEvery:  time.Duration(*intervalMS) * time.Millisecond,
+	})
+	if *tasks < maxSlots {
+		*tasks = maxSlots
+	}
+	initial := make([]int, len(tf.Operators))
+	for i := range initial {
+		initial[i] = 1
+	}
+	b := engine.NewTopology()
+	names, alloc := addLiveOperators(b, tf, initial, *tasks, *seed)
+	b.Spout("ingest", 1, func(int) engine.Spout {
+		return &engine.NetworkSpout{Source: gate.Ring(), MaxBatch: 256}
+	})
+	b.Shuffle("ingest", entryOp)
+	topo, err := b.Build()
+	if err != nil {
+		return err
+	}
+	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 30 * time.Second})
+	if err != nil {
+		return err
+	}
+	defer run.Stop()
+
+	// A single tenant leased through the Scheduler, so a beyond-cap scale
+	// request grants partially instead of being refused outright.
+	pool, err := cluster.NewPool(cluster.PoolConfig{
+		SlotsPerMachine: *slots,
+		MaxMachines:     *maxMachines,
+		Costs: cluster.CostModel{
+			Rebalance:        200 * time.Millisecond,
+			MachineColdStart: 500 * time.Millisecond,
+			MachineRelease:   200 * time.Millisecond,
+		},
+	}, 1)
+	if err != nil {
+		return err
+	}
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool})
+	if err != nil {
+		return err
+	}
+	lease, err := sched.Register(cluster.TenantConfig{
+		Name: "serve", MinSlots: len(names), InitialSlots: len(names),
+	})
+	if err != nil {
+		return err
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{
+		Mode:                  core.ModeMinResource,
+		Tmax:                  *tmaxMS / 1e3,
+		MinGain:               0.05,
+		ScaleInSlack:          0.3,
+		MaxScaleInUtilization: 0.6,
+	})
+	if err != nil {
+		return err
+	}
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	sup, err := loop.New(loop.Config{
+		Target:    ingest.SupervisedTarget{Inner: loop.EngineTarget(run), Gate: gate},
+		Operators: names,
+		Stepper:   ctrl,
+		Pool:      lease,
+		Interval:  time.Duration(*intervalMS) * time.Millisecond,
+		Logger:    slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+	})
+	if err != nil {
+		return err
+	}
+	gate.SetControl(sup)
+	if err := gate.Start(); err != nil {
+		return err
+	}
+	if err := sup.Start(); err != nil {
+		return err
+	}
+
+	lcfg := ingest.ListenerConfig{
+		Weights: weightMap,
+		Rate:    *clientRate,
+		Burst:   *clientBurst,
+	}
+	var httpSrv *http.Server
+	if *httpAddr != "" {
+		l, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			return err
+		}
+		httpSrv = &http.Server{Handler: ingest.Handler(gate, lcfg)}
+		go httpSrv.Serve(l)
+		fmt.Printf("HTTP ingest on http://%s/ingest (stats on /stats)\n", l.Addr())
+	}
+	var tcpL net.Listener
+	if *tcpAddr != "" {
+		tcpL, err = net.Listen("tcp", *tcpAddr)
+		if err != nil {
+			return err
+		}
+		go func() {
+			// A non-close Accept failure kills the TCP front door; say so
+			// instead of serving HTTP-only in silence.
+			if err := ingest.ServeTCP(tcpL, gate, lcfg); err != nil {
+				fmt.Fprintln(os.Stderr, "drsctl: tcp ingest listener died:", err)
+			}
+		}()
+		fmt.Printf("TCP ingest on %s (length-prefixed frames)\n", tcpL.Addr())
+	}
+	fmt.Printf("serving %d operators for %.0fs behind the admission gate (Tmax = %.0f ms, entry %q, cap %d slots)\n",
+		len(names), *duration, *tmaxMS, entryOp, maxSlots)
+
+	time.Sleep(secondsDuration(*duration))
+
+	// Orderly shutdown: listeners first, then the gate (closing the ring),
+	// then drain and stop — admitted records are never abandoned.
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if tcpL != nil {
+		tcpL.Close()
+	}
+	gate.Close()
+	for gate.Ring().Len() > 0 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	sup.Stop()
+
+	st := gate.Stats()
+	fmt.Printf("\ningest: offered %d, admitted %d (shed: rate-limit %d, overload %d, backlog %d)\n",
+		st.Offered, st.Admitted, st.ShedRateLimit, st.ShedOverload, st.ShedBacklog)
+	completions, meanSojourn := run.Completions()
+	fmt.Printf("engine: %d completions, mean sojourn %.1f ms, final alloc %v, %d machines\n",
+		completions, meanSojourn.Seconds()*1e3, run.Allocation(), pool.Machines())
+	fmt.Printf("\n%d control rounds, decision history:\n", sup.Rounds())
+	events := sup.History()
+	if len(events) == 0 {
+		fmt.Println("  (none: the loop held steady every round)")
+	}
+	for _, ev := range events {
+		fmt.Printf("  %s\n", ev)
+	}
+	return nil
+}
+
+// parseWeights reads a "id=weight,id=weight" list.
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad client weight %q (want id=weight)", part)
+		}
+		w, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad client weight %q: want a positive number", part)
+		}
+		out[kv[0]] = w
+	}
+	return out, nil
+}

@@ -159,11 +159,14 @@ func cmdSupervise(tf topoFile, args []string) error {
 	return nil
 }
 
-// startLiveTopology builds and starts the engine realization of the
-// topology file: one Poisson spout per operator with an external rate, one
-// sleeping M/M/k bolt per operator, and a named stream per edge so each
-// edge applies its own selectivity independently.
-func startLiveTopology(tf topoFile, initial []int, tasks int, seed int64) (*engine.Run, []string, error) {
+// addLiveOperators declares the topology file's operators as live bolts —
+// each busies an exponential service time per tuple, with a named stream
+// per edge so each edge applies its own selectivity independently — plus
+// the inter-operator edges. It returns the operator names in file order
+// and the initial allocation map. Shared by `supervise` (which adds
+// Poisson spouts for the external rates) and `serve` (which feeds the
+// entry operator from the network ingest tier instead).
+func addLiveOperators(b *engine.TopologyBuilder, tf topoFile, initial []int, tasks int, seed int64) ([]string, map[string]int) {
 	type outEdge struct {
 		stream      string
 		selectivity float64
@@ -172,7 +175,6 @@ func startLiveTopology(tf topoFile, initial []int, tasks int, seed int64) (*engi
 	for i, e := range tf.Edges {
 		outs[e.From] = append(outs[e.From], outEdge{stream: fmt.Sprintf("e%d", i), selectivity: e.Selectivity})
 	}
-	b := engine.NewTopology()
 	names := make([]string, len(tf.Operators))
 	alloc := make(map[string]int, len(tf.Operators))
 	for i, op := range tf.Operators {
@@ -198,6 +200,20 @@ func startLiveTopology(tf topoFile, initial []int, tasks int, seed int64) (*engi
 				return nil
 			})
 		})
+	}
+	for i, e := range tf.Edges {
+		b.ShuffleOn(fmt.Sprintf("e%d", i), e.From, e.To)
+	}
+	return names, alloc
+}
+
+// startLiveTopology builds and starts the engine realization of the
+// topology file: one Poisson spout per operator with an external rate plus
+// the live bolts of addLiveOperators.
+func startLiveTopology(tf topoFile, initial []int, tasks int, seed int64) (*engine.Run, []string, error) {
+	b := engine.NewTopology()
+	names, alloc := addLiveOperators(b, tf, initial, tasks, seed)
+	for i, op := range tf.Operators {
 		if op.ExternalRate > 0 {
 			spoutName := "src-" + op.Name
 			rate := op.ExternalRate
@@ -207,9 +223,6 @@ func startLiveTopology(tf topoFile, initial []int, tasks int, seed int64) (*engi
 			})
 			b.Shuffle(spoutName, op.Name)
 		}
-	}
-	for i, e := range tf.Edges {
-		b.ShuffleOn(fmt.Sprintf("e%d", i), e.From, e.To)
 	}
 	topo, err := b.Build()
 	if err != nil {

@@ -66,8 +66,16 @@ func (a Action) String() string {
 // Snapshot is one round of measurements handed to the controller — the
 // output of the measurer module after aggregation and smoothing.
 type Snapshot struct {
-	// Lambda0 is the measured external arrival rate λ̂0.
+	// Lambda0 is the measured external arrival rate λ̂0 — with an ingest
+	// front end, the *admitted* rate.
 	Lambda0 float64
+	// OfferedLambda0 is the external rate clients *offered*, including
+	// traffic an admission controller shed before it reached a spout. It
+	// exceeds Lambda0 exactly while shedding is active; zero (or equal)
+	// means no ingest tier / nothing shed. The supervisor scales the
+	// snapshot up to this true demand before stepping the controller, so
+	// provisioning follows offered load, not the post-shed remainder.
+	OfferedLambda0 float64
 	// Ops carries λ̂_i and µ̂_i per operator, in topology order.
 	Ops []OpRates
 	// MeasuredSojourn is E[T̂], the measured mean total sojourn time, from

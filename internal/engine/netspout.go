@@ -1,0 +1,56 @@
+package engine
+
+import "time"
+
+// BatchSource feeds a NetworkSpout with externally produced tuple payloads
+// — the bridge between an ingestion tier (a network front end decoding
+// client records) and the topology. Implementations are single-consumer:
+// exactly one spout instance drains a source.
+type BatchSource interface {
+	// PopBatch blocks until payloads are available, moves up to cap(buf)
+	// of them into buf under one synchronization round, and returns the
+	// filled prefix (aliasing buf, so the caller may reuse its buffer
+	// between calls). It returns ok=false only once the source is closed
+	// AND fully drained — pending admitted payloads are always delivered
+	// first — or promptly after done is closed (shutdown fallback for a
+	// source that is never closed).
+	PopBatch(done <-chan struct{}, buf []Values) (batch []Values, ok bool)
+}
+
+// NetworkSpout adapts a BatchSource to the Spout interface: it drains the
+// source in batches and injects each batch through SpoutContext.EmitBatch,
+// so a whole network read's worth of tuples shares one clock stamp and one
+// enqueue per destination executor. During a rebalance pause it holds the
+// batch instead of emitting — the source's bounded buffer absorbs the
+// stall and, past its capacity, pushes explicit backpressure to clients
+// rather than growing the data plane's queues.
+type NetworkSpout struct {
+	// Source yields the decoded payloads (required).
+	Source BatchSource
+	// MaxBatch caps the tuples injected per EmitBatch call (default 256).
+	MaxBatch int
+}
+
+// Run drains the source until it closes (or the run stops).
+func (s *NetworkSpout) Run(ctx SpoutContext) error {
+	max := s.MaxBatch
+	if max <= 0 {
+		max = 256
+	}
+	buf := make([]Values, 0, max)
+	for {
+		batch, ok := s.Source.PopBatch(ctx.Done(), buf)
+		if !ok {
+			return nil
+		}
+		for ctx.Paused() {
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+				time.Sleep(time.Millisecond)
+			}
+		}
+		ctx.EmitBatch(batch)
+	}
+}

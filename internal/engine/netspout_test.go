@@ -1,0 +1,122 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chanSource is a minimal BatchSource over a channel, for spout tests.
+type chanSource struct {
+	ch     chan Values
+	closed sync.Once
+}
+
+func newChanSource(buf int) *chanSource { return &chanSource{ch: make(chan Values, buf)} }
+
+func (s *chanSource) PopBatch(done <-chan struct{}, buf []Values) ([]Values, bool) {
+	max := cap(buf)
+	if max == 0 {
+		max = 1
+		buf = make([]Values, 0, 1)
+	}
+	select {
+	case v, ok := <-s.ch:
+		if !ok {
+			return nil, false
+		}
+		out := append(buf[:0], v)
+		for len(out) < max {
+			select {
+			case v, ok := <-s.ch:
+				if !ok {
+					return out, true
+				}
+				out = append(out, v)
+			default:
+				return out, true
+			}
+		}
+		return out, true
+	case <-done:
+		return nil, false
+	}
+}
+
+func (s *chanSource) close() { s.closed.Do(func() { close(s.ch) }) }
+
+// TestNetworkSpoutDeliversBatches: every payload pushed into the source
+// reaches the topology exactly once, batches flow through EmitBatch, and
+// the spout exits when the source closes.
+func TestNetworkSpoutDeliversBatches(t *testing.T) {
+	src := newChanSource(1024)
+	var processed atomic.Int64
+	topo, err := NewTopology().
+		Spout("net", 1, func(int) Spout { return &NetworkSpout{Source: src, MaxBatch: 16} }).
+		Bolt("count", 4, func(int) Bolt {
+			return BoltFunc(func(Tuple, Emit) error {
+				processed.Add(1)
+				return nil
+			})
+		}).
+		Shuffle("net", "count").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := topo.Start(RunConfig{Alloc: map[string]int{"count": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		src.ch <- Values{i}
+	}
+	src.close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		count, _ := run.Completions()
+		if count == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d network tuples completed", count, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := run.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := processed.Load(); got != n {
+		t.Fatalf("bolt processed %d tuples, want %d", got, n)
+	}
+}
+
+// TestNetworkSpoutStopsWithRun: a spout blocked on an idle source must
+// exit promptly when the run stops (the done-channel fallback).
+func TestNetworkSpoutStopsWithRun(t *testing.T) {
+	src := newChanSource(1)
+	topo, err := NewTopology().
+		Spout("net", 1, func(int) Spout { return &NetworkSpout{Source: src} }).
+		Bolt("sink", 1, func(int) Bolt { return BoltFunc(func(Tuple, Emit) error { return nil }) }).
+		Shuffle("net", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := topo.Start(RunConfig{Alloc: map[string]int{"sink": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- run.Stop() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung on an idle NetworkSpout")
+	}
+}

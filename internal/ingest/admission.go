@@ -1,0 +1,159 @@
+package ingest
+
+import (
+	"errors"
+
+	"github.com/drs-repro/drs/internal/core"
+)
+
+// stabilityRho is the utilization ceiling of the fallback admission bound:
+// when the latency model cannot price the target (Tmax below the
+// service-time floor), admission still protects the data plane by keeping
+// every operator below this load factor.
+const stabilityRho = 0.95
+
+// Plan is one replanning round's cluster-level admission verdict — the
+// pure-policy core shared by the live Gate and the virtual-time overload
+// experiment.
+type Plan struct {
+	// SustainableRate is the largest admitted external rate (tuples/s) the
+	// *current* grant is predicted to hold under Tmax, per the Eq. 3 model
+	// at the snapshot's rate ratios.
+	SustainableRate float64
+	// AdmitFraction is min(1, SustainableRate/offered): the share of
+	// offered load to admit this round. 1 means admit everything.
+	AdmitFraction float64
+	// ScaleOutViable is the Appendix-B guard verdict at the provider cap:
+	// true when MinProcessors(Tmax) at the full offered demand fits within
+	// maxSlots, i.e. scale-out can absorb the overload and the shed is a
+	// transient while machines provision; false when even the whole
+	// provider cannot serve what clients are offering, so the shed is
+	// persistent until demand recedes.
+	ScaleOutViable bool
+}
+
+// PlanAdmission computes the admission plan from the supervisor's latest
+// control snapshot. snap carries the measured (admitted) rates, the
+// allocation in force and the granted budget Kmax; offeredRate is the
+// external rate clients are currently offering; maxSlots is the provider
+// cap (0 = uncapped). The policy is the DRS model turned into a front
+// door: find the largest demand scaling of the measured rates whose
+// Program (6) allocation still fits the grant, and admit exactly that
+// much. On any model failure it fails open (admit all) — shedding must be
+// justified by the model, never by its absence.
+func PlanAdmission(snap core.Snapshot, tmax float64, maxSlots int, offeredRate float64) Plan {
+	admitAll := Plan{SustainableRate: offeredRate, AdmitFraction: 1, ScaleOutViable: true}
+	if tmax <= 0 || offeredRate <= 0 || snap.Lambda0 <= 0 || len(snap.Ops) == 0 || snap.Kmax <= 0 {
+		return admitAll
+	}
+	needAt := func(scale float64) (int, error) {
+		ops := make([]core.OpRates, len(snap.Ops))
+		for i, op := range snap.Ops {
+			op.Lambda *= scale
+			ops[i] = op
+		}
+		model, err := core.NewModel(snap.Lambda0*scale, ops)
+		if err != nil {
+			return 0, err
+		}
+		alloc, err := model.MinProcessors(tmax)
+		if err != nil {
+			return 0, err
+		}
+		total := 0
+		for _, k := range alloc {
+			total += k
+		}
+		return total, nil
+	}
+	demandScale := snap.OfferedLambda0 / snap.Lambda0
+	if o := offeredRate / snap.Lambda0; o > demandScale {
+		demandScale = o
+	}
+	if demandScale < 1 {
+		demandScale = 1
+	}
+	need, err := needAt(demandScale)
+	switch {
+	case errors.Is(err, core.ErrUnreachableTarget):
+		// Tmax is below the service-time floor: no allocation — and no
+		// amount of shedding — reaches it. Fall back to a pure stability
+		// bound so overload still cannot grow the queues without bound.
+		return stabilityPlan(snap, offeredRate)
+	case err != nil:
+		return admitAll
+	}
+	viable := maxSlots <= 0 || need <= maxSlots
+	if need <= snap.Kmax {
+		admitAll.ScaleOutViable = viable
+		return drainCorrected(snap, tmax, admitAll)
+	}
+	// The grant cannot hold the offered demand: binary-search the largest
+	// demand scaling it can hold. Feasibility is monotone in the scale
+	// (E[T_i] grows with λ_i at fixed k), so 40 halvings pin the boundary
+	// far below measurement noise.
+	lo, hi := 0.0, demandScale
+	for i := 0; i < 40; i++ {
+		mid := (lo + hi) / 2
+		if mid <= 0 {
+			break
+		}
+		if n, err := needAt(mid); err == nil && n <= snap.Kmax {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	sustainable := lo * snap.Lambda0
+	frac := sustainable / offeredRate
+	if frac > 1 {
+		frac = 1
+	}
+	return drainCorrected(snap, tmax,
+		Plan{SustainableRate: sustainable, AdmitFraction: frac, ScaleOutViable: viable})
+}
+
+// drainCorrected applies the backlog-drain feedback: the sustainable rate
+// is a *steady-state* quantity, but right after an overload transient (or
+// a rebalance pause) a queue backlog is still draining and the measured
+// sojourn violates the target even at an admissible rate. While it does,
+// scale admission down by target/measured so the backlog drains at least
+// as fast as it built — the correction vanishes exactly when the measured
+// latency is back under the target.
+func drainCorrected(snap core.Snapshot, tmax float64, p Plan) Plan {
+	if snap.MeasuredSojourn <= tmax || p.AdmitFraction <= 0 {
+		return p
+	}
+	drain := tmax / snap.MeasuredSojourn
+	p.AdmitFraction *= drain
+	p.SustainableRate *= drain
+	return p
+}
+
+// stabilityPlan bounds admission by operator stability alone: the largest
+// demand scaling keeping every operator's utilization under stabilityRho
+// at the allocation in force.
+func stabilityPlan(snap core.Snapshot, offeredRate float64) Plan {
+	if len(snap.Alloc) != len(snap.Ops) {
+		return Plan{SustainableRate: offeredRate, AdmitFraction: 1, ScaleOutViable: false}
+	}
+	scale := 0.0
+	for i, op := range snap.Ops {
+		if op.Lambda <= 0 || op.Mu <= 0 || snap.Alloc[i] < 1 {
+			continue
+		}
+		s := stabilityRho * float64(snap.Alloc[i]) * op.Mu / op.Lambda
+		if scale == 0 || s < scale {
+			scale = s
+		}
+	}
+	if scale == 0 {
+		return Plan{SustainableRate: offeredRate, AdmitFraction: 1, ScaleOutViable: false}
+	}
+	sustainable := scale * snap.Lambda0
+	frac := sustainable / offeredRate
+	if frac > 1 {
+		frac = 1
+	}
+	return Plan{SustainableRate: sustainable, AdmitFraction: frac, ScaleOutViable: false}
+}

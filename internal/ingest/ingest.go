@@ -1,0 +1,515 @@
+// Package ingest is the network front door of the stack: it bridges
+// external clients to engine spouts and makes the DRS model the admission
+// policy. The paper's control loop (§IV) assumes the measured arrival
+// rate λ is the *offered* load; the moment an overloaded front end drops
+// tuples that assumption breaks, so this package measures both sides of
+// the drop — offered and admitted — and feeds the split back into the
+// measurer, letting the Supervisor provision against true demand while
+// the Gate sheds only what the current grant provably cannot hold.
+//
+// The pieces, client to spout:
+//
+//   - Listeners (ServeTCP, Handler): length-prefixed TCP frames and HTTP
+//     POST bodies decode client records into tuple payloads. Refusals are
+//     explicit backpressure — HTTP 429 or a TCP NACK, both carrying a
+//     retry-after hint — never silent drops or blocked connections.
+//   - Gate: per-client token buckets (contract enforcement) in front of a
+//     cluster-level admission controller (capacity protection). Every
+//     replanning round the gate reads the Supervisor's latest snapshot
+//     and runs PlanAdmission: the largest demand scaling whose Program
+//     (6) allocation still fits the granted Kmax is admitted; the excess
+//     is shed lowest-weight-clients-first by deterministic thinning. The
+//     Appendix-B guard (ScaleOutViable) tells a transient shed — machines
+//     are coming — from a persistent one at the provider cap.
+//   - Ring: the bounded, batch-aware MPSC hand-off into the engine,
+//     drained by engine.NetworkSpout via SpoutContext.EmitBatch. A full
+//     ring is backpressure, not memory growth.
+//   - SupervisedTarget: wraps the supervisor's Target so every interval
+//     report carries OfferedArrivals = admitted + shed, the measurement
+//     that closes the loop (metrics.Measurer smooths the two series
+//     independently; loop.Supervisor scales decisions to offered load).
+//
+// The admit fast path — Client.Offer — is two atomic counters, one token
+// bucket and one bounded-ring push: zero allocations in steady state.
+package ingest
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/engine"
+)
+
+// ErrClosed is returned by Gate operations after Close.
+var ErrClosed = errors.New("ingest: gate closed")
+
+// ShedReason classifies why an offered record was refused.
+type ShedReason int
+
+const (
+	// ShedNone: the record was admitted.
+	ShedNone ShedReason = iota
+	// ShedRateLimit: the client exceeded its own token-bucket rate — a
+	// per-client contract refusal, not cluster overload. Excluded from the
+	// offered-load provisioning signal.
+	ShedRateLimit
+	// ShedOverload: the cluster admission controller shed the record —
+	// the DRS model says the current grant cannot hold the offered demand
+	// under Tmax.
+	ShedOverload
+	// ShedBacklog: the hand-off ring was full — instantaneous backpressure
+	// (e.g. during a rebalance pause) even when the plan admits.
+	ShedBacklog
+)
+
+// String names the reason.
+func (r ShedReason) String() string {
+	switch r {
+	case ShedNone:
+		return "admitted"
+	case ShedRateLimit:
+		return "rate-limit"
+	case ShedOverload:
+		return "overload"
+	case ShedBacklog:
+		return "backlog"
+	default:
+		return "unknown"
+	}
+}
+
+// Verdict is the outcome of one offered record.
+type Verdict struct {
+	// Admitted reports whether the record entered the hand-off ring.
+	Admitted bool
+	// Reason classifies a refusal (ShedNone when admitted).
+	Reason ShedReason
+	// RetryAfter is the backpressure hint returned to the client
+	// (Retry-After header / NACK payload).
+	RetryAfter time.Duration
+}
+
+// ControlSource exposes the supervisor state the admission policy
+// consults; *loop.Supervisor implements it.
+type ControlSource interface {
+	// LastSnapshot returns the most recent control snapshot and whether
+	// one exists yet.
+	LastSnapshot() (core.Snapshot, bool)
+}
+
+// GateConfig parameterizes a Gate.
+type GateConfig struct {
+	// Tmax is the latency target in seconds the admission controller
+	// defends (required for model shedding; 0 disables it, leaving only
+	// token buckets and ring backpressure).
+	Tmax float64
+	// Headroom tightens the planning target to Tmax·(1−Headroom), giving
+	// the admitted traffic a noise margin below the hard limit (default
+	// 0.1; negative disables).
+	Headroom float64
+	// MaxSlots is the provider cap in executor slots, for the Appendix-B
+	// scale-out-viability verdict (0 = uncapped).
+	MaxSlots int
+	// Control is the supervisor the plan reads (optional; settable later
+	// with SetControl; without one the gate admits everything).
+	Control ControlSource
+	// RingCapacity bounds the hand-off ring (default 4096).
+	RingCapacity int
+	// ReplanEvery is the admission replanning cadence (default 1s).
+	ReplanEvery time.Duration
+	// RetryAfter is the backpressure hint for overload/backlog sheds
+	// (default ReplanEvery — the earliest the verdict can change).
+	RetryAfter time.Duration
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// GateStats is a point-in-time reading of the gate's cumulative counters.
+type GateStats struct {
+	// Offered counts every record clients presented; Admitted those that
+	// entered the ring.
+	Offered, Admitted int64
+	// ShedRateLimit, ShedOverload and ShedBacklog split the refusals by
+	// reason.
+	ShedRateLimit, ShedOverload, ShedBacklog int64
+	// AdmitFraction and SustainableRate echo the current plan.
+	AdmitFraction, SustainableRate float64
+	// ScaleOutViable echoes the current Appendix-B guard verdict.
+	ScaleOutViable bool
+}
+
+// Gate is the admission controller: clients offer records, the gate
+// applies per-client token buckets and the cluster-level plan, and
+// admitted payloads flow through the bounded ring to the NetworkSpout.
+// All methods are safe for concurrent use; Offer is the zero-alloc fast
+// path.
+type Gate struct {
+	cfg  GateConfig
+	ring *Ring
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	control ControlSource
+	planned struct {
+		lastAt time.Time
+	}
+
+	offered       atomic.Int64
+	admitted      atomic.Int64
+	shedRateLimit atomic.Int64
+	shedOverload  atomic.Int64
+	shedBacklog   atomic.Int64
+	// intervalShed accumulates overload+backlog sheds for DrainShed — the
+	// offered-vs-admitted probe feeding interval reports.
+	intervalShed atomic.Int64
+
+	admitFraction   atomicFloat
+	sustainableRate atomicFloat
+	scaleOutViable  atomic.Bool
+
+	closed  atomic.Bool
+	stopRun chan struct{}
+	runDone chan struct{}
+}
+
+// atomicFloat is a float64 behind an atomic.Uint64 (bits).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+
+// NewGate validates the config and builds a gate.
+func NewGate(cfg GateConfig) *Gate {
+	if cfg.RingCapacity <= 0 {
+		cfg.RingCapacity = 4096
+	}
+	switch {
+	case cfg.Headroom == 0:
+		cfg.Headroom = 0.1
+	case cfg.Headroom < 0:
+		cfg.Headroom = 0
+	case cfg.Headroom > 0.9:
+		cfg.Headroom = 0.9
+	}
+	if cfg.ReplanEvery <= 0 {
+		cfg.ReplanEvery = time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = cfg.ReplanEvery
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	g := &Gate{
+		cfg:     cfg,
+		ring:    NewRing(cfg.RingCapacity),
+		clients: make(map[string]*Client),
+		control: cfg.Control,
+	}
+	g.admitFraction.store(1)
+	g.scaleOutViable.Store(true)
+	return g
+}
+
+// Ring exposes the hand-off ring — the engine.BatchSource a NetworkSpout
+// drains.
+func (g *Gate) Ring() *Ring { return g.ring }
+
+// SetControl installs (or replaces) the supervisor the plan reads. The
+// gate and the supervisor reference each other — the supervisor's target
+// is wrapped by the gate's probe, the gate reads the supervisor's
+// snapshots — so one of the two is always wired after construction.
+func (g *Gate) SetControl(c ControlSource) {
+	g.mu.Lock()
+	g.control = c
+	g.mu.Unlock()
+}
+
+// Client registers (or returns) the client with the given id. weight
+// orders shedding — higher weights shed last; equal offered demand at
+// equal weight sheds alphabetically-later ids first (deterministic).
+// rate/burst parameterize the client's token bucket (rate <= 0 disables
+// it). Parameters of an existing client are left unchanged.
+func (g *Gate) Client(id string, weight, rate float64, burst int) *Client {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.clients[id]; ok {
+		return c
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	c := &Client{g: g, id: id, weight: weight, bucket: newTokenBucket(rate, burst)}
+	// A fresh client starts at the plan-wide fraction, not admit-all:
+	// client ids are client-chosen (headers, hello frames), so a free
+	// first round per id would let id rotation bypass overload shedding
+	// entirely until the next replan.
+	c.admitPermille.Store(uint32(g.admitFraction.load() * permilleScale))
+	g.clients[id] = c
+	return c
+}
+
+// Start launches the background replanning loop. Stop it with Close.
+func (g *Gate) Start() error {
+	if g.closed.Load() {
+		return ErrClosed
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stopRun != nil {
+		return errors.New("ingest: gate already started")
+	}
+	g.stopRun = make(chan struct{})
+	g.runDone = make(chan struct{})
+	go g.run(g.stopRun, g.runDone)
+	return nil
+}
+
+func (g *Gate) run(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	tick := time.NewTicker(g.cfg.ReplanEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			g.Replan()
+		}
+	}
+}
+
+// Close shuts the front door: the replanning loop stops, new offers are
+// refused, and the hand-off ring closes — the NetworkSpout drains what
+// was already admitted and then exits, so an orderly shutdown (Close the
+// gate, then Stop the engine) loses no admitted tuple.
+func (g *Gate) Close() {
+	if !g.closed.CompareAndSwap(false, true) {
+		return
+	}
+	g.mu.Lock()
+	stop, done := g.stopRun, g.runDone
+	g.stopRun, g.runDone = nil, nil
+	g.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	g.ring.Close()
+}
+
+// permilleScale is the resolution of the per-client thinning fraction.
+const permilleScale = 1000
+
+// Replan recomputes the cluster-level admission plan from the supervisor's
+// latest snapshot and redistributes the admitted budget across clients by
+// weight. Called by the Start loop every ReplanEvery; tests and
+// virtual-time drivers call it directly.
+func (g *Gate) Replan() {
+	now := g.cfg.Now()
+	g.mu.Lock()
+	control := g.control
+	list := make([]*Client, 0, len(g.clients))
+	for _, c := range g.clients {
+		list = append(list, c)
+	}
+	last := g.planned.lastAt
+	g.planned.lastAt = now
+
+	// Per-client offered rates over the round just ended. Rate-limited
+	// refusals are excluded: a client hammering past its own contract is
+	// not demand the cluster should provision (or budget-share) for.
+	dt := now.Sub(last).Seconds()
+	if last.IsZero() || dt <= 0 {
+		dt = g.cfg.ReplanEvery.Seconds()
+	}
+	rates := make([]float64, len(list))
+	provisioningRate := 0.0
+	for i, c := range list {
+		rates[i] = c.drainOfferedRate(dt)
+		provisioningRate += rates[i]
+	}
+	g.mu.Unlock()
+
+	var plan Plan
+	plan.AdmitFraction, plan.ScaleOutViable = 1, true
+	plan.SustainableRate = provisioningRate
+	if control != nil && g.cfg.Tmax > 0 {
+		if snap, ok := control.LastSnapshot(); ok {
+			plan = PlanAdmission(snap, g.cfg.Tmax*(1-g.cfg.Headroom), g.cfg.MaxSlots, provisioningRate)
+		}
+	}
+	g.admitFraction.store(plan.AdmitFraction)
+	g.sustainableRate.store(plan.SustainableRate)
+	g.scaleOutViable.Store(plan.ScaleOutViable)
+
+	weights := make([]float64, len(list))
+	ids := make([]string, len(list))
+	for i, c := range list {
+		weights[i], ids[i] = c.weight, c.id
+	}
+	for i, p := range AdmitPermilles(plan, weights, ids, rates) {
+		list[i].admitPermille.Store(p)
+	}
+}
+
+// AdmitPermilles distributes one plan's sustainable budget across
+// clients: the budget is filled highest-weight-first (ties break by id
+// for determinism), so the marginal — partially admitted — client and
+// everyone below it are the cheapest traffic. Idle clients get the
+// plan-wide fraction: their next burst should see the cluster verdict,
+// not a stale free pass. Returned values are thinning fractions in
+// permille, matching the offered rates' order. Exported so virtual-time
+// drivers (the overload experiment) run the exact distribution the live
+// gate runs.
+func AdmitPermilles(plan Plan, weights []float64, ids []string, rates []float64) []uint32 {
+	out := make([]uint32, len(rates))
+	if plan.AdmitFraction >= 1 {
+		for i := range out {
+			out[i] = permilleScale
+		}
+		return out
+	}
+	order := make([]int, len(rates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if weights[ia] != weights[ib] {
+			return weights[ia] > weights[ib]
+		}
+		return ids[ia] < ids[ib]
+	})
+	budget := plan.SustainableRate
+	for _, i := range order {
+		want := rates[i]
+		if want <= 0 {
+			out[i] = uint32(plan.AdmitFraction * permilleScale)
+			continue
+		}
+		give := want
+		if give > budget {
+			give = budget
+		}
+		budget -= give
+		out[i] = uint32(give / want * permilleScale)
+	}
+	return out
+}
+
+// ThinAdmit is the deterministic thinning verdict: of every thousand
+// sequence numbers, admit ⌊n·p/1000⌋ − ⌊(n−1)·p/1000⌋ — the exact
+// long-run fraction with no RNG and no bursts of bad luck for a steady
+// client. Shared by the live fast path and the virtual-time experiment.
+func ThinAdmit(seq uint64, permille uint32) bool {
+	return seq*uint64(permille)/permilleScale != (seq-1)*uint64(permille)/permilleScale
+}
+
+// Stats reads the cumulative counters and the current plan.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Offered:         g.offered.Load(),
+		Admitted:        g.admitted.Load(),
+		ShedRateLimit:   g.shedRateLimit.Load(),
+		ShedOverload:    g.shedOverload.Load(),
+		ShedBacklog:     g.shedBacklog.Load(),
+		AdmitFraction:   g.admitFraction.load(),
+		SustainableRate: g.sustainableRate.load(),
+		ScaleOutViable:  g.scaleOutViable.Load(),
+	}
+}
+
+// DrainShed atomically reads and resets the interval shed counter —
+// overload and backlog refusals since the previous drain, the part of
+// offered demand that never reached a spout. SupervisedTarget adds it to
+// the engine's admitted count to report OfferedArrivals.
+func (g *Gate) DrainShed() int64 { return g.intervalShed.Swap(0) }
+
+// Client is one registered traffic source: an id, a shedding weight, a
+// token bucket and the thinning state the cluster plan drives.
+type Client struct {
+	g      *Gate
+	id     string
+	weight float64
+	bucket tokenBucket
+
+	seq           atomic.Uint64
+	admitPermille atomic.Uint32
+
+	offered     atomic.Int64
+	admitted    atomic.Int64
+	shed        atomic.Int64
+	rlShed      atomic.Int64
+	lastOffered int64 // replan-loop snapshot (guarded by g.mu)
+}
+
+// ID returns the client's identifier.
+func (c *Client) ID() string { return c.id }
+
+// Weight returns the client's shedding weight.
+func (c *Client) Weight() float64 { return c.weight }
+
+// Offered reports how many records the client has presented in total.
+func (c *Client) Offered() int64 { return c.offered.Load() }
+
+// Admitted reports how many of the client's records entered the ring.
+func (c *Client) Admitted() int64 { return c.admitted.Load() }
+
+// Shed reports how many of the client's records were refused.
+func (c *Client) Shed() int64 { return c.shed.Load() }
+
+// drainOfferedRate reports the client's offered rate — net of its own
+// rate-limit refusals — since the last replan round. Called under g.mu by
+// the replan loop only.
+func (c *Client) drainOfferedRate(dt float64) float64 {
+	cur := c.offered.Load() - c.rlShed.Load()
+	rate := float64(cur-c.lastOffered) / dt
+	c.lastOffered = cur
+	return rate
+}
+
+// Offer is the admit fast path — decode → admit → ring, zero allocations:
+// the client's token bucket, the cluster thinning verdict and a bounded
+// ring push. The payload v must not be mutated by the caller afterwards;
+// it becomes the tuple the topology processes.
+func (c *Client) Offer(v engine.Values) Verdict {
+	g := c.g
+	c.offered.Add(1)
+	g.offered.Add(1)
+	if g.closed.Load() {
+		c.shed.Add(1)
+		g.shedBacklog.Add(1)
+		return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+	}
+	if c.bucket.rate > 0 { // skip the clock read entirely when unlimited
+		if ok, retry := c.bucket.take(g.cfg.Now().UnixNano()); !ok {
+			c.shed.Add(1)
+			c.rlShed.Add(1)
+			g.shedRateLimit.Add(1)
+			return Verdict{Reason: ShedRateLimit, RetryAfter: retry}
+		}
+	}
+	if p := c.admitPermille.Load(); p < permilleScale {
+		if !ThinAdmit(c.seq.Add(1), p) {
+			c.shed.Add(1)
+			g.shedOverload.Add(1)
+			g.intervalShed.Add(1)
+			return Verdict{Reason: ShedOverload, RetryAfter: g.cfg.RetryAfter}
+		}
+	}
+	if !g.ring.TryPush(v) {
+		c.shed.Add(1)
+		g.shedBacklog.Add(1)
+		g.intervalShed.Add(1)
+		return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+	}
+	c.admitted.Add(1)
+	g.admitted.Add(1)
+	return Verdict{Admitted: true}
+}

@@ -1,0 +1,477 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/engine"
+)
+
+// scriptedControl serves a fixed snapshot.
+type scriptedControl struct {
+	mu   sync.Mutex
+	snap core.Snapshot
+	ok   bool
+}
+
+func (c *scriptedControl) LastSnapshot() (core.Snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snap, c.ok
+}
+
+func (c *scriptedControl) set(s core.Snapshot) {
+	c.mu.Lock()
+	c.snap, c.ok = s, true
+	c.mu.Unlock()
+}
+
+// twoStageSnap builds a snapshot of a two-stage chain at the given
+// admitted rate, µ per stage, allocation and grant.
+func twoStageSnap(lambda, mu float64, k, kmax int) core.Snapshot {
+	return core.Snapshot{
+		Lambda0:        lambda,
+		OfferedLambda0: lambda,
+		Ops: []core.OpRates{
+			{Name: "stage1", Lambda: lambda, Mu: mu},
+			{Name: "stage2", Lambda: lambda, Mu: mu},
+		},
+		MeasuredSojourn: 0.5,
+		Alloc:           []int{k, k},
+		Kmax:            kmax,
+	}
+}
+
+func TestRingOrderAndBackpressure(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 {
+		t.Fatalf("cap %d, want 4", r.Cap())
+	}
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(engine.Values{i}) {
+			t.Fatalf("push %d refused below capacity", i)
+		}
+	}
+	if r.TryPush(engine.Values{4}) {
+		t.Fatal("push into a full ring must fail")
+	}
+	done := make(chan struct{})
+	buf := make([]engine.Values, 0, 3)
+	out, ok := r.PopBatch(done, buf)
+	if !ok || len(out) != 3 {
+		t.Fatalf("PopBatch: %d items, ok=%v; want 3, true", len(out), ok)
+	}
+	for i, v := range out {
+		if v[0].(int) != i {
+			t.Fatalf("out[%d] = %v, want %d (FIFO)", i, v[0], i)
+		}
+	}
+	// Close with one item left: the drain completes before ok=false.
+	r.Close()
+	if r.TryPush(engine.Values{9}) {
+		t.Fatal("push into a closed ring must fail")
+	}
+	out, ok = r.PopBatch(done, buf)
+	if !ok || len(out) != 1 || out[0][0].(int) != 3 {
+		t.Fatalf("drain after close: %v ok=%v; want item 3, true", out, ok)
+	}
+	if _, ok = r.PopBatch(done, buf); ok {
+		t.Fatal("drained closed ring must report ok=false")
+	}
+}
+
+func TestRingDoneWakesBlockedConsumer(t *testing.T) {
+	r := NewRing(4)
+	done := make(chan struct{})
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := r.PopBatch(done, make([]engine.Values, 0, 1))
+		got <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(done)
+	select {
+	case ok := <-got:
+		if ok {
+			t.Fatal("done-closed PopBatch returned ok=true")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("PopBatch ignored done")
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	b := newTokenBucket(10, 2) // 10/s, burst 2
+	now := time.Unix(0, 0)
+	if ok, _ := b.take(now.UnixNano()); !ok {
+		t.Fatal("first token refused")
+	}
+	if ok, _ := b.take(now.UnixNano()); !ok {
+		t.Fatal("burst token refused")
+	}
+	ok, retry := b.take(now.UnixNano())
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("retry-after %v, want ~100ms at 10 tokens/s", retry)
+	}
+	// 100 ms later one token has refilled.
+	if ok, _ := b.take(now.Add(100 * time.Millisecond).UnixNano()); !ok {
+		t.Fatal("refilled token refused")
+	}
+	unlimited := newTokenBucket(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := unlimited.take(now.UnixNano()); !ok {
+			t.Fatal("disabled bucket must always admit")
+		}
+	}
+}
+
+func TestPlanAdmissionAdmitsWithinGrant(t *testing.T) {
+	// λ = 3/s on (3,3) of 6 slots, µ = 2: comfortably sustainable.
+	p := PlanAdmission(twoStageSnap(3, 2, 3, 6), 1.5, 16, 3)
+	if p.AdmitFraction != 1 {
+		t.Fatalf("admit fraction %.2f, want 1 within the grant", p.AdmitFraction)
+	}
+	if !p.ScaleOutViable {
+		t.Fatal("scale-out trivially viable when demand already fits")
+	}
+}
+
+func TestPlanAdmissionShedsBeyondGrant(t *testing.T) {
+	// Offered 18/s against a 6-slot grant: must shed most of it, and with
+	// a 16-slot cap the demand (≈22 slots) is beyond the provider.
+	snap := twoStageSnap(3, 2, 3, 6)
+	p := PlanAdmission(snap, 1.5, 16, 18)
+	if p.AdmitFraction >= 1 || p.AdmitFraction <= 0 {
+		t.Fatalf("admit fraction %.2f, want partial shed", p.AdmitFraction)
+	}
+	if p.SustainableRate <= 0 || p.SustainableRate >= 18 {
+		t.Fatalf("sustainable %.2f tuples/s out of range", p.SustainableRate)
+	}
+	if p.ScaleOutViable {
+		t.Fatal("22-slot demand must not be viable under a 16-slot cap")
+	}
+	// The same demand under a roomy cap is viable (transient shed).
+	if p := PlanAdmission(snap, 1.5, 64, 18); !p.ScaleOutViable {
+		t.Fatal("22-slot demand must be viable under a 64-slot cap")
+	}
+	// And a larger grant sustains more.
+	big := PlanAdmission(twoStageSnap(3, 2, 8, 16), 1.5, 16, 18)
+	if big.SustainableRate <= p.SustainableRate {
+		t.Fatalf("16-slot grant sustains %.2f <= 6-slot grant's %.2f", big.SustainableRate, p.SustainableRate)
+	}
+}
+
+func TestPlanAdmissionDrainCorrection(t *testing.T) {
+	// Within the grant but the measured sojourn is 3× the target: a
+	// backlog is draining, so admission must tighten by target/measured.
+	snap := twoStageSnap(3, 2, 3, 6)
+	snap.MeasuredSojourn = 4.5
+	p := PlanAdmission(snap, 1.5, 16, 3)
+	if p.AdmitFraction > 0.34 || p.AdmitFraction < 0.3 {
+		t.Fatalf("admit fraction %.2f, want ≈ 1.5/4.5 ≈ 0.33", p.AdmitFraction)
+	}
+}
+
+func TestPlanAdmissionFailsOpen(t *testing.T) {
+	if p := PlanAdmission(core.Snapshot{}, 1.5, 16, 10); p.AdmitFraction != 1 {
+		t.Fatalf("empty snapshot must admit all, got %.2f", p.AdmitFraction)
+	}
+	if p := PlanAdmission(twoStageSnap(3, 2, 3, 6), 0, 16, 10); p.AdmitFraction != 1 {
+		t.Fatalf("zero Tmax must admit all, got %.2f", p.AdmitFraction)
+	}
+}
+
+func TestPlanAdmissionStabilityFallback(t *testing.T) {
+	// Tmax below the two-stage service floor (2 × 0.5s = 1s): latency is
+	// unreachable at any allocation, but overload 18/s against 6 slots
+	// must still be bounded by stability (ρ ≤ 0.95 per operator).
+	p := PlanAdmission(twoStageSnap(3, 2, 3, 6), 0.8, 16, 18)
+	if p.AdmitFraction >= 1 {
+		t.Fatal("stability fallback must still shed an 18/s offer against 6 slots")
+	}
+	want := stabilityRho * 6 // 0.95 · k·µ = 0.95·3·2 per stage
+	if p.SustainableRate > want+1e-9 {
+		t.Fatalf("sustainable %.2f exceeds the stability bound %.2f", p.SustainableRate, want)
+	}
+}
+
+func TestGateShedsByWeight(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+	control := &scriptedControl{}
+	g := NewGate(GateConfig{
+		Tmax: 1.5, MaxSlots: 16, Control: control,
+		RingCapacity: 1 << 14, ReplanEvery: time.Second, Headroom: -1, Now: clock,
+	})
+	gold := g.Client("gold", 4, 0, 0)
+	bronze := g.Client("bronze", 1, 0, 0)
+	payload := engine.Values{[]byte("r")}
+
+	// Round 0: warm the per-client rate estimates (plan stays admit-all —
+	// no snapshot yet). Rates: gold 4/s, bronze 28/s.
+	for i := 0; i < 4; i++ {
+		gold.Offer(payload)
+	}
+	for i := 0; i < 28; i++ {
+		bronze.Offer(payload)
+	}
+	advance(time.Second)
+	g.Replan()
+	if f := g.Stats().AdmitFraction; f != 1 {
+		t.Fatalf("no snapshot: admit fraction %.2f, want 1", f)
+	}
+
+	// Install a snapshot whose grant sustains ~14/s of the 32/s offered;
+	// gold (4/s) must fit fully, bronze absorbs the shed.
+	control.set(twoStageSnap(3, 2, 8, 16))
+	for i := 0; i < 4; i++ {
+		gold.Offer(payload)
+	}
+	for i := 0; i < 28; i++ {
+		bronze.Offer(payload)
+	}
+	advance(time.Second)
+	g.Replan()
+	st := g.Stats()
+	if st.AdmitFraction >= 1 {
+		t.Fatalf("admit fraction %.2f, want shedding against 18/s offered", st.AdmitFraction)
+	}
+	goldBefore, bronzeBefore := gold.Shed(), bronze.Shed()
+	for i := 0; i < 2000; i++ {
+		gold.Offer(payload)
+		bronze.Offer(payload)
+	}
+	goldShed := gold.Shed() - goldBefore
+	bronzeShed := bronze.Shed() - bronzeBefore
+	if goldShed != 0 {
+		t.Fatalf("gold shed %d records; its 4/s fits inside the sustainable rate", goldShed)
+	}
+	if bronzeShed == 0 {
+		t.Fatal("bronze shed nothing; the excess must land on the low-weight client")
+	}
+	// The interval probe counts exactly the overload sheds.
+	if drained := g.DrainShed(); drained != goldShed+bronzeShed {
+		t.Fatalf("DrainShed %d, want %d", drained, goldShed+bronzeShed)
+	}
+	if g.DrainShed() != 0 {
+		t.Fatal("DrainShed must reset")
+	}
+}
+
+func TestGateRingBackpressure(t *testing.T) {
+	g := NewGate(GateConfig{RingCapacity: 4, ReplanEvery: time.Second})
+	c := g.Client("c", 1, 0, 0)
+	payload := engine.Values{[]byte("r")}
+	for i := 0; i < 4; i++ {
+		if v := c.Offer(payload); !v.Admitted {
+			t.Fatalf("offer %d refused below ring capacity: %+v", i, v)
+		}
+	}
+	v := c.Offer(payload)
+	if v.Admitted || v.Reason != ShedBacklog {
+		t.Fatalf("full ring: got %+v, want ShedBacklog", v)
+	}
+	if v.RetryAfter <= 0 {
+		t.Fatal("backlog shed must carry a retry-after hint")
+	}
+}
+
+func TestGateCloseDrainsAdmitted(t *testing.T) {
+	g := NewGate(GateConfig{RingCapacity: 16})
+	c := g.Client("c", 1, 0, 0)
+	for i := 0; i < 5; i++ {
+		c.Offer(engine.Values{i})
+	}
+	g.Close()
+	if v := c.Offer(engine.Values{9}); v.Admitted {
+		t.Fatal("closed gate admitted a record")
+	}
+	done := make(chan struct{})
+	buf := make([]engine.Values, 0, 16)
+	out, ok := g.Ring().PopBatch(done, buf)
+	if !ok || len(out) != 5 {
+		t.Fatalf("close lost admitted records: got %d ok=%v, want 5 true", len(out), ok)
+	}
+	if _, ok := g.Ring().PopBatch(done, buf); ok {
+		t.Fatal("drained closed ring must report ok=false")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	g := NewGate(GateConfig{RingCapacity: 64})
+	srv := httptest.NewServer(Handler(g, ListenerConfig{Rate: 1, Burst: 1}))
+	defer srv.Close()
+	defer g.Close()
+
+	post := func(id, body string) (int, string, string) {
+		req, err := http.NewRequest("POST", srv.URL+"/ingest", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(ClientIDHeader, id)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), resp.Header.Get("Retry-After")
+	}
+	code, body, _ := post("a", "rec1")
+	if code != 202 || !strings.Contains(body, `"admitted":1`) {
+		t.Fatalf("first record: %d %s", code, body)
+	}
+	// The 1/s bucket is now empty: the next record must bounce with 429
+	// and a Retry-After hint.
+	code, body, retry := post("a", "rec2")
+	if code != 429 {
+		t.Fatalf("rate-limited record: %d %s, want 429", code, body)
+	}
+	if retry == "" {
+		t.Fatal("429 must carry Retry-After")
+	}
+	if !strings.Contains(body, `"reason":"rate-limit"`) {
+		t.Fatalf("429 body %s lacks the shed reason", body)
+	}
+	// A different client has its own bucket.
+	if code, _, _ := post("b", "rec"); code != 202 {
+		t.Fatalf("client b: %d, want 202", code)
+	}
+	// /stats renders the counters.
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), `"offered":3`) {
+		t.Fatalf("stats %s lacks offered count", b)
+	}
+	// The admitted payloads are in the ring.
+	if n := g.Ring().Len(); n != 2 {
+		t.Fatalf("ring holds %d records, want 2", n)
+	}
+}
+
+func TestTCPListener(t *testing.T) {
+	g := NewGate(GateConfig{RingCapacity: 64})
+	defer g.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go ServeTCP(l, g, ListenerConfig{Rate: 2, Burst: 2})
+
+	c, err := DialTCP(l.Addr().String(), "tcp-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 2; i++ {
+		admitted, _, err := c.Send([]byte(fmt.Sprintf("rec%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !admitted {
+			t.Fatalf("record %d NACKed below the burst", i)
+		}
+	}
+	admitted, retry, err := c.Send([]byte("rec2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted {
+		t.Fatal("record beyond the bucket burst was ACKed")
+	}
+	if retry <= 0 {
+		t.Fatal("NACK must carry a retry-after hint")
+	}
+	// The two admitted payloads round-trip into the ring intact.
+	done := make(chan struct{})
+	out, ok := g.Ring().PopBatch(done, make([]engine.Values, 0, 4))
+	if !ok || len(out) != 2 {
+		t.Fatalf("ring: %d records ok=%v, want 2 true", len(out), ok)
+	}
+	if got := string(out[0][0].([]byte)); got != "rec0" {
+		t.Fatalf("payload %q, want rec0", got)
+	}
+}
+
+// TestFreshClientInheritsPlan: a client id first seen while the gate is
+// shedding must start at the plan-wide fraction — client ids are
+// client-chosen, so an admit-all first round per id would let id
+// rotation bypass admission control entirely.
+func TestFreshClientInheritsPlan(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	control := &scriptedControl{}
+	control.set(twoStageSnap(3, 2, 1, 2)) // starved grant: sheds nearly everything
+	g := NewGate(GateConfig{
+		Tmax: 1.5, MaxSlots: 16, Control: control,
+		RingCapacity: 1 << 12, ReplanEvery: time.Second, Headroom: -1, Now: clock,
+	})
+	// Establish a shedding plan with one known client.
+	seed := g.Client("seed", 1, 0, 0)
+	for i := 0; i < 100; i++ {
+		seed.Offer(engine.Values{[]byte("r")})
+	}
+	now = now.Add(time.Second)
+	g.Replan()
+	if f := g.Stats().AdmitFraction; f >= 1 {
+		t.Fatalf("setup: admit fraction %.2f, want shedding", f)
+	}
+	// A brand-new id must not get a free admit-all round.
+	fresh := g.Client("rotated-id", 1, 0, 0)
+	admitted := 0
+	for i := 0; i < 1000; i++ {
+		if v := fresh.Offer(engine.Values{[]byte("r")}); v.Admitted {
+			admitted++
+		}
+	}
+	frac := g.Stats().AdmitFraction
+	if float64(admitted) > float64(1000)*frac*1.5+10 {
+		t.Fatalf("fresh client admitted %d of 1000 under plan fraction %.3f — id rotation bypasses the shed", admitted, frac)
+	}
+}
+
+// TestHTTPNDJSONWithCharset: the NDJSON branch must match the media type,
+// parameters and all — 'application/x-ndjson; charset=utf-8' is a batch,
+// not one concatenated record.
+func TestHTTPNDJSONWithCharset(t *testing.T) {
+	g := NewGate(GateConfig{RingCapacity: 64})
+	defer g.Close()
+	srv := httptest.NewServer(Handler(g, ListenerConfig{}))
+	defer srv.Close()
+	req, err := http.NewRequest("POST", srv.URL+"/ingest", strings.NewReader("a\nb\nc\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(ClientIDHeader, "batcher")
+	req.Header.Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 202 || !strings.Contains(string(body), `"admitted":3`) {
+		t.Fatalf("charset-parameterized NDJSON: %d %s, want 202 with 3 admitted", resp.StatusCode, body)
+	}
+	if n := g.Ring().Len(); n != 3 {
+		t.Fatalf("ring holds %d records, want 3 (one per line)", n)
+	}
+}

@@ -1,0 +1,129 @@
+package ingest
+
+import (
+	"sync"
+
+	"github.com/drs-repro/drs/internal/engine"
+)
+
+// Ring is the bounded MPSC hand-off between the listener threads and the
+// engine's NetworkSpout: producers TryPush decoded payloads, the single
+// consumer drains them in batches. It reuses the engine queue idiom — a
+// power-of-two ring drained up to a buffer's worth per lock round, with
+// batch-granular signaling — but unlike the engine's unbounded executor
+// queues it is *bounded*: a full ring refuses the push, which the gate
+// converts into explicit client backpressure (HTTP 429 / TCP NACK)
+// instead of letting overload grow the data plane's memory. The fast
+// paths allocate nothing in steady state.
+type Ring struct {
+	mu     sync.Mutex
+	buf    []engine.Values // power-of-two ring, fixed capacity
+	head   int             // index of the oldest item
+	n      int             // live item count
+	closed bool
+	// notEmpty latches the empty->non-empty transition (and the close) for
+	// the consumer; capacity 1, non-blocking sends.
+	notEmpty chan struct{}
+}
+
+// NewRing builds a ring holding at least capacity payloads (rounded up to
+// a power of two; minimum 2).
+func NewRing(capacity int) *Ring {
+	size := 2
+	for size < capacity {
+		size *= 2
+	}
+	return &Ring{
+		buf:      make([]engine.Values, size),
+		notEmpty: make(chan struct{}, 1),
+	}
+}
+
+// Cap reports the ring's fixed capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len reports the current backlog.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// TryPush enqueues one payload without blocking. It returns false when the
+// ring is full (the backpressure signal) or closed.
+func (r *Ring) TryPush(v engine.Values) bool {
+	r.mu.Lock()
+	if r.closed || r.n == len(r.buf) {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+	wake := r.n == 1
+	r.mu.Unlock()
+	if wake {
+		r.signal()
+	}
+	return true
+}
+
+func (r *Ring) signal() {
+	select {
+	case r.notEmpty <- struct{}{}:
+	default:
+	}
+}
+
+// PopBatch implements engine.BatchSource: it blocks until payloads are
+// available, moves up to cap(buf) of them into buf under one lock round,
+// and returns the filled prefix. Admitted payloads are never abandoned: a
+// closed ring keeps returning batches until it is empty, and only then
+// reports ok=false. done is the consumer's shutdown fallback — when it
+// closes while the ring is empty, PopBatch returns promptly.
+func (r *Ring) PopBatch(done <-chan struct{}, buf []engine.Values) ([]engine.Values, bool) {
+	max := cap(buf)
+	if max == 0 {
+		max = 1
+		buf = make([]engine.Values, 0, 1)
+	}
+	for {
+		r.mu.Lock()
+		if r.n > 0 {
+			take := r.n
+			if take > max {
+				take = max
+			}
+			out := buf[:take]
+			mask := len(r.buf) - 1
+			for i := 0; i < take; i++ {
+				idx := (r.head + i) & mask
+				out[i] = r.buf[idx]
+				r.buf[idx] = nil // release the payload reference
+			}
+			r.head = (r.head + take) & mask
+			r.n -= take
+			r.mu.Unlock()
+			return out, true
+		}
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-r.notEmpty:
+		case <-done:
+			return nil, false
+		}
+	}
+}
+
+// Close marks the ring closed: pushes start failing immediately, and the
+// consumer drains what remains before PopBatch reports ok=false. Safe to
+// call more than once.
+func (r *Ring) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.signal()
+}

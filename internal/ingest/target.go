@@ -1,0 +1,40 @@
+package ingest
+
+import (
+	"time"
+
+	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/metrics"
+)
+
+// SupervisedTarget is the ingest-side probe: it wraps the supervisor's
+// Target so every interval report carries the offered-vs-admitted split —
+// OfferedArrivals = the engine's admitted arrivals plus the gate's
+// overload/backlog sheds over the same interval. This is what re-closes
+// the paper's §IV loop under shedding: the measured λ the Supervisor
+// provisions against stays the *offered* load even while the front door
+// is dropping the excess, so grants grow toward true demand and the gate
+// un-sheds as they arrive.
+type SupervisedTarget struct {
+	// Inner is the wrapped target (required) — loop.EngineTarget(run) for
+	// the live engine.
+	Inner loop.Target
+	// Gate is the admission gate whose sheds complete the offered count
+	// (required).
+	Gate *Gate
+}
+
+// DrainInterval drains the inner target and stamps the offered count.
+func (t SupervisedTarget) DrainInterval() metrics.IntervalReport {
+	rep := t.Inner.DrainInterval()
+	rep.OfferedArrivals = rep.ExternalArrivals + t.Gate.DrainShed()
+	return rep
+}
+
+// Allocation delegates to the inner target.
+func (t SupervisedTarget) Allocation() map[string]int { return t.Inner.Allocation() }
+
+// Rebalance delegates to the inner target.
+func (t SupervisedTarget) Rebalance(alloc map[string]int, pause time.Duration) error {
+	return t.Inner.Rebalance(alloc, pause)
+}

@@ -236,7 +236,12 @@ type Supervisor struct {
 	mu            sync.Mutex
 	cooldownUntil time.Time
 	lastSnap      core.Snapshot
-	haveSnap      bool
+	// lastRawSnap is lastSnap before demand scaling: the admitted-rate
+	// view. Re-fits fall back to it when a partial grant cannot even hold
+	// the offered-demand rates stably (the admission gate is shedding the
+	// difference, so the admitted rates are what actually flows).
+	lastRawSnap core.Snapshot
+	haveSnap    bool
 	// lastAllocTotal caches the slot total of the most recent allocation
 	// this supervisor observed or applied, so the per-tick preemption
 	// check can skip the target's Allocation() map walk while the grant
@@ -407,11 +412,30 @@ func (s *Supervisor) Tick() {
 	}
 	snap.Alloc = alloc
 	snap.Kmax = s.cfg.Pool.Kmax()
+	// Scale-on-offered-load: when an ingest tier is shedding, the admitted
+	// rates describe the post-shed remainder, not the demand. Inflate the
+	// snapshot to the offered rate (every λ̂_i scales linearly with λ̂0 in a
+	// Jackson network) before deciding, so the controller provisions
+	// against what clients are actually sending — and the admission
+	// controller can stop shedding once the grant catches up.
+	raw := snap
+	shedFraction := 0.0
+	if snap.OfferedLambda0 > snap.Lambda0 && snap.Lambda0 > 0 {
+		shedFraction = (snap.OfferedLambda0 - snap.Lambda0) / snap.OfferedLambda0
+		scale := snap.OfferedLambda0 / snap.Lambda0
+		scaled := make([]core.OpRates, len(snap.Ops))
+		for i, op := range snap.Ops {
+			op.Lambda *= scale
+			scaled[i] = op
+		}
+		snap.Ops = scaled
+		snap.Lambda0 = snap.OfferedLambda0
+	}
 	s.mu.Lock()
-	s.lastSnap, s.haveSnap = snap, true
+	s.lastSnap, s.lastRawSnap, s.haveSnap = snap, raw, true
 	s.lastAllocTotal = sumInts(alloc)
 	s.mu.Unlock()
-	s.reportTenant(snap)
+	s.reportTenant(snap, shedFraction)
 
 	d, err := s.cfg.Stepper.Step(snap)
 	if err != nil {
@@ -540,26 +564,38 @@ func (s *Supervisor) apply(now time.Time, d core.Decision) {
 }
 
 // refitTarget re-solves the allocation for the budget an arbitrated pool
-// actually granted, from the most recent snapshot's model.
+// actually granted, from the most recent snapshot's model. When the
+// demand-scaled (offered-load) rates cannot even run stably on the grant
+// — the regime where the ingest gate is shedding — it falls back to the
+// admitted-rate snapshot: fit what actually flows, and let the next
+// rounds re-negotiate for the rest.
 func (s *Supervisor) refitTarget(granted int) ([]int, error) {
 	s.mu.Lock()
-	snap, have := s.lastSnap, s.haveSnap
+	snap, raw, have := s.lastSnap, s.lastRawSnap, s.haveSnap
 	s.mu.Unlock()
 	if !have {
 		return nil, errors.New("loop: no snapshot to re-fit a partial grant from")
 	}
-	model, err := core.NewModel(snap.Lambda0, snap.Ops)
-	if err != nil {
-		return nil, err
+	fit := func(sn core.Snapshot) ([]int, error) {
+		model, err := core.NewModel(sn.Lambda0, sn.Ops)
+		if err != nil {
+			return nil, err
+		}
+		return model.AssignProcessors(granted)
 	}
-	return model.AssignProcessors(granted)
+	target, err := fit(snap)
+	if err != nil && raw.Lambda0 < snap.Lambda0 {
+		return fit(raw)
+	}
+	return target, err
 }
 
 // reportTenant pushes a utility self-assessment to the pool when it is an
-// arbitrated lease: λ̂0, whether the tenant violates its Tmax, and the
-// marginal benefit/cost of one slot in the cross-tenant-comparable
-// Equation (3) numerator units.
-func (s *Supervisor) reportTenant(snap core.Snapshot) {
+// arbitrated lease: λ̂0, whether the tenant violates its Tmax, the shed
+// fraction of its ingest tier, and the marginal benefit/cost of one slot
+// in the cross-tenant-comparable Equation (3) numerator units. snap is the
+// demand-scaled snapshot, so the bid reflects offered load.
+func (s *Supervisor) reportTenant(snap core.Snapshot, shedFraction float64) {
 	rep, ok := s.cfg.Pool.(TenantReporter)
 	if !ok {
 		return
@@ -576,8 +612,11 @@ func (s *Supervisor) reportTenant(snap core.Snapshot) {
 	if err != nil {
 		return
 	}
-	violating := false
-	if t, ok := s.cfg.Stepper.(interface{ Tmax() float64 }); ok {
+	// A shedding tenant is violating by construction: the shed traffic is
+	// demand its grant already failed to serve, whatever the measured
+	// sojourn of the admitted remainder says.
+	violating := shedFraction > 0
+	if t, ok := s.cfg.Stepper.(interface{ Tmax() float64 }); !violating && ok {
 		if tmax := t.Tmax(); tmax > 0 {
 			violating = snap.MeasuredSojourn > tmax
 			if !violating {
@@ -588,10 +627,11 @@ func (s *Supervisor) reportTenant(snap core.Snapshot) {
 		}
 	}
 	rep.Report(cluster.TenantReport{
-		Lambda0:     snap.Lambda0,
-		Violating:   violating,
-		GrowBenefit: grow,
-		ShrinkCost:  shrink,
+		Lambda0:      snap.Lambda0,
+		Violating:    violating,
+		GrowBenefit:  grow,
+		ShrinkCost:   shrink,
+		ShedFraction: shedFraction,
 	})
 }
 
@@ -730,12 +770,17 @@ func allocEqual(a, b []int) bool {
 // shrunkAlloc fits the current allocation into a smaller budget.
 func (s *Supervisor) shrunkAlloc(cur []int, budget int) []int {
 	s.mu.Lock()
-	snap, have := s.lastSnap, s.haveSnap
+	snaps := [2]core.Snapshot{s.lastSnap, s.lastRawSnap}
+	have := s.haveSnap
 	s.mu.Unlock()
 	if have {
-		if model, err := core.NewModel(snap.Lambda0, snap.Ops); err == nil {
-			if target, aerr := model.AssignProcessors(budget); aerr == nil {
-				return target
+		// Demand-scaled first; the admitted-rate view as fallback when the
+		// offered load cannot run stably on the shrunken budget.
+		for _, snap := range snaps {
+			if model, err := core.NewModel(snap.Lambda0, snap.Ops); err == nil {
+				if target, aerr := model.AssignProcessors(budget); aerr == nil {
+					return target
+				}
 			}
 		}
 	}

@@ -51,8 +51,16 @@ type IntervalReport struct {
 	// Duration is the wall-clock (or simulated) length of the interval.
 	Duration time.Duration
 	// ExternalArrivals counts tuples that entered the application from
-	// outside (spout emissions) — the numerator of λ̂0.
+	// outside (spout emissions) — the numerator of λ̂0. With an ingest
+	// front end these are the *admitted* tuples only.
 	ExternalArrivals int64
+	// OfferedArrivals counts tuples clients *offered* during the interval,
+	// including those an admission controller shed before they reached a
+	// spout. Zero means "no ingest tier in front": offered equals admitted,
+	// the in-process-spout default. It is never meaningfully below
+	// ExternalArrivals (admitted tuples were necessarily offered); the
+	// measurer clamps it up defensively.
+	OfferedArrivals int64
 	// Ops holds per-operator aggregates in topology order.
 	Ops []OpInterval
 	// SojournCount and SojournTotal summarize the total sojourn times of
@@ -85,6 +93,7 @@ type Measurer struct {
 	cfg MeasurerConfig
 
 	lambda0 Smoother
+	offered Smoother
 	lambda  []Smoother
 	mus     []Smoother
 	cv2s    []Smoother
@@ -100,6 +109,9 @@ func NewMeasurer(cfg MeasurerConfig) (*Measurer, error) {
 	m := &Measurer{cfg: cfg}
 	var err error
 	if m.lambda0, err = cfg.Smoothing.New(); err != nil {
+		return nil, err
+	}
+	if m.offered, err = cfg.Smoothing.New(); err != nil {
 		return nil, err
 	}
 	if m.sojourn, err = cfg.Smoothing.New(); err != nil {
@@ -134,6 +146,14 @@ func (m *Measurer) AddInterval(rep IntervalReport) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.lambda0.Update(float64(rep.ExternalArrivals) / secs)
+	// The offered series smooths independently of λ̂0: a shedding front end
+	// can hold the admitted rate flat while demand keeps climbing, and the
+	// controller must see that divergence, not a blend.
+	offered := rep.OfferedArrivals
+	if offered < rep.ExternalArrivals {
+		offered = rep.ExternalArrivals // zero (no ingest tier) or a skewed probe
+	}
+	m.offered.Update(float64(offered) / secs)
 	for i, op := range rep.Ops {
 		m.lambda[i].Update(float64(op.Arrivals) / secs)
 		if op.Sampled > 0 && op.BusyTime > 0 {
@@ -176,6 +196,7 @@ func (m *Measurer) Snapshot() (core.Snapshot, error) {
 	}
 	s := core.Snapshot{
 		Lambda0:         m.lambda0.Value(),
+		OfferedLambda0:  m.offered.Value(),
 		MeasuredSojourn: m.sojourn.Value(),
 		Ops:             make([]core.OpRates, len(m.cfg.OperatorNames)),
 	}
@@ -201,6 +222,7 @@ func (m *Measurer) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.lambda0.Reset()
+	m.offered.Reset()
 	m.sojourn.Reset()
 	for i := range m.lambda {
 		m.lambda[i].Reset()

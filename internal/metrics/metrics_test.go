@@ -333,3 +333,71 @@ func TestOpIntervalMerge(t *testing.T) {
 		t.Errorf("merge = %+v", a)
 	}
 }
+
+// TestMeasurerOfferedIndependentSmoothing: the offered and admitted (λ̂0)
+// series must smooth independently — a shedding front end can hold the
+// admitted rate flat while offered demand keeps climbing, and each series
+// must follow its own inputs through the shared smoothing spec.
+func TestMeasurerOfferedIndependentSmoothing(t *testing.T) {
+	m := newTestMeasurer(t, SmoothingSpec{Kind: "window", Window: 2})
+	ops := func() []OpInterval {
+		return []OpInterval{
+			{Arrivals: 10, Served: 10, Sampled: 10, BusyTime: 10 * 10 * time.Millisecond},
+			{Arrivals: 10, Served: 10, Sampled: 10, BusyTime: 10 * 10 * time.Millisecond},
+		}
+	}
+	// Interval 1: 10 admitted/s, 30 offered/s (shedding 2/3).
+	rep := makeReport(time.Second, 10, ops(), 0, 0)
+	rep.OfferedArrivals = 30
+	if err := m.AddInterval(rep); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Lambda0-10) > 1e-9 || math.Abs(s.OfferedLambda0-30) > 1e-9 {
+		t.Fatalf("after interval 1: lambda0 %g / offered %g, want 10 / 30", s.Lambda0, s.OfferedLambda0)
+	}
+	// Interval 2: same admitted, offered unset — the in-process-spout
+	// default, where offered falls back to admitted for that interval.
+	if err := m.AddInterval(makeReport(time.Second, 10, ops(), 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err = m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Lambda0-10) > 1e-9 {
+		t.Fatalf("lambda0 %g, want 10 (unchanged by the offered series)", s.Lambda0)
+	}
+	if math.Abs(s.OfferedLambda0-20) > 1e-9 {
+		t.Fatalf("offered %g, want (30+10)/2 = 20 — the window must smooth offered on its own inputs", s.OfferedLambda0)
+	}
+	// A probe reporting offered below admitted is clamped up: admitted
+	// tuples were necessarily offered.
+	rep = makeReport(time.Second, 10, ops(), 0, 0)
+	rep.OfferedArrivals = 5
+	if err := m.AddInterval(rep); err != nil {
+		t.Fatal(err)
+	}
+	s, err = m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.OfferedLambda0-10) > 1e-9 { // window holds (10+10)/2
+		t.Fatalf("offered %g after clamped interval, want 10", s.OfferedLambda0)
+	}
+	// Reset clears the offered series with everything else.
+	m.Reset()
+	if err := m.AddInterval(makeReport(time.Second, 10, ops(), 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err = m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.OfferedLambda0-10) > 1e-9 {
+		t.Fatalf("offered %g after reset, want 10", s.OfferedLambda0)
+	}
+}

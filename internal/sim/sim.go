@@ -36,6 +36,13 @@ type SourceSpec struct {
 	Op int
 	// Arrivals generates the external arrival process.
 	Arrivals ArrivalProcess
+	// Admit, when non-nil, gates each arrival before it enters the network
+	// — an ingest admission controller in front of the source. A refused
+	// arrival is counted as offered-but-shed (it contributes to the
+	// interval report's OfferedArrivals but spawns no tuple), which is how
+	// the overload experiment runs the live admission policy in virtual
+	// time.
+	Admit func(now float64) bool
 }
 
 // Config assembles a simulation.
@@ -161,8 +168,12 @@ type Sim struct {
 	// interval counters
 	intervalStart    float64
 	externalArrivals int64
+	offeredArrivals  int64
 	sojournCount     int64
 	sojournTotal     float64
+	// shedTotal counts arrivals refused by source Admit gates over the
+	// whole run (the cumulative audit the overload experiment reads).
+	shedTotal int64
 
 	// series collection
 	bucket      float64
@@ -320,9 +331,14 @@ func (s *Sim) dispatch(e event) {
 	switch e.kind {
 	case evSource:
 		src := s.cfg.Sources[e.src]
-		root := s.newRoot()
-		s.externalArrivals++
-		s.deliver(src.Op, tuple{root: root})
+		s.offeredArrivals++
+		if src.Admit == nil || src.Admit(s.clock) {
+			root := s.newRoot()
+			s.externalArrivals++
+			s.deliver(src.Op, tuple{root: root})
+		} else {
+			s.shedTotal++
+		}
 		gap := src.Arrivals.NextInterArrival(s.rng)
 		s.push(event{at: s.clock + gap, kind: evSource, src: e.src})
 	case evArrival:
@@ -467,6 +483,7 @@ func (s *Sim) DrainInterval() metrics.IntervalReport {
 	rep := metrics.IntervalReport{
 		Duration:         secondsToDuration(dur),
 		ExternalArrivals: s.externalArrivals,
+		OfferedArrivals:  s.offeredArrivals,
 		Ops:              make([]metrics.OpInterval, len(s.stations)),
 		SojournCount:     s.sojournCount,
 		SojournTotal:     secondsToDuration(s.sojournTotal),
@@ -484,10 +501,15 @@ func (s *Sim) DrainInterval() metrics.IntervalReport {
 	}
 	s.intervalStart = s.clock
 	s.externalArrivals = 0
+	s.offeredArrivals = 0
 	s.sojournCount = 0
 	s.sojournTotal = 0
 	return rep
 }
+
+// ShedArrivals reports the cumulative count of arrivals refused by source
+// Admit gates — the virtual-time twin of the live gate's shed counter.
+func (s *Sim) ShedArrivals() int64 { return s.shedTotal }
 
 // PendingRoots reports external tuples whose processing tree has not yet
 // resolved — in-flight work. After arrivals stop and the queues drain it

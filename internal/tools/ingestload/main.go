@@ -1,0 +1,127 @@
+// Command ingestload drives client traffic at a drsctl-serve ingest front
+// end — HTTP POST or length-prefixed TCP — and reports the admitted/shed
+// split the backpressure produced. It is the client half of the
+// serve-smoke check (`make serve-smoke`) and a handy burst generator for
+// the examples.
+//
+// Usage:
+//
+//	ingestload -url http://127.0.0.1:8080/ingest -clients 4 -rate 100 -duration 5
+//	ingestload -tcp 127.0.0.1:7070 -clients 2 -rate 50 -duration 5
+//
+// Exit status is 0 when every request got a verdict (2xx or 429/NACK) and
+// non-zero on transport errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/drs-repro/drs/internal/ingest"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ingestload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ingestload", flag.ContinueOnError)
+	url := fs.String("url", "", "HTTP ingest endpoint (e.g. http://127.0.0.1:8080/ingest)")
+	tcp := fs.String("tcp", "", "TCP ingest address (length-prefixed protocol)")
+	clients := fs.Int("clients", 4, "concurrent clients")
+	rate := fs.Float64("rate", 100, "records/s per client")
+	duration := fs.Float64("duration", 5, "seconds to push")
+	idPrefix := fs.String("id-prefix", "load", "client id prefix (ids are <prefix>-<n>)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*url == "") == (*tcp == "") {
+		return fmt.Errorf("pass exactly one of -url or -tcp")
+	}
+	if *clients < 1 || *rate <= 0 || *duration <= 0 {
+		return fmt.Errorf("-clients, -rate and -duration must be positive")
+	}
+
+	var admitted, shed, errs atomic.Int64
+	deadline := time.Now().Add(time.Duration(*duration * float64(time.Second)))
+	gap := time.Duration(float64(time.Second) / *rate)
+	var wg sync.WaitGroup
+	for i := 0; i < *clients; i++ {
+		id := fmt.Sprintf("%s-%d", *idPrefix, i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			push := pushHTTP(*url, id)
+			if *tcp != "" {
+				conn, err := ingest.DialTCP(*tcp, id)
+				if err != nil {
+					errs.Add(1)
+					return
+				}
+				defer conn.Close()
+				push = func(rec []byte) (bool, error) {
+					ok, _, err := conn.Send(rec)
+					return ok, err
+				}
+			}
+			rec := []byte("record-" + id)
+			for time.Now().Before(deadline) {
+				ok, err := push(rec)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case ok:
+					admitted.Add(1)
+				default:
+					shed.Add(1)
+				}
+				time.Sleep(gap)
+			}
+		}()
+	}
+	wg.Wait()
+	total := admitted.Load() + shed.Load() + errs.Load()
+	fmt.Printf("offered %d admitted %d shed %d errors %d\n",
+		total, admitted.Load(), shed.Load(), errs.Load())
+	if errs.Load() > 0 {
+		return fmt.Errorf("%d transport errors", errs.Load())
+	}
+	return nil
+}
+
+// pushHTTP returns a pusher POSTing records as one-record bodies; a 2xx
+// is admitted, a 429 is shed, anything else is a transport error.
+func pushHTTP(url, id string) func([]byte) (bool, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	return func(rec []byte) (bool, error) {
+		req, err := http.NewRequest("POST", url, strings.NewReader(string(rec)))
+		if err != nil {
+			return false, err
+		}
+		req.Header.Set(ingest.ClientIDHeader, id)
+		resp, err := client.Do(req)
+		if err != nil {
+			return false, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			return true, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			return false, nil
+		default:
+			return false, fmt.Errorf("unexpected status %d", resp.StatusCode)
+		}
+	}
+}

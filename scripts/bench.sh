@@ -3,23 +3,32 @@
 # the repository's perf trajectory (ns/op, B/op, allocs/op per benchmark).
 #
 # Usage: scripts/bench.sh [PR-number] [benchtime]
-#   PR-number  suffix for the output file (default 4 -> BENCH_4.json)
+#   PR-number  suffix for the output file; when omitted (or empty) it is
+#              derived from the repository's perf trajectory — the highest
+#              existing BENCH_<n>.json plus one
 #   benchtime  passed to -benchtime (default 2s)
 #
 # The benchmark set covers the data plane end to end — the live engine
-# (BenchmarkEngineThroughput), the DES simulator (BenchmarkSimThroughput),
-# a full controlled experiment (BenchmarkFig9VLD) — plus the control
-# plane: one control round (BenchmarkSupervisorTick), one multi-tenant
-# arbitration (BenchmarkSchedulerArbitration) and one degraded-pool
-# arbitration with a machine down (BenchmarkSchedulerFailover).
+# (BenchmarkEngineThroughput), the ingest front door's decode → admit →
+# ring → spout hot path (BenchmarkIngest), the DES simulator
+# (BenchmarkSimThroughput), a full controlled experiment
+# (BenchmarkFig9VLD) — plus the control plane: one control round
+# (BenchmarkSupervisorTick), one multi-tenant arbitration
+# (BenchmarkSchedulerArbitration) and one degraded-pool arbitration with a
+# machine down (BenchmarkSchedulerFailover).
 set -eu
 
-PR="${1:-4}"
+cd "$(dirname "$0")/.."
+
+PR="${1:-}"
+if [ -z "$PR" ]; then
+    # Next point on the trajectory: highest BENCH_<n>.json + 1.
+    LAST=$(ls BENCH_*.json 2>/dev/null | sed 's/^BENCH_\([0-9][0-9]*\)\.json$/\1/' | sort -n | tail -1)
+    PR=$(( ${LAST:-0} + 1 ))
+fi
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover'
-
-cd "$(dirname "$0")/.."
+PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)"
 echo "$RAW"
