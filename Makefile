@@ -19,11 +19,12 @@ test:
 
 # The concurrent fast paths (engine queues, pooled trees, supervisor) and
 # the multi-tenant scheduler's no-double-lease invariant — plus the
-# randomized scheduler property test, the ingest gate's concurrent-clients
-# -vs-shed-threshold-flips test and the simulator, all under -race here
+# randomized scheduler property test, the ingest gate's sharded-registry
+# and concurrent-clients-vs-shed-threshold-flips tests, the simulator and
+# the scenario generator's determinism properties, all under -race here
 # exactly as in CI.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/...
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/...
 
 # Native fuzzing smoke: a short budget per target keeps it CI-sized; raise
 # FUZZTIME locally for real hunting. Seed corpora live in each package's
@@ -32,6 +33,7 @@ FUZZTIME ?= 10s
 test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseTopology -fuzztime $(FUZZTIME) ./internal/topology
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/config
+	$(GO) test -run '^$$' -fuzz FuzzParseScenario -fuzztime $(FUZZTIME) ./internal/scenario
 
 # Boots `drsctl serve` on a loopback port, pushes a client burst through
 # the HTTP front door and asserts a 2xx/429 split (admitted + backpressure).

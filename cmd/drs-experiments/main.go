@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|all>
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|chaos|all>
 //
 // Flags:
 //
@@ -12,6 +12,8 @@
 //	-seed N             simulation seed (default 1)
 //	-duration S         steady-state span in simulated seconds (default 600)
 //	-iters N            iterations per Table II cell (default 10000)
+//	-scenario FILE      chaos only: replay a scenario spec from a JSON file
+//	                    instead of the built-in everything-at-once arc
 //
 // Durations are simulated time: the full "all" sweep runs the paper's
 // 10-minute and 27-minute experiments in a few wall-clock minutes.
@@ -23,6 +25,7 @@ import (
 	"os"
 
 	"github.com/drs-repro/drs/internal/experiments"
+	"github.com/drs-repro/drs/internal/scenario"
 )
 
 func main() {
@@ -38,12 +41,13 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "simulation seed")
 	duration := fs.Float64("duration", 600, "steady-state span in simulated seconds")
 	iters := fs.Int("iters", 10000, "iterations per Table II cell")
+	scenarioPath := fs.String("scenario", "", "chaos: replay this scenario JSON file instead of the built-in arc")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn all")
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn chaos all")
 	}
 	opts := experiments.Options{Seed: *seed, Duration: *duration}
 	apps, err := appsFor(*app)
@@ -73,6 +77,8 @@ func run(args []string) error {
 		return runContention(opts)
 	case "churn":
 		return runChurn(opts)
+	case "chaos":
+		return runChaos(opts, *scenarioPath)
 	case "all":
 		if err := runFig6(apps, opts); err != nil {
 			return err
@@ -104,6 +110,9 @@ func run(args []string) error {
 		if err := runChurn(opts); err != nil {
 			return err
 		}
+		if err := runChaos(opts, *scenarioPath); err != nil {
+			return err
+		}
 		return runTable2(*iters)
 	default:
 		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
@@ -121,6 +130,29 @@ func runContention(opts experiments.Options) error {
 
 func runChurn(opts experiments.Options) error {
 	r, err := experiments.RunChurn(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+// runChaos replays the built-in everything-at-once scenario, or the spec
+// loaded from path when -scenario names one.
+func runChaos(opts experiments.Options, path string) error {
+	var (
+		r   experiments.ChaosResult
+		err error
+	)
+	if path == "" {
+		r, err = experiments.RunChaos(opts)
+	} else {
+		var spec scenario.Spec
+		if _, spec, err = scenario.Load(path); err != nil {
+			return err
+		}
+		r, err = experiments.RunChaosSpec(spec, opts)
+	}
 	if err != nil {
 		return err
 	}

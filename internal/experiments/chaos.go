@@ -1,0 +1,590 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"strings"
+	"time"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/ingest"
+	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/scenario"
+	"github.com/drs-repro/drs/internal/sim"
+)
+
+// The chaos experiment: every stressor the stack knows, layered in one
+// scenario-driven arc. Where churn, contention and overload each isolate a
+// single failure mode, chaos replays a scenario.Timeline — diurnal and
+// flash-crowd arrival envelopes, heavy-tailed (Pareto) service times,
+// scripted machine kills, straggler windows, scheduled priority changes
+// and a permanent decommission — against N supervised two-stage tenants
+// sharing one machine pool behind per-tenant admission gates.
+//
+// The driver is generic over the spec: every tenant gets the same chain
+// (µ = 2/s per stage, Tmax = 1.5 s, floor 4, initial grant 6) and the
+// scenario varies the traffic and the infrastructure events around it.
+// Machine-targeted events resolve their victims at fire time (the pool's
+// IDs come and go with demand): a fail takes the newest live machine, a
+// straggler mark takes the oldest healthy one, a decommission fails the
+// newest live machine and returns it to the provider, and recoveries and
+// straggler clears pair with the event that opened them.
+//
+// The run is audited at every control round and attributed per phase —
+// the timeline's event times segment the arc, and each phase records its
+// own lease-over-capacity, placement-violation, queue-drop and shed
+// counts. The invariants the arc test locks: no slot double-leased, no
+// placement overcommitted, zero admitted tuples lost (overload is shed at
+// the door, never dropped in a queue), and the gate's shed ledger equal
+// to the simulator's refused-arrival count (the two books agree).
+const (
+	chaosTmax     = 1.5 // every tenant's latency target, seconds
+	chaosSlack    = 0.3 // scale-in slack (wide: hold settled sizes against noise)
+	chaosMu       = 2.0 // per-processor service rate, both stages
+	chaosSlots    = 4   // slots per machine
+	chaosMachines = 5   // provider cap: the 20-slot pool
+	chaosInitial  = 6   // every tenant's registration grant, (3:3)
+	chaosFloor    = 4   // every tenant's preemption floor
+)
+
+// ChaosGrantPoint samples the arbitration once per control round.
+type ChaosGrantPoint struct {
+	// AtSeconds is the simulated time of the sample.
+	AtSeconds float64
+	// Grants holds each tenant's slot grant, in spec order.
+	Grants []int
+	// Capacity is the live slot count; Machines the live machine count.
+	Capacity, Machines int
+}
+
+// ChaosPhase is one segment of the arc between consecutive timeline
+// events, carrying that segment's own invariant audit.
+type ChaosPhase struct {
+	// From and Until bound the phase in scenario seconds.
+	From, Until float64
+	// Label names the events that opened the phase.
+	Label string
+	// Rounds counts the control rounds sampled inside the phase.
+	Rounds int
+	// MaxLeaseOverCapacity is the phase's worst Leased − Capacity (> 0
+	// would mean a slot double-leased inside this phase).
+	MaxLeaseOverCapacity int
+	// PlacementViolations counts rounds with an inconsistent placement.
+	PlacementViolations int
+	// Offered, Admitted and Shed are the phase's front-door counts summed
+	// over every tenant; Dropped is queue drops (must stay zero — admitted
+	// tuples are never lost).
+	Offered, Admitted, Shed, Dropped int64
+}
+
+// ChaosTenantStats summarizes one tenant's run.
+type ChaosTenantStats struct {
+	// Name and Weight identify the tenant.
+	Name   string
+	Weight float64
+	// Offered, Admitted and Shed are cumulative front-door counts.
+	Offered, Admitted, Shed int64
+	// ShedFraction is Shed/Offered.
+	ShedFraction float64
+	// SimShed is the simulator's own count of gate-refused arrivals for
+	// this tenant; the books agree when it equals Shed.
+	SimShed int64
+	// SlotsLost is the scheduler's cumulative failure-loss attribution.
+	SlotsLost int
+	// Series is the per-minute sojourn curve of admitted tuples.
+	Series []sim.SeriesPoint
+	// Transitions are the tenant supervisor's applied decisions.
+	Transitions []Transition
+}
+
+// ChaosResult carries the full arc of the scenario-driven run.
+type ChaosResult struct {
+	// Scenario is the (possibly scaled) spec the run replayed.
+	Scenario scenario.Spec
+	// Tmax is the shared latency target.
+	Tmax float64
+	// Applied logs every timeline event as resolved at fire time.
+	Applied []string
+	// Tenants holds the per-tenant summaries, in spec order.
+	Tenants []ChaosTenantStats
+	// Grants samples the arbitration once per control round.
+	Grants []ChaosGrantPoint
+	// Phases segments the arc at event times, each with its own audit.
+	Phases []ChaosPhase
+	// SchedulerHistory is the cluster-wide decision log.
+	SchedulerHistory []cluster.SchedulerEvent
+	// MaxLeaseOverCapacity is the worst observed Leased − Capacity over
+	// the whole run; it must never exceed zero.
+	MaxLeaseOverCapacity int
+	// PlacementViolations counts rounds with an inconsistent placement.
+	PlacementViolations int
+	// DroppedTuples and PendingAtEnd audit the zero-admitted-loss claim.
+	DroppedTuples, PendingAtEnd int64
+	// ShedTotal and SimShedTotal are the two shed ledgers (gate clients
+	// vs simulator); BooksAgree reports them equal.
+	ShedTotal, SimShedTotal int64
+	BooksAgree              bool
+	// FinalState is the arbitration state at the end of the run.
+	FinalState cluster.SchedulerState
+}
+
+// chaosTenant bundles one tenant's simulator, supervisor, lease and
+// admission-gate twin.
+type chaosTenant struct {
+	spec   scenario.TenantSpec
+	client *overloadClient
+	lease  *cluster.Tenant
+	s      *sim.Sim
+	sup    *loop.Supervisor
+	// lastShed is the previous round's shed reading (phase attribution).
+	lastShed int64
+}
+
+// newChaosTenant starts one supervised two-stage tenant whose source
+// follows the timeline's arrival envelope behind an admission gate, and
+// whose stages serve the timeline's service distribution (exponential, or
+// mean-pinned Pareto for heavy-tailed tenants).
+func newChaosTenant(tl *scenario.Timeline, ts scenario.TenantSpec, lease *cluster.Tenant,
+	clock loop.Clock, failures *loopFailures, interval float64, seed uint64) (*chaosTenant, error) {
+	weight := ts.Weight
+	if weight <= 0 {
+		weight = 1
+	}
+	ct := &chaosTenant{
+		spec:   ts,
+		client: &overloadClient{name: ts.Name, weight: weight, permille: 1000},
+		lease:  lease,
+	}
+	arrivals, err := tl.Arrivals(ts.Name)
+	if err != nil {
+		return nil, err
+	}
+	service, err := tl.Service(ts.Name, chaosMu)
+	if err != nil {
+		return nil, err
+	}
+	emit, err := sim.NewFractionalEmission(1)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(sim.Config{
+		Operators: []sim.OperatorSpec{
+			{Name: "stage1", Service: service},
+			{Name: "stage2", Service: service},
+		},
+		Sources: []sim.SourceSpec{{Op: 0, Arrivals: arrivals, Admit: ct.client.admit}},
+		Edges:   []sim.EdgeSpec{{From: 0, To: 1, Emit: emit}},
+		Alloc:   []int{3, 3},
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.EnableSeries(60)
+	ct.s = s
+	names := []string{"stage1", "stage2"}
+	ctrl, err := core.NewController(core.ControllerConfig{
+		Mode:                  core.ModeMinResource,
+		Tmax:                  chaosTmax,
+		MinGain:               0.05,
+		ScaleInSlack:          chaosSlack,
+		MaxScaleInUtilization: 0.6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ct.sup, err = loop.New(loop.Config{
+		Target:    simTarget{s: s, names: names},
+		Operators: names,
+		Stepper:   ctrl,
+		Pool:      lease,
+		Interval:  secondsToDuration(interval),
+		Cooldown:  secondsToDuration(4 * interval),
+		Clock:     clock,
+		Logger:    slog.New(failures),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+// chaosDriver resolves timeline events against the live pool at fire time.
+type chaosDriver struct {
+	pool  *cluster.Pool
+	sched *cluster.Scheduler
+	// byName maps tenant names to their runtime bundles.
+	byName map[string]*chaosTenant
+	// killedOf and stragglerOf map a nominal event machine to the actual
+	// pool machine its opening event resolved to, so the closing event
+	// (recover, straggler-off) targets the same machine.
+	killedOf, stragglerOf map[int]int
+}
+
+// apply fires one timeline event and returns its resolved log line.
+func (d *chaosDriver) apply(ev scenario.Event) (string, error) {
+	switch ev.Kind {
+	case scenario.KindFail:
+		live := d.pool.LiveMachines()
+		if len(live) == 0 {
+			return "", fmt.Errorf("chaos: no live machine left to kill at t=%.0fs", ev.At)
+		}
+		victim := live[len(live)-1].ID
+		if err := d.sched.FailMachine(victim); err != nil {
+			return "", fmt.Errorf("chaos: killing machine %d: %w", victim, err)
+		}
+		d.killedOf[ev.Machine] = victim
+		return fmt.Sprintf("t=%5.0fs fail machine %d", ev.At, victim), nil
+	case scenario.KindRecover:
+		id, ok := d.killedOf[ev.Machine]
+		if !ok {
+			return "", fmt.Errorf("chaos: recovery at t=%.0fs pairs with no applied failure", ev.At)
+		}
+		delete(d.killedOf, ev.Machine)
+		if err := d.sched.RecoverMachine(id); err != nil {
+			return "", fmt.Errorf("chaos: recovering machine %d: %w", id, err)
+		}
+		return fmt.Sprintf("t=%5.0fs recover machine %d", ev.At, id), nil
+	case scenario.KindStragglerOn:
+		victim := -1
+		for _, m := range d.pool.LiveMachines() {
+			if !m.Straggler {
+				victim = m.ID
+				break
+			}
+		}
+		if victim < 0 {
+			return "", fmt.Errorf("chaos: no healthy machine to mark straggler at t=%.0fs", ev.At)
+		}
+		if err := d.sched.MarkStraggler(victim, true); err != nil {
+			return "", fmt.Errorf("chaos: marking straggler %d: %w", victim, err)
+		}
+		d.stragglerOf[ev.Machine] = victim
+		return fmt.Sprintf("t=%5.0fs straggler-on machine %d", ev.At, victim), nil
+	case scenario.KindStragglerOff:
+		id, ok := d.stragglerOf[ev.Machine]
+		if !ok {
+			return "", fmt.Errorf("chaos: straggler clear at t=%.0fs pairs with no applied mark", ev.At)
+		}
+		delete(d.stragglerOf, ev.Machine)
+		if err := d.sched.MarkStraggler(id, false); err != nil {
+			return "", fmt.Errorf("chaos: clearing straggler %d: %w", id, err)
+		}
+		return fmt.Sprintf("t=%5.0fs straggler-off machine %d", ev.At, id), nil
+	case scenario.KindDecommission:
+		live := d.pool.LiveMachines()
+		if len(live) == 0 {
+			return "", fmt.Errorf("chaos: no live machine left to decommission at t=%.0fs", ev.At)
+		}
+		victim := live[len(live)-1].ID
+		// Decommission takes only failed machines (live ones leave through
+		// scale-in), so a scheduled retirement is a fail + return-to-provider.
+		if err := d.sched.FailMachine(victim); err != nil {
+			return "", fmt.Errorf("chaos: failing machine %d for decommission: %w", victim, err)
+		}
+		if err := d.pool.Decommission(victim); err != nil {
+			return "", fmt.Errorf("chaos: decommissioning machine %d: %w", victim, err)
+		}
+		return fmt.Sprintf("t=%5.0fs decommission machine %d", ev.At, victim), nil
+	case scenario.KindPriority:
+		ct, ok := d.byName[ev.Tenant]
+		if !ok {
+			return "", fmt.Errorf("chaos: priority change targets unknown tenant %q", ev.Tenant)
+		}
+		if err := ct.lease.SetPriority(ev.Priority); err != nil {
+			return "", fmt.Errorf("chaos: setting %s priority: %w", ev.Tenant, err)
+		}
+		return fmt.Sprintf("t=%5.0fs priority %s=%d", ev.At, ev.Tenant, ev.Priority), nil
+	case scenario.KindSurgeStart, scenario.KindSurgeEnd:
+		// Informational: the arrival envelope already carries the rate
+		// change; the marker only segments the phase audit.
+		return fmt.Sprintf("t=%5.0fs %s %s x%.1f", ev.At, ev.Kind, ev.Tenant, ev.Factor), nil
+	default:
+		return "", fmt.Errorf("chaos: unknown event kind %v", ev.Kind)
+	}
+}
+
+// eventLabel is the short per-phase descriptor of one event.
+func eventLabel(ev scenario.Event) string {
+	switch ev.Kind {
+	case scenario.KindFail, scenario.KindRecover, scenario.KindStragglerOn,
+		scenario.KindStragglerOff, scenario.KindDecommission:
+		return fmt.Sprintf("%s m%d", ev.Kind, ev.Machine)
+	case scenario.KindPriority:
+		return fmt.Sprintf("priority %s=%d", ev.Tenant, ev.Priority)
+	default:
+		return fmt.Sprintf("%s %s", ev.Kind, ev.Tenant)
+	}
+}
+
+// chaosPhases segments [0, duration) at the timeline's event times.
+func chaosPhases(events []scenario.Event, duration float64) []ChaosPhase {
+	phases := []ChaosPhase{{From: 0, Label: "start"}}
+	for i := 0; i < len(events); {
+		at := events[i].At
+		j := i
+		var labels []string
+		for j < len(events) && events[j].At == at {
+			labels = append(labels, eventLabel(events[j]))
+			j++
+		}
+		i = j
+		if at <= 0 || at >= duration {
+			continue
+		}
+		phases[len(phases)-1].Until = at
+		phases = append(phases, ChaosPhase{From: at, Label: strings.Join(labels, ", ")})
+	}
+	phases[len(phases)-1].Until = duration
+	return phases
+}
+
+// RunChaos replays the canonical everything-at-once scenario
+// (scenario.Chaos): the 24-minute arc the golden file locks.
+func RunChaos(o Options) (ChaosResult, error) {
+	return RunChaosSpec(scenario.Chaos(), o)
+}
+
+// RunChaosSpec replays an arbitrary scenario spec against the full stack.
+// A non-default Options.Duration scales the whole spec (Spec.Scaled) to
+// that horizon — a shorter day, not a gentler one.
+func RunChaosSpec(spec scenario.Spec, o Options) (ChaosResult, error) {
+	o = o.withDefaults()
+	if o.Duration != 600 { // scaled-down run (benchmarks, quick tests)
+		spec = spec.Scaled(o.Duration / spec.DurationSeconds)
+	}
+	tl, err := scenario.Compile(spec)
+	if err != nil {
+		return ChaosResult{}, err
+	}
+	duration := spec.DurationSeconds
+	enableAt := duration / 8
+	res := ChaosResult{Scenario: spec, Tmax: chaosTmax}
+
+	pool, err := cluster.NewPool(cluster.PoolConfig{
+		SlotsPerMachine: chaosSlots,
+		MaxMachines:     chaosMachines,
+		Costs: cluster.CostModel{
+			Rebalance:        3 * time.Second,
+			MachineColdStart: 4777 * time.Millisecond,
+			MachineRelease:   1113 * time.Millisecond,
+		},
+	}, 1)
+	if err != nil {
+		return res, err
+	}
+	clock := &simClock{}
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool, Clock: clock})
+	if err != nil {
+		return res, err
+	}
+	failures := &loopFailures{}
+	interval := 10.0
+	driver := &chaosDriver{
+		pool: pool, sched: sched,
+		byName:      make(map[string]*chaosTenant, len(spec.Tenants)),
+		killedOf:    make(map[int]int),
+		stragglerOf: make(map[int]int),
+	}
+	tenants := make([]*chaosTenant, 0, len(spec.Tenants))
+	for i, ts := range spec.Tenants {
+		lease, err := sched.Register(cluster.TenantConfig{
+			Name: ts.Name, Priority: ts.Priority,
+			MinSlots: chaosFloor, InitialSlots: chaosInitial,
+		})
+		if err != nil {
+			return res, err
+		}
+		ct, err := newChaosTenant(tl, ts, lease, clock, failures, interval, o.Seed+uint64(i))
+		if err != nil {
+			return res, err
+		}
+		tenants = append(tenants, ct)
+		driver.byName[ts.Name] = ct
+	}
+
+	events := tl.Events()
+	nextEvent := 0
+	res.Phases = chaosPhases(events, duration)
+	phase := 0
+	maxSlots := chaosSlots * chaosMachines
+	var lastDropped int64
+	for t := interval; t <= duration+1e-9; t += interval {
+		for _, ct := range tenants {
+			ct.s.RunUntil(t)
+		}
+		clock.set(t)
+		for nextEvent < len(events) && events[nextEvent].At <= t+1e-9 {
+			line, err := driver.apply(events[nextEvent])
+			nextEvent++
+			if err != nil {
+				return res, err
+			}
+			res.Applied = append(res.Applied, line)
+		}
+		for _, ct := range tenants {
+			if t < enableAt {
+				ct.sup.Observe()
+			} else {
+				ct.sup.Tick()
+			}
+		}
+		for phase+1 < len(res.Phases) && t > res.Phases[phase].Until+1e-9 {
+			phase++
+		}
+		ph := &res.Phases[phase]
+		ph.Rounds++
+		// Replan each tenant's admission exactly as the live gate does: read
+		// the supervisor's latest (demand-scaled) snapshot, size the
+		// sustainable rate, and thin the source to it.
+		var dropped int64
+		for _, ct := range tenants {
+			c := ct.client
+			rate := float64(c.offered-c.lastOffered) / interval
+			ph.Offered += c.offered - c.lastOffered
+			ph.Admitted += c.admitted - c.lastAdmitted
+			ph.Shed += c.shed - ct.lastShed
+			c.lastOffered, c.lastAdmitted, ct.lastShed = c.offered, c.admitted, c.shed
+			plan := ingest.Plan{AdmitFraction: 1, SustainableRate: rate, ScaleOutViable: true}
+			if snap, ok := ct.sup.LastSnapshot(); ok {
+				// The gate's default 10% headroom below the hard target.
+				plan = ingest.PlanAdmission(snap, chaosTmax*0.9, maxSlots, rate)
+			}
+			p := ingest.AdmitPermilles(plan, []float64{c.weight}, []string{c.name}, []float64{rate})
+			c.permille = p[0]
+			for _, d := range ct.s.Dropped() {
+				dropped += d
+			}
+		}
+		ph.Dropped += dropped - lastDropped
+		lastDropped = dropped
+
+		st := sched.State()
+		gp := ChaosGrantPoint{AtSeconds: t, Capacity: st.Capacity, Machines: st.Machines}
+		for _, ct := range tenants {
+			gp.Grants = append(gp.Grants, ct.lease.Kmax())
+		}
+		res.Grants = append(res.Grants, gp)
+		if over := st.Leased - st.Capacity; over > 0 {
+			if over > res.MaxLeaseOverCapacity {
+				res.MaxLeaseOverCapacity = over
+			}
+			if over > ph.MaxLeaseOverCapacity {
+				ph.MaxLeaseOverCapacity = over
+			}
+		}
+		placed := 0
+		badPlacement := false
+		for _, row := range st.Placement {
+			if row.Reserved+row.Leased > row.Slots {
+				badPlacement = true
+			}
+			placed += row.Leased
+		}
+		if placed != st.Leased || badPlacement {
+			res.PlacementViolations++
+			ph.PlacementViolations++
+		}
+	}
+	if err := failures.err(); err != nil {
+		return res, fmt.Errorf("experiments: chaos run: %w", err)
+	}
+	res.SchedulerHistory = sched.History()
+	res.FinalState = sched.State()
+	for _, ct := range tenants {
+		ts := ChaosTenantStats{
+			Name: ct.client.name, Weight: ct.client.weight,
+			Offered: ct.client.offered, Admitted: ct.client.admitted, Shed: ct.client.shed,
+			SimShed:     ct.s.ShedArrivals(),
+			SlotsLost:   ct.lease.LostSlots(),
+			Series:      ct.s.Series(),
+			Transitions: transitionsFrom(ct.sup),
+		}
+		if ts.Offered > 0 {
+			ts.ShedFraction = float64(ts.Shed) / float64(ts.Offered)
+		}
+		res.Tenants = append(res.Tenants, ts)
+		res.ShedTotal += ts.Shed
+		res.SimShedTotal += ts.SimShed
+		for _, d := range ct.s.Dropped() {
+			res.DroppedTuples += d
+		}
+		res.PendingAtEnd += ct.s.PendingRoots()
+	}
+	res.BooksAgree = res.ShedTotal == res.SimShedTotal
+	return res, nil
+}
+
+// Print renders the arc: the resolved event log, the grant and admission
+// timelines, each tenant's sojourn curve and transitions, the per-phase
+// invariant audit and the scheduler's decision history.
+func (r ChaosResult) Print(w io.Writer) {
+	header(w, fmt.Sprintf("Chaos: scenario %q, %d tenants over %.0fs; Tmax = %.0f ms",
+		r.Scenario.Name, len(r.Tenants), r.Scenario.DurationSeconds, r.Tmax*1e3))
+	fmt.Fprintln(w, "timeline (fire-time resolved):")
+	for _, line := range r.Applied {
+		fmt.Fprintf(w, "  %s\n", line)
+	}
+	names := make([]string, len(r.Tenants))
+	for i, ts := range r.Tenants {
+		names[i] = ts.Name
+	}
+	fmt.Fprintf(w, "grants (%s of capacity), one column per minute:\n  ", strings.Join(names, "/"))
+	for i, g := range r.Grants {
+		if i%6 != 5 { // 10 s rounds -> print once per minute
+			continue
+		}
+		cols := make([]string, len(g.Grants))
+		for j, k := range g.Grants {
+			cols[j] = fmt.Sprintf("%d", k)
+		}
+		fmt.Fprintf(w, "%s:%d ", strings.Join(cols, "/"), g.Capacity)
+	}
+	fmt.Fprintln(w)
+	for i, ts := range r.Tenants {
+		fmt.Fprintf(w, "%s E[T] by minute (ms): ", ts.Name)
+		for _, pt := range ts.Series {
+			if math.IsNaN(pt.MeanSojourn) {
+				fmt.Fprint(w, "    - ")
+				continue
+			}
+			fmt.Fprintf(w, "%5.0f ", pt.MeanSojourn*1e3)
+		}
+		fmt.Fprintln(w)
+		for _, tr := range ts.Transitions {
+			mark := ""
+			switch {
+			case tr.SlotsLost:
+				mark = " [slots-lost]"
+			case tr.Preempted:
+				mark = " [preempted]"
+			}
+			fmt.Fprintf(w, "  %-6s t=%5.0fs %-10s -> %s, Kmax=%d (pause %.1fs)%s: %s\n",
+				names[i], tr.AtSeconds, tr.Action, allocString(tr.Alloc), tr.Kmax, tr.PauseSeconds, mark, tr.Reason)
+		}
+	}
+	fmt.Fprintf(w, "%-40s %11s %6s %5s %5s %8s %8s %7s %5s\n",
+		"phase", "window", "rounds", "over", "viol", "offered", "admitted", "shed", "drop")
+	for _, ph := range r.Phases {
+		fmt.Fprintf(w, "%-40s %4.0f-%5.0fs %6d %5d %5d %8d %8d %7d %5d\n",
+			ph.Label, ph.From, ph.Until, ph.Rounds, ph.MaxLeaseOverCapacity,
+			ph.PlacementViolations, ph.Offered, ph.Admitted, ph.Shed, ph.Dropped)
+	}
+	fmt.Fprintf(w, "%-8s %7s %10s %10s %10s %7s %6s\n",
+		"tenant", "weight", "offered", "admitted", "shed", "shed%", "lost")
+	for _, ts := range r.Tenants {
+		fmt.Fprintf(w, "%-8s %7.0f %10d %10d %10d %6.1f%% %6d\n",
+			ts.Name, ts.Weight, ts.Offered, ts.Admitted, ts.Shed, ts.ShedFraction*100, ts.SlotsLost)
+	}
+	fmt.Fprintln(w, "scheduler history:")
+	for _, ev := range r.SchedulerHistory {
+		fmt.Fprintf(w, "  t=%5.0fs %s\n", ev.At.Sub(simEpoch).Seconds(), ev)
+	}
+	fmt.Fprintf(w, "books agree (gate shed %d == sim shed %d): %v\n",
+		r.ShedTotal, r.SimShedTotal, r.BooksAgree)
+	fmt.Fprintf(w, "double-leased slots: %d; placement violations: %d; dropped tuples: %d; pending at end: %d\n",
+		r.MaxLeaseOverCapacity, r.PlacementViolations, r.DroppedTuples, r.PendingAtEnd)
+}

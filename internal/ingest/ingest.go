@@ -152,8 +152,11 @@ type Gate struct {
 	cfg  GateConfig
 	ring *Ring
 
+	// mu serializes the slow path: replanning rounds, control rewiring
+	// and lifecycle. Client registration and lookup never take it — the
+	// sharded registry has its own per-stripe locks (see shard.go).
 	mu      sync.Mutex
-	clients map[string]*Client
+	clients *clientMap
 	control ControlSource
 	planned struct {
 		lastAt time.Time
@@ -208,7 +211,7 @@ func NewGate(cfg GateConfig) *Gate {
 	g := &Gate{
 		cfg:     cfg,
 		ring:    NewRing(cfg.RingCapacity),
-		clients: make(map[string]*Client),
+		clients: newClientMap(),
 		control: cfg.Control,
 	}
 	g.admitFraction.store(1)
@@ -234,24 +237,23 @@ func (g *Gate) SetControl(c ControlSource) {
 // orders shedding — higher weights shed last; equal offered demand at
 // equal weight sheds alphabetically-later ids first (deterministic).
 // rate/burst parameterize the client's token bucket (rate <= 0 disables
-// it). Parameters of an existing client are left unchanged.
+// it). Parameters of an existing client are left unchanged. Lookup is
+// shard-local — concurrent resolution of distinct ids never contends on
+// a gate-wide lock.
 func (g *Gate) Client(id string, weight, rate float64, burst int) *Client {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if c, ok := g.clients[id]; ok {
+	return g.clients.getOrCreate(id, func() *Client {
+		w := weight
+		if w <= 0 {
+			w = 1
+		}
+		c := &Client{g: g, id: id, weight: w, bucket: newTokenBucket(rate, burst)}
+		// A fresh client starts at the plan-wide fraction, not admit-all:
+		// client ids are client-chosen (headers, hello frames), so a free
+		// first round per id would let id rotation bypass overload shedding
+		// entirely until the next replan.
+		c.admitPermille.Store(uint32(g.admitFraction.load() * permilleScale))
 		return c
-	}
-	if weight <= 0 {
-		weight = 1
-	}
-	c := &Client{g: g, id: id, weight: weight, bucket: newTokenBucket(rate, burst)}
-	// A fresh client starts at the plan-wide fraction, not admit-all:
-	// client ids are client-chosen (headers, hello frames), so a free
-	// first round per id would let id rotation bypass overload shedding
-	// entirely until the next replan.
-	c.admitPermille.Store(uint32(g.admitFraction.load() * permilleScale))
-	g.clients[id] = c
-	return c
+	})
 }
 
 // Start launches the background replanning loop. Stop it with Close.
@@ -314,10 +316,7 @@ func (g *Gate) Replan() {
 	now := g.cfg.Now()
 	g.mu.Lock()
 	control := g.control
-	list := make([]*Client, 0, len(g.clients))
-	for _, c := range g.clients {
-		list = append(list, c)
-	}
+	list := g.clients.snapshot(make([]*Client, 0, g.clients.size()))
 	last := g.planned.lastAt
 	g.planned.lastAt = now
 

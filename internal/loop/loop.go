@@ -439,9 +439,12 @@ func (s *Supervisor) Tick() {
 
 	d, err := s.cfg.Stepper.Step(snap)
 	if err != nil {
-		// The measured rates put Tmax below the service-time floor: no
-		// allocation helps, so hold and re-measure next round.
-		if errors.Is(err, core.ErrUnreachableTarget) {
+		// The measured rates put Tmax below the service-time floor, or even
+		// the minimum stable allocation exceeds the grant (a heavy-tailed
+		// measurement window, or demand far past a preempted lease): no
+		// allocation this round helps, so hold and re-measure next round —
+		// the admission gate sheds the excess in the meantime.
+		if errors.Is(err, core.ErrUnreachableTarget) || errors.Is(err, core.ErrInsufficientResources) {
 			s.log.Debug("target unreachable; holding", slog.Any("err", err))
 			return
 		}

@@ -1,0 +1,32 @@
+package scenario
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCanonicalJSONTwin pins scenarios/chaos.json to the built-in
+// canonical spec: the file is what `ingestload -trace` and
+// `drs-experiments chaos -scenario` load, and it must stay byte-for-byte
+// semantically identical to scenario.Chaos() — same spec, same compiled
+// timeline — or the live replay and the golden-locked simulation drift
+// apart.
+func TestCanonicalJSONTwin(t *testing.T) {
+	path := filepath.Join("..", "..", "scenarios", "chaos.json")
+	tl, spec, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Chaos()
+	if !reflect.DeepEqual(spec, want) {
+		t.Fatalf("scenarios/chaos.json drifted from scenario.Chaos():\nfile: %+v\ncode: %+v", spec, want)
+	}
+	wantTL, err := Compile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tl.Events(), wantTL.Events()) {
+		t.Fatal("compiled timelines differ between the JSON twin and the built-in spec")
+	}
+}

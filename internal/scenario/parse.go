@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Parse decodes a scenario spec from strict JSON and compiles it — the
+// topology.Parse idiom: unknown fields are rejected to catch typos, and
+// the compiled Timeline is returned alongside the raw Spec so an invalid
+// composition (NaN/Inf rates, overlapping kill windows, churn on a
+// decommissioned machine) fails at the door, never mid-replay.
+func Parse(raw []byte) (*Timeline, Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, Spec{}, fmt.Errorf("scenario: decoding: %w", err)
+	}
+	// A second document after the first is a malformed file, not trailing
+	// noise to ignore.
+	if dec.More() {
+		return nil, Spec{}, fmt.Errorf("scenario: trailing data after spec")
+	}
+	tl, err := Compile(s)
+	if err != nil {
+		return nil, Spec{}, err
+	}
+	return tl, s, nil
+}
+
+// Load reads and parses a scenario spec from disk.
+func Load(path string) (*Timeline, Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, Spec{}, fmt.Errorf("scenario: reading %s: %w", path, err)
+	}
+	tl, s, err := Parse(raw)
+	if err != nil {
+		return nil, Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return tl, s, nil
+}

@@ -78,6 +78,41 @@ func (l LogNormal) Mean() float64 {
 // String renders the distribution for logs and reports.
 func (l LogNormal) String() string { return fmt.Sprintf("LogNormal(mu=%g,sigma=%g)", l.Mu, l.Sigma) }
 
+// Pareto is a Pareto distribution on [Scale, ∞) with tail exponent Alpha —
+// the canonical heavy-tailed service-time model for straggler studies:
+// most tuples are cheap, a power-law minority is arbitrarily expensive.
+// Alpha in (1, 2] keeps a finite mean with infinite variance; the scenario
+// factory pins the mean to a chain's 1/µ and composes the tail in.
+type Pareto struct {
+	Scale, Alpha float64
+}
+
+// NewParetoWithMean builds a Pareto with the given mean and tail exponent
+// (alpha > 1, so the mean exists): Scale = mean·(alpha−1)/alpha.
+func NewParetoWithMean(mean, alpha float64) (Pareto, error) {
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return Pareto{}, fmt.Errorf("stats: Pareto mean %g must be finite and positive", mean)
+	}
+	if !(alpha > 1) || math.IsInf(alpha, 0) {
+		return Pareto{}, fmt.Errorf("stats: Pareto alpha %g must be finite and > 1 for a finite mean", alpha)
+	}
+	return Pareto{Scale: mean * (alpha - 1) / alpha, Alpha: alpha}, nil
+}
+
+// Sample draws a Pareto variate.
+func (p Pareto) Sample(r *RNG) float64 { return r.Pareto(p.Scale, p.Alpha) }
+
+// Mean returns alpha·scale/(alpha−1); +Inf when alpha ≤ 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Scale / (p.Alpha - 1)
+}
+
+// String renders the distribution for logs and reports.
+func (p Pareto) String() string { return fmt.Sprintf("Pareto(scale=%g,alpha=%g)", p.Scale, p.Alpha) }
+
 // Shifted wraps a distribution and adds a constant offset to every sample,
 // useful for "fixed overhead plus variable part" service models.
 type Shifted struct {

@@ -96,6 +96,17 @@ func (r *RNG) Poisson(mean float64) int {
 // Bernoulli returns true with probability p.
 func (r *RNG) Bernoulli(p float64) bool { return r.src.Float64() < p }
 
+// Pareto returns a Pareto(scale, alpha) sample in [scale, ∞) by inverse
+// CDF: scale · (1−U)^(−1/alpha). The mean is alpha·scale/(alpha−1) for
+// alpha > 1; alpha ≤ 1 has no finite mean. It panics if scale or alpha is
+// not positive.
+func (r *RNG) Pareto(scale, alpha float64) float64 {
+	if scale <= 0 || alpha <= 0 {
+		panic("stats: Pareto requires scale > 0 and alpha > 0")
+	}
+	return scale * math.Pow(1-r.src.Float64(), -1/alpha)
+}
+
 // Zipf samples from a Zipf distribution over {0, ..., n-1} with skew s > 1.
 type Zipf struct {
 	z *rand.Zipf

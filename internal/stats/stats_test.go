@@ -333,3 +333,43 @@ func TestZipfSkew(t *testing.T) {
 		t.Errorf("Zipf counts not skewed: c0=%d c1=%d c3=%d", counts[0], counts[1], counts[3])
 	}
 }
+
+func TestParetoMeanAndTail(t *testing.T) {
+	p, err := NewParetoWithMean(0.5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Mean(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("pinned mean %g, want 0.5", got)
+	}
+	r := NewRNG(7)
+	var sum, max float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := p.Sample(r)
+		if v < p.Scale {
+			t.Fatalf("sample %g below the scale %g", v, p.Scale)
+		}
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("empirical mean %g, want ≈ 0.5", mean)
+	}
+	// Heavy tail: the largest of 200k draws is far beyond an exponential's
+	// reach (Exp(2) caps out around ln(200000)/2 ≈ 6).
+	if max < 10*0.5 {
+		t.Errorf("max sample %g shows no heavy tail", max)
+	}
+	if (Pareto{Scale: 1, Alpha: 1}).Mean() != math.Inf(1) {
+		t.Error("alpha ≤ 1 must report an infinite mean")
+	}
+	if _, err := NewParetoWithMean(0.5, 1); err == nil {
+		t.Error("alpha = 1 must be rejected (no finite mean)")
+	}
+	if _, err := NewParetoWithMean(math.Inf(1), 2); err == nil {
+		t.Error("infinite mean must be rejected")
+	}
+}

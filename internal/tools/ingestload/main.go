@@ -8,6 +8,17 @@
 //
 //	ingestload -url http://127.0.0.1:8080/ingest -clients 4 -rate 100 -duration 5
 //	ingestload -tcp 127.0.0.1:7070 -clients 2 -rate 50 -duration 5
+//	ingestload -url http://127.0.0.1:8080/ingest -trace scenarios/chaos.json -speedup 60
+//
+// With -trace, ingestload replays a scenario spec (internal/scenario)
+// against the live front door: one paced worker per tenant draws the same
+// seeded, envelope-shaped arrival schedule the `drs-experiments chaos`
+// simulation replays in virtual time — diurnal swings, flash crowds and
+// correlated surges included — so every simulated scenario has a
+// live-socket twin. -speedup compresses scenario seconds into wall
+// seconds (60 replays a 24-minute arc in 24 s); client ids are the
+// tenant names (configure their weights server-side); an explicit
+// -duration caps the replayed scenario horizon.
 //
 // Exit status is 0 when every request got a verdict (2xx or 429/NACK) and
 // non-zero on transport errors.
@@ -25,6 +36,9 @@ import (
 	"time"
 
 	"github.com/drs-repro/drs/internal/ingest"
+	"github.com/drs-repro/drs/internal/scenario"
+	"github.com/drs-repro/drs/internal/sim"
+	"github.com/drs-repro/drs/internal/stats"
 )
 
 func main() {
@@ -40,13 +54,27 @@ func run(args []string) error {
 	tcp := fs.String("tcp", "", "TCP ingest address (length-prefixed protocol)")
 	clients := fs.Int("clients", 4, "concurrent clients")
 	rate := fs.Float64("rate", 100, "records/s per client")
-	duration := fs.Float64("duration", 5, "seconds to push")
+	duration := fs.Float64("duration", 5, "seconds to push (with -trace: cap on the scenario horizon)")
 	idPrefix := fs.String("id-prefix", "load", "client id prefix (ids are <prefix>-<n>)")
+	trace := fs.String("trace", "", "replay a scenario spec (JSON file) instead of flat per-client rates")
+	speedup := fs.Float64("speedup", 1, "trace replay: scenario seconds per wall second")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*url == "") == (*tcp == "") {
 		return fmt.Errorf("pass exactly one of -url or -tcp")
+	}
+	if *trace != "" {
+		if *speedup <= 0 {
+			return fmt.Errorf("-speedup must be positive")
+		}
+		cap := 0.0
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "duration" {
+				cap = *duration
+			}
+		})
+		return runTrace(*trace, *url, *tcp, *speedup, cap)
 	}
 	if *clients < 1 || *rate <= 0 || *duration <= 0 {
 		return fmt.Errorf("-clients, -rate and -duration must be positive")
@@ -61,19 +89,12 @@ func run(args []string) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			push := pushHTTP(*url, id)
-			if *tcp != "" {
-				conn, err := ingest.DialTCP(*tcp, id)
-				if err != nil {
-					errs.Add(1)
-					return
-				}
-				defer conn.Close()
-				push = func(rec []byte) (bool, error) {
-					ok, _, err := conn.Send(rec)
-					return ok, err
-				}
+			push, closer, err := pusher(*url, *tcp, id)
+			if err != nil {
+				errs.Add(1)
+				return
 			}
+			defer closer()
 			rec := []byte("record-" + id)
 			for time.Now().Before(deadline) {
 				ok, err := push(rec)
@@ -97,6 +118,102 @@ func run(args []string) error {
 		return fmt.Errorf("%d transport errors", errs.Load())
 	}
 	return nil
+}
+
+// traceCounters is one tenant worker's verdict tally.
+type traceCounters struct {
+	admitted, shed, errs atomic.Int64
+}
+
+// runTrace replays a scenario spec live: one worker per tenant, each
+// pacing the seeded arrival schedule (Poisson base shaped by the tenant's
+// compiled envelope) compressed by the speedup factor. The schedule is the
+// same pure function of (Spec, Seed) the simulation replays — only the
+// transport differs.
+func runTrace(path, url, tcp string, speedup, capSeconds float64) error {
+	tl, spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	horizon := spec.DurationSeconds
+	if capSeconds > 0 && capSeconds < horizon {
+		horizon = capSeconds
+	}
+	counters := make([]traceCounters, len(spec.Tenants))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, ts := range spec.Tenants {
+		arrivals, err := tl.Arrivals(ts.Name)
+		if err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(i int, name string, arr sim.ArrivalProcess) {
+			defer wg.Done()
+			c := &counters[i]
+			push, closer, err := pusher(url, tcp, name)
+			if err != nil {
+				c.errs.Add(1)
+				return
+			}
+			defer closer()
+			rng := stats.NewRNG(spec.Seed + uint64(i))
+			rec := []byte("record-" + name)
+			now := 0.0 // scenario clock, seconds
+			for {
+				now += arr.NextInterArrival(rng)
+				if now > horizon {
+					return
+				}
+				at := start.Add(time.Duration(now / speedup * float64(time.Second)))
+				if d := time.Until(at); d > 0 {
+					time.Sleep(d)
+				}
+				ok, err := push(rec)
+				switch {
+				case err != nil:
+					c.errs.Add(1)
+				case ok:
+					c.admitted.Add(1)
+				default:
+					c.shed.Add(1)
+				}
+			}
+		}(i, ts.Name, arrivals)
+	}
+	wg.Wait()
+	var admitted, shed, errs int64
+	for i, ts := range spec.Tenants {
+		c := &counters[i]
+		total := c.admitted.Load() + c.shed.Load() + c.errs.Load()
+		fmt.Printf("tenant %s offered %d admitted %d shed %d errors %d\n",
+			ts.Name, total, c.admitted.Load(), c.shed.Load(), c.errs.Load())
+		admitted += c.admitted.Load()
+		shed += c.shed.Load()
+		errs += c.errs.Load()
+	}
+	fmt.Printf("offered %d admitted %d shed %d errors %d\n",
+		admitted+shed+errs, admitted, shed, errs)
+	if errs > 0 {
+		return fmt.Errorf("%d transport errors", errs)
+	}
+	return nil
+}
+
+// pusher builds the record-push function for one client id over whichever
+// transport is configured, plus its cleanup.
+func pusher(url, tcp, id string) (func([]byte) (bool, error), func(), error) {
+	if tcp != "" {
+		conn, err := ingest.DialTCP(tcp, id)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func(rec []byte) (bool, error) {
+			ok, _, err := conn.Send(rec)
+			return ok, err
+		}, func() { conn.Close() }, nil
+	}
+	return pushHTTP(url, id), func() {}, nil
 }
 
 // pushHTTP returns a pusher POSTing records as one-record bodies; a 2xx

@@ -14,8 +14,10 @@
 # (BenchmarkSimThroughput), a full controlled experiment
 # (BenchmarkFig9VLD) — plus the control plane: one control round
 # (BenchmarkSupervisorTick), one multi-tenant arbitration
-# (BenchmarkSchedulerArbitration) and one degraded-pool arbitration with a
-# machine down (BenchmarkSchedulerFailover).
+# (BenchmarkSchedulerArbitration), one degraded-pool arbitration with a
+# machine down (BenchmarkSchedulerFailover) and the sharded client
+# registry at a million token buckets (BenchmarkBucketShard — the
+# millions-of-users admission path).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -28,7 +30,7 @@ if [ -z "$PR" ]; then
 fi
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover'
+PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)"
 echo "$RAW"
