@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench build vet checkdoc test-fuzz serve-smoke
+.PHONY: test race bench build vet checkdoc test-fuzz serve-smoke restart-smoke
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,11 @@ test:
 # The concurrent fast paths (engine queues, pooled trees, supervisor) and
 # the multi-tenant scheduler's no-double-lease invariant — plus the
 # randomized scheduler property test, the ingest gate's sharded-registry
-# and concurrent-clients-vs-shed-threshold-flips tests, the simulator and
-# the scenario generator's determinism properties, all under -race here
-# exactly as in CI.
+# and concurrent-clients-vs-shed-threshold-flips tests, the group-commit
+# WAL's concurrent appenders, the simulator and the scenario generator's
+# determinism properties, all under -race here exactly as in CI.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/...
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/... ./internal/wal/...
 
 # Native fuzzing smoke: a short budget per target keeps it CI-sized; raise
 # FUZZTIME locally for real hunting. Seed corpora live in each package's
@@ -34,11 +34,18 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseTopology -fuzztime $(FUZZTIME) ./internal/topology
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/config
 	$(GO) test -run '^$$' -fuzz FuzzParseScenario -fuzztime $(FUZZTIME) ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzWALSegment -fuzztime $(FUZZTIME) ./internal/wal
 
 # Boots `drsctl serve` on a loopback port, pushes a client burst through
 # the HTTP front door and asserts a 2xx/429 split (admitted + backpressure).
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Boots `drsctl serve` with a WAL, kill -9s it mid-ingest, restarts over
+# the same directory and asserts zero admitted loss: recovery replays
+# every ACKed-but-unprocessed record and the books balance.
+restart-smoke:
+	sh scripts/restart_smoke.sh
 
 # Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh). PR
 # defaults to the next point on the perf trajectory (highest existing

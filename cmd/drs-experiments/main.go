@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|chaos|all>
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|chaos|restart|all>
 //
 // Flags:
 //
@@ -47,7 +47,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn chaos all")
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn chaos restart all")
 	}
 	opts := experiments.Options{Seed: *seed, Duration: *duration}
 	apps, err := appsFor(*app)
@@ -79,6 +79,8 @@ func run(args []string) error {
 		return runChurn(opts)
 	case "chaos":
 		return runChaos(opts, *scenarioPath)
+	case "restart":
+		return runRestart(opts)
 	case "all":
 		if err := runFig6(apps, opts); err != nil {
 			return err
@@ -111,6 +113,9 @@ func run(args []string) error {
 			return err
 		}
 		if err := runChaos(opts, *scenarioPath); err != nil {
+			return err
+		}
+		if err := runRestart(opts); err != nil {
 			return err
 		}
 		return runTable2(*iters)
@@ -153,6 +158,17 @@ func runChaos(opts experiments.Options, path string) error {
 		}
 		r, err = experiments.RunChaosSpec(spec, opts)
 	}
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+// runRestart replays the kill -9 mid-surge arc against the durable
+// ingest stack: WAL recovery, checkpointed watermarks and replay.
+func runRestart(opts experiments.Options) error {
+	r, err := experiments.RunRestart(opts)
 	if err != nil {
 		return err
 	}

@@ -49,6 +49,9 @@ func TestRunShortExperiments(t *testing.T) {
 	if err := run([]string{"-duration", "240", "chaos"}); err != nil {
 		t.Errorf("chaos: %v", err)
 	}
+	if err := run([]string{"-duration", "150", "restart"}); err != nil {
+		t.Errorf("restart: %v", err)
+	}
 	if err := run([]string{"-scenario", "no-such-file.json", "chaos"}); err == nil {
 		t.Error("missing scenario file should error")
 	}

@@ -7,8 +7,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/drs-repro/drs/internal/cluster"
@@ -16,7 +18,17 @@ import (
 	"github.com/drs-repro/drs/internal/engine"
 	"github.com/drs-repro/drs/internal/ingest"
 	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/wal"
 )
+
+// serveInterrupts yields the channel cmdServe waits on for shutdown
+// signals. A package var so the shutdown test can inject a signal
+// without delivering a real SIGINT to the test process.
+var serveInterrupts = func() <-chan os.Signal {
+	c := make(chan os.Signal, 1)
+	signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+	return c
+}
 
 // cmdServe runs the topology behind the network ingest front end: real
 // clients push records over HTTP POST or length-prefixed TCP, the
@@ -42,6 +54,7 @@ func cmdServe(tf topoFile, args []string) error {
 	clientBurst := fs.Int("client-burst", 0, "per-client token-bucket burst (default = rate)")
 	weights := fs.String("client-weights", "", "shedding weights per client id, e.g. gold=4,bronze=1")
 	seed := fs.Int64("seed", 1, "workload seed")
+	walDir := fs.String("wal-dir", "", "write-ahead log directory: durable admission (ACK after append) with crash-recovery replay on boot (empty = non-durable)")
 	verbose := fs.Bool("v", false, "log every loop event")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,8 +89,35 @@ func cmdServe(tf topoFile, args []string) error {
 		return fmt.Errorf("entry operator %q is not in the topology", entryOp)
 	}
 
+	// Durable boot: recover the log and the control checkpoint before
+	// anything is built — the checkpoint seeds the engine allocation, the
+	// lease size and the supervisor's hysteresis; the log's unacked
+	// records are replayed once the engine is up.
+	var (
+		walLog   *wal.Log
+		ckpt     wal.Checkpoint
+		haveCkpt bool
+	)
+	if *walDir != "" {
+		var walRec wal.Recovered
+		walLog, walRec, err = wal.Open(wal.Options{Dir: *walDir})
+		if err != nil {
+			return fmt.Errorf("wal recovery: %w", err)
+		}
+		defer walLog.Close()
+		ckpt, haveCkpt, err = wal.LoadCheckpoint(*walDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wal: recovered %d segment(s), %d record(s), tail seq %d, watermark %d (torn tail: %d bytes)\n",
+			walRec.Segments, walRec.Records, walRec.TailSeq, walRec.Watermark, walRec.TruncatedBytes)
+		if haveCkpt {
+			fmt.Printf("checkpoint: %d slots, %d rounds, alloc %v\n", ckpt.Slots, ckpt.Rounds, ckpt.Alloc)
+		}
+	}
+
 	// The gate, then the engine behind it: a NetworkSpout drains the
-	// gate's ring into the entry operator.
+	// gate's source into the entry operator.
 	maxSlots := *slots * *maxMachines
 	gate := ingest.NewGate(ingest.GateConfig{
 		Tmax:         *tmaxMS / 1e3,
@@ -85,6 +125,11 @@ func cmdServe(tf topoFile, args []string) error {
 		RingCapacity: *ringCap,
 		ReplanEvery:  time.Duration(*intervalMS) * time.Millisecond,
 	})
+	if walLog != nil {
+		if err := gate.AttachWAL(walLog); err != nil {
+			return err
+		}
+	}
 	if *tasks < maxSlots {
 		*tasks = maxSlots
 	}
@@ -92,10 +137,33 @@ func cmdServe(tf topoFile, args []string) error {
 	for i := range initial {
 		initial[i] = 1
 	}
+	initSlots := len(tf.Operators)
+	if haveCkpt && len(ckpt.Alloc) > 0 {
+		// Resume the checkpointed allocation when it still fits the cap;
+		// a stale oversized checkpoint falls back to a cold start.
+		restored, sum := make([]int, len(initial)), 0
+		for i, op := range tf.Operators {
+			k := ckpt.Alloc[op.Name]
+			if k < 1 {
+				k = 1
+			}
+			if k > *tasks {
+				k = *tasks
+			}
+			restored[i] = k
+			sum += k
+		}
+		if sum <= maxSlots {
+			initial = restored
+			if sum > initSlots {
+				initSlots = sum
+			}
+		}
+	}
 	b := engine.NewTopology()
 	names, alloc := addLiveOperators(b, tf, initial, *tasks, *seed)
 	b.Spout("ingest", 1, func(int) engine.Spout {
-		return &engine.NetworkSpout{Source: gate.Ring(), MaxBatch: 256}
+		return &engine.NetworkSpout{Source: gate.Source(), MaxBatch: 256}
 	})
 	b.Shuffle("ingest", entryOp)
 	topo, err := b.Build()
@@ -126,8 +194,11 @@ func cmdServe(tf topoFile, args []string) error {
 	if err != nil {
 		return err
 	}
+	if initSlots > maxSlots {
+		initSlots = maxSlots
+	}
 	lease, err := sched.Register(cluster.TenantConfig{
-		Name: "serve", MinSlots: len(names), InitialSlots: len(names),
+		Name: "serve", MinSlots: len(names), InitialSlots: initSlots,
 	})
 	if err != nil {
 		return err
@@ -146,6 +217,13 @@ func cmdServe(tf topoFile, args []string) error {
 	if *verbose {
 		level = slog.LevelInfo
 	}
+	var resume *loop.PersistedState
+	if haveCkpt {
+		resume = &loop.PersistedState{
+			Rounds:            ckpt.Rounds,
+			CooldownRemaining: time.Duration(ckpt.CooldownMS) * time.Millisecond,
+		}
+	}
 	sup, err := loop.New(loop.Config{
 		Target:    ingest.SupervisedTarget{Inner: loop.EngineTarget(run), Gate: gate},
 		Operators: names,
@@ -153,6 +231,7 @@ func cmdServe(tf topoFile, args []string) error {
 		Pool:      lease,
 		Interval:  time.Duration(*intervalMS) * time.Millisecond,
 		Logger:    slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		Resume:    resume,
 	})
 	if err != nil {
 		return err
@@ -163,6 +242,56 @@ func cmdServe(tf topoFile, args []string) error {
 	}
 	if err := sup.Start(); err != nil {
 		return err
+	}
+
+	// Replay the recovered unacked records through the now-running spout
+	// BEFORE the listeners open: replayed and fresh traffic never
+	// interleave, and every re-injected record is already in the log.
+	if walLog != nil {
+		replayed, err := gate.Replay()
+		if err != nil {
+			return fmt.Errorf("wal replay: %w", err)
+		}
+		fmt.Printf("wal: replaying %d unacked record(s) through the spout\n", replayed)
+	}
+
+	// Periodic control-plane checkpoints beside the segments: allocation,
+	// lease grant, hysteresis and the cumulative books (carried across
+	// lives by summing on top of the recovered checkpoint).
+	saveCheckpoint := func() {
+		st := gate.Stats()
+		ps := sup.PersistedState()
+		completions, _ := run.Completions()
+		_ = wal.SaveCheckpoint(*walDir, wal.Checkpoint{
+			Seq:        walLog.TailSeq(),
+			Watermark:  st.Watermark,
+			Alloc:      run.Allocation(),
+			Slots:      lease.Granted(),
+			Rounds:     ps.Rounds,
+			CooldownMS: ps.CooldownRemaining.Milliseconds(),
+			Admitted:   ckpt.Admitted + uint64(st.Admitted),
+			Completed:  ckpt.Completed + uint64(completions),
+			Shed:       ckpt.Shed + uint64(st.ShedRateLimit+st.ShedOverload+st.ShedBacklog),
+		})
+	}
+	stopCkpt := make(chan struct{})
+	ckptDone := make(chan struct{})
+	if walLog != nil {
+		go func() {
+			defer close(ckptDone)
+			tick := time.NewTicker(time.Duration(*intervalMS) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCkpt:
+					return
+				case <-tick.C:
+					saveCheckpoint()
+				}
+			}
+		}()
+	} else {
+		close(ckptDone)
 	}
 
 	lcfg := ingest.ListenerConfig{
@@ -198,10 +327,19 @@ func cmdServe(tf topoFile, args []string) error {
 	fmt.Printf("serving %d operators for %.0fs behind the admission gate (Tmax = %.0f ms, entry %q, cap %d slots)\n",
 		len(names), *duration, *tmaxMS, entryOp, maxSlots)
 
-	time.Sleep(secondsDuration(*duration))
+	// Serve until the duration elapses or a SIGTERM/SIGINT arrives — both
+	// exit through the same drain path, so a signal never abandons
+	// admitted records.
+	sigC := serveInterrupts()
+	select {
+	case <-time.After(secondsDuration(*duration)):
+	case sig := <-sigC:
+		fmt.Printf("\nreceived %v: closing listeners and draining the ingest ring\n", sig)
+	}
 
 	// Orderly shutdown: listeners first, then the gate (closing the ring),
-	// then drain and stop — admitted records are never abandoned.
+	// then drain and stop — admitted records are never abandoned. The
+	// drain is bounded: a wedged engine should not make shutdown hang.
 	if httpSrv != nil {
 		httpSrv.Close()
 	}
@@ -209,15 +347,35 @@ func cmdServe(tf topoFile, args []string) error {
 		tcpL.Close()
 	}
 	gate.Close()
-	for gate.Ring().Len() > 0 {
+	drainDeadline := time.Now().Add(10 * time.Second)
+	for gate.Ring().Len() > 0 && time.Now().Before(drainDeadline) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	time.Sleep(100 * time.Millisecond)
 	sup.Stop()
+	close(stopCkpt)
+	<-ckptDone
+
+	if walLog != nil {
+		// Final watermark sync + checkpoint: completions up to this
+		// instant retire their log frames, so the next boot replays only
+		// what truly never finished.
+		for gate.Watermark() < gate.Ring().Pushed() && time.Now().Before(drainDeadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err := gate.SyncWatermark(); err != nil {
+			fmt.Fprintln(os.Stderr, "drsctl: final watermark sync:", err)
+		}
+		saveCheckpoint()
+	}
 
 	st := gate.Stats()
 	fmt.Printf("\ningest: offered %d, admitted %d (shed: rate-limit %d, overload %d, backlog %d)\n",
 		st.Offered, st.Admitted, st.ShedRateLimit, st.ShedOverload, st.ShedBacklog)
+	if walLog != nil {
+		fmt.Printf("wal: tail seq %d, watermark %d, replayed %d, %d live segment(s)\n",
+			walLog.TailSeq(), st.Watermark, st.Replayed, walLog.Segments())
+	}
 	completions, meanSojourn := run.Completions()
 	fmt.Printf("engine: %d completions, mean sojourn %.1f ms, final alloc %v, %d machines\n",
 		completions, meanSojourn.Seconds()*1e3, run.Allocation(), pool.Machines())

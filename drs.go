@@ -42,6 +42,13 @@
 //     executors by replaying their backlog onto a replacement, so
 //     at-least-once semantics hold through the crash. examples/churn runs
 //     the whole arc live; `drs-experiments churn` measures it.
+//   - The durability layer: a segmented, CRC-framed write-ahead log with
+//     group-commit batching (WAL/OpenWAL), completion-tracking watermarks
+//     and periodic checkpoints, so an ACKed record survives kill -9 of the
+//     serving process and is replayed into the engine on the next boot —
+//     at-least-once across process death, not just executor crashes.
+//     `drsctl serve -wal-dir` turns it on; `drs-experiments restart` and
+//     `make restart-smoke` measure the recovery arc.
 //
 // A minimal session:
 //
@@ -70,6 +77,7 @@ import (
 	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/metrics"
 	"github.com/drs-repro/drs/internal/topology"
+	"github.com/drs-repro/drs/internal/wal"
 )
 
 // Model is the DRS performance model (paper §III-B). Build one per
@@ -314,6 +322,45 @@ type TenantReport = cluster.TenantReport
 // NewScheduler validates the config and takes ownership of the pool.
 func NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
 	return cluster.NewScheduler(cfg)
+}
+
+// WAL is the segmented, CRC-framed write-ahead log behind durable
+// admission (`drsctl serve -wal-dir`): appends are group-committed
+// (leader flush + write(2) before ACK, fsync on the SyncEvery cadence),
+// segments rotate at SegmentBytes and are pruned once the completion
+// watermark passes them. See DESIGN.md §10 for the on-disk format and
+// recovery state machine.
+type WAL = wal.Log
+
+// WALOptions configures a WAL: directory, segment size, group-commit
+// window and fsync cadence.
+type WALOptions = wal.Options
+
+// WALRecord is one recovered record: its sequence number and payload.
+type WALRecord = wal.Record
+
+// WALRecovered reports what OpenWAL reconstructed from disk: the durable
+// watermark, the unacknowledged tail to replay, and any torn-tail bytes
+// truncated from the last segment.
+type WALRecovered = wal.Recovered
+
+// WALCheckpoint is the periodic recovery-bound marker saved next to the
+// segments; it lets recovery skip sealed, fully-acknowledged segments.
+type WALCheckpoint = wal.Checkpoint
+
+// OpenWAL opens (or creates) the log in o.Dir, scans the segments,
+// truncates a torn tail in the last segment if the process died
+// mid-write, and returns the log plus everything recovery needs.
+func OpenWAL(o WALOptions) (*WAL, WALRecovered, error) { return wal.Open(o) }
+
+// SaveWALCheckpoint atomically persists a checkpoint next to the
+// segments (write to temp file, fsync, rename).
+func SaveWALCheckpoint(dir string, c WALCheckpoint) error { return wal.SaveCheckpoint(dir, c) }
+
+// LoadWALCheckpoint reads the checkpoint if one exists; ok reports
+// whether it was present and valid.
+func LoadWALCheckpoint(dir string) (c WALCheckpoint, ok bool, err error) {
+	return wal.LoadCheckpoint(dir)
 }
 
 // Config is the full DRS parameter set (the configuration-reader module),

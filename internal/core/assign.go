@@ -17,14 +17,22 @@ import (
 // It returns ErrInsufficientResources when even the minimum stable
 // allocation exceeds kmax — the paper's "throw an exception" branch.
 func (m *Model) AssignProcessors(kmax int) ([]int, error) {
-	k, used, err := m.MinAllocation()
+	var h benefitHeap
+	return m.assignProcessorsInto(nil, &h, kmax)
+}
+
+// assignProcessorsInto is AssignProcessors reusing a caller-held allocation
+// buffer and heap — the controller's per-round path. The returned slice
+// aliases buf when it had the capacity.
+func (m *Model) assignProcessorsInto(buf []int, h *benefitHeap, kmax int) ([]int, error) {
+	k, used, err := m.minAllocationInto(buf)
 	if err != nil {
 		return nil, err
 	}
 	if used > kmax {
 		return nil, fmt.Errorf("%w: need %d, have %d", ErrInsufficientResources, used, kmax)
 	}
-	h := m.newBenefitHeap(k)
+	h.reset(m, k)
 	for used < kmax {
 		j, ok := h.popBest(m, k)
 		if !ok {
@@ -44,17 +52,25 @@ func (m *Model) AssignProcessors(kmax int) ([]int, error) {
 // It returns ErrUnreachableTarget when tmax is at or below the zero-queueing
 // lower bound.
 func (m *Model) MinProcessors(tmax float64) ([]int, error) {
+	var h benefitHeap
+	return m.minProcessorsInto(nil, &h, tmax)
+}
+
+// minProcessorsInto is MinProcessors reusing a caller-held allocation
+// buffer and heap — the controller's per-round path. The returned slice
+// aliases buf when it had the capacity.
+func (m *Model) minProcessorsInto(buf []int, h *benefitHeap, tmax float64) ([]int, error) {
 	if tmax <= 0 || math.IsNaN(tmax) {
 		return nil, fmt.Errorf("core: tmax %g must be positive", tmax)
 	}
 	if tmax <= m.LowerBound() {
 		return nil, fmt.Errorf("%w: tmax %g <= lower bound %g", ErrUnreachableTarget, tmax, m.LowerBound())
 	}
-	k, _, err := m.MinAllocation()
+	k, _, err := m.minAllocationInto(buf)
 	if err != nil {
 		return nil, err
 	}
-	h := m.newBenefitHeap(k)
+	h.reset(m, k)
 	cur, err := m.ExpectedSojourn(k)
 	if err != nil {
 		return nil, err
@@ -88,8 +104,10 @@ type benefitItem struct {
 	atK     int // the k the benefit was computed at
 }
 
-func (m *Model) newBenefitHeap(k []int) *benefitHeap {
-	h := &benefitHeap{items: make([]benefitItem, 0, len(k))}
+// reset fills the heap with the operators' marginal benefits at allocation
+// k, reusing the items storage from any previous use of the receiver.
+func (h *benefitHeap) reset(m *Model, k []int) {
+	h.items = h.items[:0]
 	for i := range m.ops {
 		b := m.marginalBenefit(i, k[i])
 		if b > 0 {
@@ -97,7 +115,6 @@ func (m *Model) newBenefitHeap(k []int) *benefitHeap {
 		}
 	}
 	heap.Init(h)
-	return h
 }
 
 // popBest returns the operator with the largest current marginal benefit,

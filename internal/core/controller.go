@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Mode selects which optimization problem the controller solves each round.
@@ -181,11 +182,21 @@ func (c ControllerConfig) Validate() error {
 
 // Controller implements the DRS decision loop of §III-C/§IV: build a model
 // from the latest snapshot, compute the optimal allocation, and decide
-// whether acting on it is worth the migration cost. Controller is
-// stateless between rounds apart from its config; feed it snapshots and
-// apply its decisions through whatever actuates your CSP layer.
+// whether acting on it is worth the migration cost. Controller carries no
+// decision state between rounds — only its config and reusable scratch
+// storage, so the steady-state hold round (the decision a supervisor makes
+// every Tm forever) costs zero allocations. Feed it snapshots and apply
+// its decisions through whatever actuates your CSP layer. Safe for
+// concurrent use.
 type Controller struct {
 	cfg ControllerConfig
+
+	// mu serializes Step: the scratch below is reused across rounds.
+	mu    sync.Mutex
+	model Model
+	heap  benefitHeap
+	kbuf  []int // target-allocation scratch; escapes only via a copy
+	nbuf  []int // Program (6) requirement scratch; never escapes
 }
 
 // NewController validates the config and returns a controller.
@@ -200,21 +211,36 @@ func NewController(cfg ControllerConfig) (*Controller, error) {
 func (c *Controller) Config() ControllerConfig { return c.cfg }
 
 // Step evaluates one measurement snapshot and returns a decision. It never
-// mutates the snapshot.
+// mutates the snapshot and never retains its slices.
 func (c *Controller) Step(s Snapshot) (Decision, error) {
-	model, err := NewModel(s.Lambda0, s.Ops)
-	if err != nil {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.model.Reset(s.Lambda0, s.Ops); err != nil {
 		return Decision{}, fmt.Errorf("core: building model from snapshot: %w", err)
 	}
 	switch c.cfg.Mode {
 	case ModeMinLatency:
-		return c.stepMinLatency(model, s)
+		return c.stepMinLatency(&c.model, s)
 	case ModeMinResource:
-		return c.stepMinResource(model, s)
+		return c.stepMinResource(&c.model, s)
 	default:
 		return Decision{}, fmt.Errorf("core: unknown mode %v", c.cfg.Mode)
 	}
 }
+
+// assign solves Algorithm 1 into the controller's scratch storage. The
+// result is only valid until the next call; actionable decisions must copy
+// it (cloneInts) before it escapes into a Decision.
+func (c *Controller) assign(model *Model, kmax int) ([]int, error) {
+	k, err := model.assignProcessorsInto(c.kbuf, &c.heap, kmax)
+	if k != nil {
+		c.kbuf = k
+	}
+	return k, err
+}
+
+// cloneInts copies an allocation vector out of scratch storage.
+func cloneInts(xs []int) []int { return append([]int(nil), xs...) }
 
 // stepMinLatency recommends AssignProcessors(Kmax) and rebalances when the
 // estimated gain over the current allocation clears MinGain.
@@ -223,7 +249,7 @@ func (c *Controller) stepMinLatency(model *Model, s Snapshot) (Decision, error) 
 	if kmax == 0 {
 		kmax = c.cfg.Kmax
 	}
-	target, err := model.AssignProcessors(kmax)
+	target, err := c.assign(model, kmax)
 	if err != nil {
 		return Decision{}, err
 	}
@@ -252,7 +278,7 @@ func (c *Controller) stepMinLatency(model *Model, s Snapshot) (Decision, error) 
 	}
 	return Decision{
 		Action:     ActionRebalance,
-		Target:     target,
+		Target:     cloneInts(target),
 		TargetKmax: kmax,
 		Estimated:  estTarget,
 		Reason:     fmt.Sprintf("estimated E[T] %.1fms -> %.1fms (gain %.1f%%)", estCur*1e3, estTarget*1e3, gain*100),
@@ -283,10 +309,13 @@ func (c *Controller) stepMinResource(model *Model, s Snapshot) (Decision, error)
 // scaleOutOrRebalance handles a Tmax violation: grow the pool to the
 // Program (6) size, or failing that, rebalance within the current pool.
 func (c *Controller) scaleOutOrRebalance(model *Model, s Snapshot, curKmax int) (Decision, error) {
-	need, err := model.MinProcessors(c.cfg.Tmax)
+	need, err := model.minProcessorsInto(c.nbuf, &c.heap, c.cfg.Tmax)
+	if need != nil {
+		c.nbuf = need
+	}
 	if err == nil {
 		if targetKmax := c.poolFor(sum(need)); targetKmax > curKmax {
-			target, aerr := model.AssignProcessors(targetKmax)
+			target, aerr := c.assign(model, targetKmax)
 			if aerr != nil {
 				return Decision{}, aerr
 			}
@@ -296,7 +325,7 @@ func (c *Controller) scaleOutOrRebalance(model *Model, s Snapshot, curKmax int) 
 			}
 			return Decision{
 				Action:     ActionScaleOut,
-				Target:     target,
+				Target:     cloneInts(target),
 				TargetKmax: targetKmax,
 				Estimated:  est,
 				Reason: fmt.Sprintf("measured E[T] %.1fms > Tmax %.1fms; growing pool %d -> %d",
@@ -308,7 +337,7 @@ func (c *Controller) scaleOutOrRebalance(model *Model, s Snapshot, curKmax int) 
 	}
 	// Tmax unreachable by the model, or the pool is already big enough:
 	// the best move left is the pool-optimal allocation.
-	target, aerr := model.AssignProcessors(curKmax)
+	target, aerr := c.assign(model, curKmax)
 	if aerr != nil {
 		return Decision{}, aerr
 	}
@@ -330,7 +359,7 @@ func (c *Controller) scaleOutOrRebalance(model *Model, s Snapshot, curKmax int) 
 			}
 		}
 	}
-	return Decision{Action: ActionRebalance, Target: target, TargetKmax: curKmax, Estimated: est,
+	return Decision{Action: ActionRebalance, Target: cloneInts(target), TargetKmax: curKmax, Estimated: est,
 		Reason: "violating Tmax; rebalancing within current pool"}, nil
 }
 
@@ -344,7 +373,10 @@ func (c *Controller) maybeScaleIn(model *Model, s Snapshot, curKmax int) (Decisi
 		}
 		return Decision{Action: ActionNone, Estimated: est, TargetKmax: curKmax, Reason: reason}
 	}
-	need, err := model.MinProcessors(c.cfg.Tmax * (1 - c.cfg.ScaleInSlack))
+	need, err := model.minProcessorsInto(c.nbuf, &c.heap, c.cfg.Tmax*(1-c.cfg.ScaleInSlack))
+	if need != nil {
+		c.nbuf = need
+	}
 	if err != nil {
 		if errors.Is(err, ErrUnreachableTarget) {
 			return hold("within Tmax; tightened target unreachable, keeping pool"), nil
@@ -355,7 +387,7 @@ func (c *Controller) maybeScaleIn(model *Model, s Snapshot, curKmax int) (Decisi
 	if targetKmax >= curKmax {
 		return hold("within target at current pool size"), nil
 	}
-	target, aerr := model.AssignProcessors(targetKmax)
+	target, aerr := c.assign(model, targetKmax)
 	if aerr != nil {
 		return Decision{}, aerr
 	}
@@ -375,7 +407,7 @@ func (c *Controller) maybeScaleIn(model *Model, s Snapshot, curKmax int) (Decisi
 	}
 	return Decision{
 		Action:     ActionScaleIn,
-		Target:     target,
+		Target:     cloneInts(target),
 		TargetKmax: targetKmax,
 		Estimated:  est,
 		Reason: fmt.Sprintf("estimated E[T] %.1fms fits Tmax %.1fms with pool %d -> %d",

@@ -54,8 +54,10 @@ func (op OpRates) cv2() float64 {
 }
 
 // Model is the DRS performance model of §III-B: per-operator M/M/k sojourn
-// estimates aggregated over the Jackson network by Equation (3). A Model is
-// immutable; construct a new one per metrics snapshot.
+// estimates aggregated over the Jackson network by Equation (3). A Model
+// never mutates after construction; build a new one per metrics snapshot,
+// or re-point a long-lived one at fresh rates with Reset (the controller's
+// per-round path, which reuses the model's storage instead of allocating).
 type Model struct {
 	lambda0 float64
 	ops     []OpRates
@@ -64,22 +66,35 @@ type Model struct {
 // NewModel builds a model directly from measured rates. lambda0 is λ0, the
 // external arrival rate into the whole network.
 func NewModel(lambda0 float64, ops []OpRates) (*Model, error) {
+	m := &Model{}
+	if err := m.Reset(lambda0, ops); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Reset re-points the model at a fresh snapshot's rates, validating them
+// exactly as NewModel does and reusing the receiver's storage (ops is
+// copied in, never retained). On error the receiver is unchanged. A model
+// being Reset must not be in concurrent use.
+func (m *Model) Reset(lambda0 float64, ops []OpRates) error {
 	if lambda0 <= 0 || math.IsNaN(lambda0) || math.IsInf(lambda0, 0) {
-		return nil, fmt.Errorf("core: lambda0 %g must be positive and finite", lambda0)
+		return fmt.Errorf("core: lambda0 %g must be positive and finite", lambda0)
 	}
 	if len(ops) == 0 {
-		return nil, errors.New("core: no operators")
+		return errors.New("core: no operators")
 	}
 	for i, op := range ops {
 		if op.Lambda < 0 || math.IsNaN(op.Lambda) || math.IsInf(op.Lambda, 0) {
-			return nil, fmt.Errorf("core: operator %d (%s): lambda %g invalid", i, op.Name, op.Lambda)
+			return fmt.Errorf("core: operator %d (%s): lambda %g invalid", i, op.Name, op.Lambda)
 		}
 		if op.Mu <= 0 || math.IsNaN(op.Mu) || math.IsInf(op.Mu, 0) {
-			return nil, fmt.Errorf("core: operator %d (%s): mu %g invalid", i, op.Name, op.Mu)
+			return fmt.Errorf("core: operator %d (%s): mu %g invalid", i, op.Name, op.Mu)
 		}
 	}
-	m := &Model{lambda0: lambda0, ops: append([]OpRates(nil), ops...)}
-	return m, nil
+	m.lambda0 = lambda0
+	m.ops = append(m.ops[:0], ops...)
+	return nil
 }
 
 // NewModelFromTopology derives a model from a topology description: the
@@ -151,7 +166,14 @@ func (m *Model) LowerBound() float64 {
 // MinAllocation returns the smallest stable allocation (k_i = ⌊λ_i/µ_i⌋+1
 // per operator) and its total.
 func (m *Model) MinAllocation() ([]int, int, error) {
-	k := make([]int, len(m.ops))
+	return m.minAllocationInto(nil)
+}
+
+// minAllocationInto is MinAllocation writing into buf when it has the
+// capacity — the controller's per-round path, which reuses one vector
+// across rounds instead of allocating.
+func (m *Model) minAllocationInto(buf []int) ([]int, int, error) {
+	k := resizeInts(buf, len(m.ops))
 	total := 0
 	for i, op := range m.ops {
 		ki, err := queueing.MinStableServers(op.Lambda, op.Mu)
@@ -162,6 +184,15 @@ func (m *Model) MinAllocation() ([]int, int, error) {
 		total += ki
 	}
 	return k, total, nil
+}
+
+// resizeInts returns buf resized to n, reallocating only when the capacity
+// is short.
+func resizeInts(buf []int, n int) []int {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]int, n)
 }
 
 // marginalBenefit is δ_i of Algorithm 1 line 9: λ_i·(E[T_i](k_i) −

@@ -17,6 +17,20 @@ type BatchSource interface {
 	PopBatch(done <-chan struct{}, buf []Values) (batch []Values, ok bool)
 }
 
+// AckBatchSource is a BatchSource that also wants to know when each
+// popped batch has been fully processed — the durable ingest path, where
+// the completion callback advances the WAL ack watermark. A source
+// implementing it is drained through PopBatchAcked and each batch is
+// injected via SpoutContext.EmitBatchAcked.
+type AckBatchSource interface {
+	BatchSource
+	// PopBatchAcked is PopBatch returning additionally the completion
+	// callback for the popped batch; the spout hands it to
+	// EmitBatchAcked. ack may be nil for a batch that needs no
+	// completion tracking.
+	PopBatchAcked(done <-chan struct{}, buf []Values) (batch []Values, ack func(), ok bool)
+}
+
 // NetworkSpout adapts a BatchSource to the Spout interface: it drains the
 // source in batches and injects each batch through SpoutContext.EmitBatch,
 // so a whole network read's worth of tuples shares one clock stamp and one
@@ -37,9 +51,17 @@ func (s *NetworkSpout) Run(ctx SpoutContext) error {
 	if max <= 0 {
 		max = 256
 	}
+	acked, _ := s.Source.(AckBatchSource)
 	buf := make([]Values, 0, max)
 	for {
-		batch, ok := s.Source.PopBatch(ctx.Done(), buf)
+		var batch []Values
+		var ack func()
+		var ok bool
+		if acked != nil {
+			batch, ack, ok = acked.PopBatchAcked(ctx.Done(), buf)
+		} else {
+			batch, ok = s.Source.PopBatch(ctx.Done(), buf)
+		}
 		if !ok {
 			return nil
 		}
@@ -51,6 +73,10 @@ func (s *NetworkSpout) Run(ctx SpoutContext) error {
 				time.Sleep(time.Millisecond)
 			}
 		}
-		ctx.EmitBatch(batch)
+		if ack != nil {
+			ctx.EmitBatchAcked(batch, ack)
+		} else {
+			ctx.EmitBatch(batch)
+		}
 	}
 }

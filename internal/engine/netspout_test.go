@@ -93,6 +93,134 @@ func TestNetworkSpoutDeliversBatches(t *testing.T) {
 	}
 }
 
+// ackedChanSource wraps chanSource into an AckBatchSource: each popped
+// batch is assigned a consecutive seq range and the ack closure records
+// the completed ranges.
+type ackedChanSource struct {
+	*chanSource
+	mu        sync.Mutex
+	delivered uint64
+	completed []uint64 // end seq of each completed range, in ack order
+}
+
+func (s *ackedChanSource) PopBatchAcked(done <-chan struct{}, buf []Values) ([]Values, func(), bool) {
+	batch, ok := s.chanSource.PopBatch(done, buf)
+	if !ok {
+		return nil, nil, false
+	}
+	s.mu.Lock()
+	s.delivered += uint64(len(batch))
+	end := s.delivered
+	s.mu.Unlock()
+	return batch, func() {
+		s.mu.Lock()
+		s.completed = append(s.completed, end)
+		s.mu.Unlock()
+	}, true
+}
+
+// TestNetworkSpoutAckedBatches: a source implementing AckBatchSource is
+// drained through the acked path — every payload is processed exactly
+// once AND every popped batch's completion callback fires exactly once,
+// with the summed range sizes covering every delivered tuple.
+func TestNetworkSpoutAckedBatches(t *testing.T) {
+	src := &ackedChanSource{chanSource: newChanSource(1024)}
+	var processed atomic.Int64
+	topo, err := NewTopology().
+		Spout("net", 1, func(int) Spout { return &NetworkSpout{Source: src, MaxBatch: 16} }).
+		Bolt("count", 4, func(int) Bolt {
+			return BoltFunc(func(Tuple, Emit) error {
+				processed.Add(1)
+				return nil
+			})
+		}).
+		Shuffle("net", "count").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := topo.Start(RunConfig{Alloc: map[string]int{"count": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		src.ch <- Values{i}
+	}
+	src.close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		src.mu.Lock()
+		doneAll := len(src.completed) > 0 && src.completed[len(src.completed)-1] == n && src.delivered == n
+		// All ranges complete when the max completed end reaches n and
+		// every delivered range has acked.
+		var maxEnd uint64
+		for _, e := range src.completed {
+			if e > maxEnd {
+				maxEnd = e
+			}
+		}
+		doneAll = src.delivered == n && maxEnd == n
+		src.mu.Unlock()
+		if doneAll {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("acked ranges never covered all %d tuples (delivered %d)", n, src.delivered)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := run.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := processed.Load(); got != n {
+		t.Fatalf("bolt processed %d tuples, want %d", got, n)
+	}
+	// Exactly one ack per popped batch: ends are unique.
+	seen := map[uint64]bool{}
+	for _, e := range src.completed {
+		if seen[e] {
+			t.Fatalf("range ending at %d acked twice", e)
+		}
+		seen[e] = true
+	}
+}
+
+// funcSpout adapts a closure to Spout for tests.
+type funcSpout struct{ fn func(ctx SpoutContext) error }
+
+func (s *funcSpout) Run(ctx SpoutContext) error { return s.fn(ctx) }
+
+// TestEmitBatchAckedEmptyBatch: an empty batch must fire done immediately.
+func TestEmitBatchAckedEmptyBatch(t *testing.T) {
+	topo, err := NewTopology().
+		Spout("s", 1, func(int) Spout {
+			return &funcSpout{fn: func(ctx SpoutContext) error {
+				fired := false
+				ctx.EmitBatchAcked(nil, func() { fired = true })
+				if !fired {
+					t.Error("EmitBatchAcked(nil) did not fire done synchronously")
+				}
+				<-ctx.Done()
+				return nil
+			}}
+		}).
+		Bolt("sink", 1, func(int) Bolt { return BoltFunc(func(Tuple, Emit) error { return nil }) }).
+		Shuffle("s", "sink").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := topo.Start(RunConfig{Alloc: map[string]int{"sink": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if err := run.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestNetworkSpoutStopsWithRun: a spout blocked on an idle source must
 // exit promptly when the run stops (the done-channel fallback).
 func TestNetworkSpoutStopsWithRun(t *testing.T) {

@@ -339,6 +339,38 @@ func (c *spoutCtx) EmitBatch(vs []Values) {
 	c.em.pushDests()
 }
 
+// EmitBatchAcked is EmitBatch with a per-batch completion callback: done
+// fires exactly once, after every root in the batch completes. The
+// countdown is installed at the batch size before the first root is
+// built, so a childless root completing inside its own seal cannot fire
+// early. If the run is already stopped the batch is dropped *without*
+// acking — an unprocessed record must never advance a durability
+// watermark; it will be replayed from the log on the next boot.
+func (c *spoutCtx) EmitBatchAcked(vs []Values, done func()) {
+	r := c.run
+	if len(vs) == 0 {
+		done()
+		return
+	}
+	if r.stopped.Load() {
+		return
+	}
+	b := &batchAck{done: done}
+	b.pending.Store(int64(len(vs)))
+	now := time.Now()
+	edges := r.spouts[c.spoutIdx].outEdges
+	r.roots.startN(c.shard, int64(len(vs)))
+	for _, v := range vs {
+		entry := r.timeouts.watch(now)
+		tree := newRootFor(r, now, entry)
+		tree.batch = b
+		c.em.beginRoot(tree)
+		c.em.emit(edges, v)
+		c.em.sealRoot(now)
+	}
+	c.em.pushDests()
+}
+
 // Done exposes the stop signal.
 func (c *spoutCtx) Done() <-chan struct{} { return c.run.done }
 

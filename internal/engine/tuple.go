@@ -30,6 +30,9 @@ type ackTree struct {
 	pending atomic.Int64
 	run     *Run
 	entry   *timeoutEntry
+	// batch, when non-nil, is the EmitBatchAcked countdown this root
+	// belongs to; completion decrements it (see batchAck).
+	batch *batchAck
 	// shard is a fixed rootLog shard, assigned once when the tree object
 	// is first allocated; distinct pool objects land on distinct shards,
 	// spreading concurrent completions across cache lines.
@@ -83,8 +86,28 @@ func (t *ackTree) complete(now time.Time) {
 	sojourn := now.Sub(t.arrived)
 	r.timeouts.resolve(t.entry, now)
 	r.roots.complete(t.shard, sojourn)
+	if b := t.batch; b != nil {
+		t.batch = nil
+		b.ack()
+	}
 	t.run, t.entry = nil, nil
 	treePool.Put(t)
+}
+
+// batchAck is the countdown behind EmitBatchAcked: pending is installed
+// at the batch size before any root can complete, and the last completing
+// root fires done. The non-batched paths never touch it — the only cost
+// they pay is complete's nil check.
+type batchAck struct {
+	pending atomic.Int64
+	done    func()
+}
+
+// ack resolves one root of the batch; the last one fires done.
+func (b *batchAck) ack() {
+	if b.pending.Add(-1) == 0 {
+		b.done()
+	}
 }
 
 // logShards is the shard count of the hot per-root counters (power of two).

@@ -43,6 +43,7 @@ import (
 
 	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/wal"
 )
 
 // ErrClosed is returned by Gate operations after Close.
@@ -141,6 +142,12 @@ type GateStats struct {
 	AdmitFraction, SustainableRate float64
 	// ScaleOutViable echoes the current Appendix-B guard verdict.
 	ScaleOutViable bool
+	// Replayed counts records re-injected from the WAL on boot (durable
+	// mode only).
+	Replayed int64
+	// Watermark is the completion tracker's contiguous ack watermark
+	// (durable mode only; 0 otherwise).
+	Watermark uint64
 }
 
 // Gate is the admission controller: clients offer records, the gate
@@ -161,6 +168,18 @@ type Gate struct {
 	planned struct {
 		lastAt time.Time
 	}
+
+	// Durable mode (see durable.go): a non-nil wal means Offer appends
+	// each admitted record to the log before acknowledging it, tracker
+	// turns engine batch completions into the contiguous ack watermark,
+	// and pendingReplay holds recovered unacked records until Replay.
+	// wal is an atomic pointer because Offer reads it lock-free; the
+	// remaining durable fields are guarded by mu.
+	wal           atomic.Pointer[wal.Log]
+	tracker       *wal.Tracker
+	lastWatermark uint64
+	pendingReplay []wal.Record
+	replayed      atomic.Int64
 
 	offered       atomic.Int64
 	admitted      atomic.Int64
@@ -355,6 +374,13 @@ func (g *Gate) Replan() {
 	for i, p := range AdmitPermilles(plan, weights, ids, rates) {
 		list[i].admitPermille.Store(p)
 	}
+
+	// Durable mode piggybacks watermark compaction on the replan cadence:
+	// one watermark frame and a retention sweep per round, off the admit
+	// fast path. Errors surface through the next SyncWatermark caller.
+	if g.wal.Load() != nil {
+		_ = g.SyncWatermark()
+	}
 }
 
 // AdmitPermilles distributes one plan's sustainable budget across
@@ -421,6 +447,8 @@ func (g *Gate) Stats() GateStats {
 		AdmitFraction:   g.admitFraction.load(),
 		SustainableRate: g.sustainableRate.load(),
 		ScaleOutViable:  g.scaleOutViable.Load(),
+		Replayed:        g.replayed.Load(),
+		Watermark:       g.Watermark(),
 	}
 }
 
@@ -501,6 +529,37 @@ func (c *Client) Offer(v engine.Values) Verdict {
 			g.intervalShed.Add(1)
 			return Verdict{Reason: ShedOverload, RetryAfter: g.cfg.RetryAfter}
 		}
+	}
+	if l := g.wal.Load(); l != nil {
+		// Durable admit: the WAL append must complete before the admitted
+		// verdict — the listener's ACK rides on it. The payload shape is
+		// checked before the push so a refusal leaves no orphan in the ring.
+		rec, ok := recordBytes(v)
+		if !ok {
+			c.shed.Add(1)
+			g.shedBacklog.Add(1)
+			g.intervalShed.Add(1)
+			return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+		}
+		seq, pushed := g.ring.tryPushSeq(v)
+		if !pushed {
+			c.shed.Add(1)
+			g.shedBacklog.Add(1)
+			g.intervalShed.Add(1)
+			return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+		}
+		if err := l.Append(seq, rec); err != nil {
+			// The record is in the ring and may process, but the client is
+			// NOT acknowledged — on its retry at-least-once may duplicate,
+			// never lose.
+			c.shed.Add(1)
+			g.shedBacklog.Add(1)
+			g.intervalShed.Add(1)
+			return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+		}
+		c.admitted.Add(1)
+		g.admitted.Add(1)
+		return Verdict{Admitted: true}
 	}
 	if !g.ring.TryPush(v) {
 		c.shed.Add(1)

@@ -20,6 +20,7 @@ type Ring struct {
 	buf    []engine.Values // power-of-two ring, fixed capacity
 	head   int             // index of the oldest item
 	n      int             // live item count
+	pushed uint64          // total successful pushes — the admission seq counter
 	closed bool
 	// notEmpty latches the empty->non-empty transition (and the close) for
 	// the consumer; capacity 1, non-blocking sends.
@@ -52,19 +53,48 @@ func (r *Ring) Len() int {
 // TryPush enqueues one payload without blocking. It returns false when the
 // ring is full (the backpressure signal) or closed.
 func (r *Ring) TryPush(v engine.Values) bool {
+	_, ok := r.tryPushSeq(v)
+	return ok
+}
+
+// tryPushSeq is TryPush returning the payload's admission sequence number
+// — the count of successful pushes, assigned under the ring lock so seq
+// order IS ring FIFO order. The durable gate logs each record under this
+// seq and the pop side reconstructs batch seq ranges by counting.
+func (r *Ring) tryPushSeq(v engine.Values) (uint64, bool) {
 	r.mu.Lock()
 	if r.closed || r.n == len(r.buf) {
 		r.mu.Unlock()
-		return false
+		return 0, false
 	}
 	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
 	r.n++
+	r.pushed++
+	seq := r.pushed
 	wake := r.n == 1
 	r.mu.Unlock()
 	if wake {
 		r.signal()
 	}
-	return true
+	return seq, true
+}
+
+// Pushed reports the total successful pushes — the high end of the
+// admission seq space. With every pushed seq completed (watermark ==
+// Pushed), nothing admitted is still in flight.
+func (r *Ring) Pushed() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pushed
+}
+
+// setPushed seeds the admission seq counter — crash recovery anchors it
+// at the recovered ack watermark so replayed pushes continue the logged
+// seq space. Call before any push.
+func (r *Ring) setPushed(n uint64) {
+	r.mu.Lock()
+	r.pushed = n
+	r.mu.Unlock()
 }
 
 func (r *Ring) signal() {

@@ -22,6 +22,7 @@
 package loop
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -184,6 +185,27 @@ type Config struct {
 	Logger *slog.Logger
 	// Clock defaults to the wall clock.
 	Clock Clock
+	// Resume seeds the supervisor from a persisted checkpoint of a prior
+	// process life: the round counter continues instead of restarting at
+	// zero, and any cooldown that was in force at capture time is
+	// re-imposed (capped at Cooldown) so a crash-restart cannot flap
+	// around the hysteresis the previous life had already earned. Nil
+	// means a cold start.
+	Resume *PersistedState
+}
+
+// PersistedState is the supervisor state worth carrying across a process
+// restart — captured by PersistedState(), persisted in the WAL
+// checkpoint, and fed back through Config.Resume on the next boot. The
+// measurement history is deliberately NOT persisted: after a restart the
+// workload must be re-measured, only the decision hysteresis carries
+// over.
+type PersistedState struct {
+	// Rounds is the completed control-round count.
+	Rounds int64 `json:"rounds"`
+	// CooldownRemaining is how much of an in-force cooldown was left at
+	// capture time.
+	CooldownRemaining time.Duration `json:"cooldown_remaining"`
 }
 
 // Event is one decision round that mattered: an applied action, a failed
@@ -255,6 +277,16 @@ type Supervisor struct {
 	histStart     int     // oldest event's index once the ring is full
 	rounds        int64
 	suppressing   map[string]bool // action kinds in an ongoing suppression episode
+	// allocBuf backs allocVector's result across rounds, and opsBuf /
+	// rawOpsBuf back the Ops slices of lastSnap / lastRawSnap (the
+	// measurer reuses its own snapshot storage, so the retained copy must
+	// be supervisor-owned). Ticks are serialized and every internal reader
+	// consumes these within its round, so reuse keeps the steady-state
+	// hold round allocation-free; the buffers are written only under mu,
+	// and LastSnapshot copies before handing anything out.
+	allocBuf  []int
+	opsBuf    []core.OpRates
+	rawOpsBuf []core.OpRates
 
 	runMu   sync.Mutex
 	stop    chan struct{}
@@ -309,13 +341,36 @@ func New(cfg Config) (*Supervisor, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = wallClock{}
 	}
-	return &Supervisor{
+	s := &Supervisor{
 		cfg:         cfg,
 		clock:       cfg.Clock,
 		log:         cfg.Logger,
 		fails:       newFailureTracker(cfg.FailureThreshold, cfg.FailureWindow, cfg.Logger),
 		suppressing: make(map[string]bool),
-	}, nil
+	}
+	if r := cfg.Resume; r != nil {
+		s.rounds = r.Rounds
+		if cd := r.CooldownRemaining; cd > 0 {
+			if cd > cfg.Cooldown {
+				cd = cfg.Cooldown
+			}
+			s.cooldownUntil = s.clock.Now().Add(cd)
+		}
+	}
+	return s, nil
+}
+
+// PersistedState captures the restart-worthy supervisor state (see the
+// type's doc). Safe to call concurrently with the running loop.
+func (s *Supervisor) PersistedState() PersistedState {
+	now := s.clock.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := PersistedState{Rounds: s.rounds}
+	if s.cooldownUntil.After(now) {
+		st.CooldownRemaining = s.cooldownUntil.Sub(now)
+	}
+	return st
 }
 
 // Start launches the wall-clock loop: one Tick every Interval until Stop.
@@ -433,6 +488,12 @@ func (s *Supervisor) Tick() {
 	}
 	s.mu.Lock()
 	s.lastSnap, s.lastRawSnap, s.haveSnap = snap, raw, true
+	// Re-point the retained snapshots at supervisor-owned storage: snap.Ops
+	// is the measurer's scratch, overwritten by its next Snapshot call.
+	s.opsBuf = append(s.opsBuf[:0], snap.Ops...)
+	s.lastSnap.Ops = s.opsBuf
+	s.rawOpsBuf = append(s.rawOpsBuf[:0], raw.Ops...)
+	s.lastRawSnap.Ops = s.rawOpsBuf
 	s.lastAllocTotal = sumInts(alloc)
 	s.mu.Unlock()
 	s.reportTenant(snap, shedFraction)
@@ -445,14 +506,20 @@ func (s *Supervisor) Tick() {
 		// allocation this round helps, so hold and re-measure next round —
 		// the admission gate sheds the excess in the meantime.
 		if errors.Is(err, core.ErrUnreachableTarget) || errors.Is(err, core.ErrInsufficientResources) {
-			s.log.Debug("target unreachable; holding", slog.Any("err", err))
+			if s.debugEnabled() {
+				s.log.Debug("target unreachable; holding", slog.Any("err", err))
+			}
 			return
 		}
 		s.log.Warn("controller step failed", slog.Any("err", err))
 		return
 	}
 	if d.Action == core.ActionNone {
-		s.log.Debug("holding", slog.String("reason", d.Reason))
+		// Gated so the steady-state hold round (this branch, every Tm
+		// forever) pays no attr-slice allocation when debug is off.
+		if s.debugEnabled() {
+			s.log.Debug("holding", slog.String("reason", d.Reason))
+		}
 		return
 	}
 	kind := d.Action.String()
@@ -748,6 +815,11 @@ func (s *Supervisor) syncLostSlots() {
 	s.mu.Unlock()
 }
 
+// debugEnabled reports whether the logger would emit debug records.
+func (s *Supervisor) debugEnabled() bool {
+	return s.log.Enabled(context.Background(), slog.LevelDebug)
+}
+
 // sumInts totals a slot vector.
 func sumInts(xs []int) int {
 	total := 0
@@ -840,18 +912,26 @@ func (s *Supervisor) appendLocked(ev Event) {
 	s.histStart = (s.histStart + 1) % len(s.history)
 }
 
-// allocVector reads the target's current allocation in operator order.
+// allocVector reads the target's current allocation in operator order. The
+// returned slice is scratch storage valid until the next allocVector call;
+// it is filled under mu so LastSnapshot's copy never races a refill.
 func (s *Supervisor) allocVector() ([]int, bool) {
 	m := s.cfg.Target.Allocation()
-	out := make([]int, len(s.cfg.Operators))
+	s.mu.Lock()
+	if cap(s.allocBuf) < len(s.cfg.Operators) {
+		s.allocBuf = make([]int, len(s.cfg.Operators))
+	}
+	out := s.allocBuf[:len(s.cfg.Operators)]
 	for i, name := range s.cfg.Operators {
 		n, ok := m[name]
 		if !ok {
+			s.mu.Unlock()
 			s.log.Warn("target allocation missing operator", slog.String("operator", name))
 			return nil, false
 		}
 		out[i] = n
 	}
+	s.mu.Unlock()
 	return out, true
 }
 
@@ -867,11 +947,16 @@ func (s *Supervisor) History() []Event {
 
 // LastSnapshot returns the most recent snapshot handed to the stepper —
 // a live view of λ̂0, per-operator rates and measured sojourn for
-// dashboards — and whether one exists yet.
+// dashboards — and whether one exists yet. The Ops and Alloc slices are
+// copies: the supervisor's own views live in scratch storage the next
+// round overwrites.
 func (s *Supervisor) LastSnapshot() (core.Snapshot, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.lastSnap, s.haveSnap
+	snap := s.lastSnap
+	snap.Ops = append([]core.OpRates(nil), snap.Ops...)
+	snap.Alloc = append([]int(nil), snap.Alloc...)
+	return snap, s.haveSnap
 }
 
 // Rounds reports how many control rounds have run (Ticks, not Observes).

@@ -865,3 +865,56 @@ func TestLiveEngine(t *testing.T) {
 		t.Fatal("no snapshot observed from live engine")
 	}
 }
+
+// TestResumeFromPersistedState: a supervisor seeded from a prior life's
+// checkpoint continues the round count and re-imposes the captured
+// cooldown, so a crash-restart cannot immediately flap; once the carried
+// cooldown elapses, decisions flow normally.
+func TestResumeFromPersistedState(t *testing.T) {
+	clock := newFakeClock()
+	target := &fakeTarget{alloc: map[string]int{"a": 1}}
+	stepper := &fakeStepper{d: core.Decision{
+		Action: core.ActionRebalance, Target: []int{2}, TargetKmax: 4, Reason: "scripted",
+	}}
+	sup, err := New(Config{
+		Target:    target,
+		Operators: []string{"a"},
+		Stepper:   stepper,
+		Pool:      FixedPool(4),
+		Source:    &fakeSource{snap: core.Snapshot{Lambda0: 1, Ops: []core.OpRates{{Lambda: 1, Mu: 10}}, Alloc: []int{1}, Kmax: 4}},
+		Interval:  10 * time.Second,
+		Cooldown:  40 * time.Second,
+		Clock:     clock,
+		Resume: &PersistedState{
+			Rounds: 42,
+			// Deliberately above Cooldown: the seed must be capped at it.
+			CooldownRemaining: time.Hour,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sup.Rounds(); got != 42 {
+		t.Fatalf("resumed Rounds() = %d, want 42", got)
+	}
+	// Within the carried cooldown: observe-only.
+	sup.Tick()
+	if n := target.rebalances(); n != 0 {
+		t.Fatalf("tick inside carried cooldown applied %d rebalances", n)
+	}
+	// Past the (capped) cooldown: the decision applies.
+	clock.advance(41 * time.Second)
+	sup.Tick()
+	if n := target.rebalances(); n != 1 {
+		t.Fatalf("tick after carried cooldown applied %d rebalances, want 1", n)
+	}
+	if got := sup.Rounds(); got != 44 {
+		t.Fatalf("Rounds() after two ticks = %d, want 44", got)
+	}
+	// Roundtrip: the freshly applied action started a new cooldown, which
+	// the next capture must carry.
+	st := sup.PersistedState()
+	if st.Rounds != 44 || st.CooldownRemaining <= 0 || st.CooldownRemaining > 40*time.Second {
+		t.Fatalf("PersistedState = %+v, want rounds 44 and a live cooldown <= 40s", st)
+	}
+}

@@ -99,6 +99,10 @@ type Measurer struct {
 	cv2s    []Smoother
 	sojourn Smoother
 	ready   bool
+
+	// snapOps backs the Ops slice of the snapshot Snapshot returns; reusing
+	// it keeps the supervisor's steady-state control round allocation-free.
+	snapOps []core.OpRates
 }
 
 // NewMeasurer validates the config and builds a measurer.
@@ -188,17 +192,26 @@ func (m *Measurer) AddInterval(rep IntervalReport) error {
 // Alloc and Kmax are the caller's to fill in (the measurer does not know
 // the scheduler state). It returns ErrNotReady until the first interval
 // and an error if any operator still lacks a service-rate estimate.
+//
+// The returned snapshot's Ops slice is scratch storage reused by the next
+// Snapshot call on the same measurer — it is the caller's until then, and
+// a caller retaining it longer must copy. The control loop consumes a
+// snapshot within its round, so the reuse makes the steady-state round
+// allocation-free without anyone copying.
 func (m *Measurer) Snapshot() (core.Snapshot, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.ready {
 		return core.Snapshot{}, ErrNotReady
 	}
+	if cap(m.snapOps) < len(m.cfg.OperatorNames) {
+		m.snapOps = make([]core.OpRates, len(m.cfg.OperatorNames))
+	}
 	s := core.Snapshot{
 		Lambda0:         m.lambda0.Value(),
 		OfferedLambda0:  m.offered.Value(),
 		MeasuredSojourn: m.sojourn.Value(),
-		Ops:             make([]core.OpRates, len(m.cfg.OperatorNames)),
+		Ops:             m.snapOps[:len(m.cfg.OperatorNames)],
 	}
 	for i, name := range m.cfg.OperatorNames {
 		if !m.mus[i].Ready() {

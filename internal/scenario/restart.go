@@ -1,0 +1,34 @@
+package scenario
+
+// Restart returns the canonical process-death scenario the `restart`
+// experiment golden-locks: one tenant whose flat base rate triples in a
+// two-minute flash crowd, and a scripted kill that lands mid-surge. The
+// kill is repurposed from machine churn to process death — machine 0 IS
+// the DRS node, so KindFail is the kill -9 moment and KindRecover the
+// restart — which is what lets the same spec grammar (and the same
+// fire-time event plumbing) script a WAL crash-recovery arc: the node
+// dies with a backlog of admitted-but-unprocessed records in its ring
+// and ACKed records beyond its last durable watermark, exactly the state
+// recovery must not lose.
+func Restart() Spec {
+	return Spec{
+		Name:            "restart",
+		Seed:            7,
+		DurationSeconds: 300,
+		Tenants: []TenantSpec{{
+			Name:     "ingest",
+			BaseRate: 4,
+			Surges: []SurgeSpec{
+				// The flash crowd: 3x for two minutes — offered rate rises
+				// past the drain capacity, so a ring backlog builds.
+				{From: 60, Until: 180, Factor: 3},
+			},
+		}},
+		Churn: ChurnSpec{Kills: []KillSpec{
+			// kill -9 at the surge's midpoint; the process is down for
+			// 20 s (clients see a dead front door), then restarts into
+			// recovery + replay while the surge still runs.
+			{Machine: 0, At: 120, Down: 20},
+		}},
+	}
+}

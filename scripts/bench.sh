@@ -17,7 +17,9 @@
 # (BenchmarkSchedulerArbitration), one degraded-pool arbitration with a
 # machine down (BenchmarkSchedulerFailover) and the sharded client
 # registry at a million token buckets (BenchmarkBucketShard — the
-# millions-of-users admission path).
+# millions-of-users admission path) and the group-commit WAL's amortized
+# per-record append at batch 64 (BenchmarkWALAppend — the durable admit
+# ACK path).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -30,7 +32,7 @@ if [ -z "$PR" ]; then
 fi
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard'
+PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard|BenchmarkWALAppend'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)"
 echo "$RAW"
