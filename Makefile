@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: test race bench build vet checkdoc test-fuzz serve-smoke restart-smoke
+.PHONY: test race bench build vet checkdoc test-fuzz serve-smoke restart-smoke worker-smoke
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ test:
 # WAL's concurrent appenders, the simulator and the scenario generator's
 # determinism properties, all under -race here exactly as in CI.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/... ./internal/wal/...
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/... ./internal/wal/... ./internal/worker/...
 
 # Native fuzzing smoke: a short budget per target keeps it CI-sized; raise
 # FUZZTIME locally for real hunting. Seed corpora live in each package's
@@ -35,6 +35,7 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseConfig -fuzztime $(FUZZTIME) ./internal/config
 	$(GO) test -run '^$$' -fuzz FuzzParseScenario -fuzztime $(FUZZTIME) ./internal/scenario
 	$(GO) test -run '^$$' -fuzz FuzzWALSegment -fuzztime $(FUZZTIME) ./internal/wal
+	$(GO) test -run '^$$' -fuzz FuzzWorkerFrame -fuzztime $(FUZZTIME) ./internal/worker
 
 # Boots `drsctl serve` on a loopback port, pushes a client burst through
 # the HTTP front door and asserts a 2xx/429 split (admitted + backpressure).
@@ -46,6 +47,13 @@ serve-smoke:
 # every ACKed-but-unprocessed record and the books balance.
 restart-smoke:
 	sh scripts/restart_smoke.sh
+
+# Boots `drsctl serve` with a worker tier plus two real `drsctl worker`
+# processes, kill -9s one worker mid-surge, and asserts live-process churn
+# invariants: both joins gate the front door, the death surfaces within
+# the lease, executors heal in-process, no admitted record is lost.
+worker-smoke:
+	sh scripts/worker_smoke.sh
 
 # Hot-path benchmarks -> BENCH_<PR>.json (see scripts/bench.sh). PR
 # defaults to the next point on the perf trajectory (highest existing

@@ -19,6 +19,8 @@
 //	drsctl -topology topo.json supervise -tmax-ms 500 -duration 30
 //	drsctl -topology topo.json supervise -kmax 8 -duration 30
 //	drsctl -topology topo.json serve -tmax-ms 500 -http 127.0.0.1:8080 -duration 60
+//	drsctl -topology topo.json serve -tmax-ms 500 -worker-listen 127.0.0.1:9090 -min-workers 2 ...
+//	drsctl -topology topo.json worker -connect 127.0.0.1:9090
 //	drsctl schedule -topologies api.json,batch.json -tmax-ms 500,900 -duration 30
 //
 // The topology file format:
@@ -77,7 +79,7 @@ func run(args []string) error {
 		return fmt.Errorf("-topology is required")
 	}
 	if fs.NArg() < 1 {
-		return fmt.Errorf("need a subcommand: model, recommend, simulate, supervise, serve, quantile or schedule")
+		return fmt.Errorf("need a subcommand: model, recommend, simulate, supervise, serve, worker, quantile or schedule")
 	}
 	topo, tf, err := loadTopology(*topoPath)
 	if err != nil {
@@ -100,6 +102,8 @@ func run(args []string) error {
 		return cmdSupervise(tf, rest)
 	case "serve":
 		return cmdServe(tf, rest)
+	case "worker":
+		return cmdWorker(tf, rest)
 	case "quantile":
 		return cmdQuantile(model, rest)
 	default:

@@ -10,6 +10,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"github.com/drs-repro/drs/internal/ingest"
 	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/wal"
+	"github.com/drs-repro/drs/internal/worker"
 )
 
 // serveInterrupts yields the channel cmdServe waits on for shutdown
@@ -55,6 +57,8 @@ func cmdServe(tf topoFile, args []string) error {
 	weights := fs.String("client-weights", "", "shedding weights per client id, e.g. gold=4,bronze=1")
 	seed := fs.Int64("seed", 1, "workload seed")
 	walDir := fs.String("wal-dir", "", "write-ahead log directory: durable admission (ACK after append) with crash-recovery replay on boot (empty = non-durable)")
+	workerListen := fs.String("worker-listen", "", "worker registration address: `drsctl worker` processes host executors over framed TCP (empty = all in-process)")
+	minWorkers := fs.Int("min-workers", 0, "workers to wait for before opening the ingest listeners")
 	verbose := fs.Bool("v", false, "log every loop event")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,6 +68,9 @@ func cmdServe(tf topoFile, args []string) error {
 	}
 	if *httpAddr == "" && *tcpAddr == "" {
 		return fmt.Errorf("need at least one listener: -http or -tcp")
+	}
+	if *minWorkers > 0 && *workerListen == "" {
+		return fmt.Errorf("-min-workers needs -worker-listen")
 	}
 	weightMap, err := parseWeights(*weights)
 	if err != nil {
@@ -244,6 +251,101 @@ func cmdServe(tf topoFile, args []string) error {
 		return err
 	}
 
+	// The worker tier: remote processes register here, lease a pool
+	// machine, and host executors over the framed shuttle. Machine fate
+	// and process fate are tied both ways — a lapsed heartbeat lease fails
+	// the pool machine, and a scripted pool Fail of a worker-backed
+	// machine severs the real connection.
+	var (
+		coord      *worker.Coordinator
+		workerL    net.Listener
+		placeNudge = make(chan struct{}, 1)
+	)
+	nudgePlacement := func() {
+		select {
+		case placeNudge <- struct{}{}:
+		default:
+		}
+	}
+	if *workerListen != "" {
+		var synthetic atomic.Int64 // ids past the pool when it is full
+		coord = worker.NewCoordinator(worker.CoordinatorConfig{
+			Seed: *seed,
+			Bind: func(name string, pid int) (int, error) {
+				lessee := fmt.Sprintf("%s/%d", name, pid)
+				for _, m := range pool.MachineList() {
+					if err := pool.BindWorker(m.ID, lessee); err != nil {
+						continue // already backed; try the next machine
+					}
+					if m.Failed {
+						// A replacement process re-backs the crashed
+						// machine: capacity returns with it.
+						_ = pool.Recover(m.ID)
+					}
+					return m.ID, nil
+				}
+				// Every pool machine is backed (or the pool is small right
+				// now): the worker still joins, on an id beyond the pool.
+				return int(1000 + synthetic.Add(1)), nil
+			},
+			OnJoin: func(machine int) {
+				fmt.Printf("worker tier: machine %d joined\n", machine)
+				nudgePlacement()
+			},
+			OnDeath: func(machine int) {
+				pool.UnbindWorker(machine)
+				// A dead worker is a dead machine; ignore the error for
+				// synthetic ids and machines the pool already failed.
+				_ = pool.Fail(machine)
+				fmt.Printf("worker tier: machine %d died, executors heal local\n", machine)
+				nudgePlacement()
+			},
+		})
+		pool.AddChurnListener(func(ev cluster.ChurnEvent) {
+			if ev.Kind == "machine-fail" {
+				coord.DropWorker(ev.Machine)
+			}
+			nudgePlacement()
+		})
+		workerL, err = net.Listen("tcp", *workerListen)
+		if err != nil {
+			return err
+		}
+		go coord.Serve(workerL)
+		fmt.Printf("worker registration on %s\n", workerL.Addr())
+		if *minWorkers > 0 {
+			if err := coord.WaitWorkers(*minWorkers, 60*time.Second); err != nil {
+				return err
+			}
+		}
+	}
+	// Placement re-application: every control interval (and on every join,
+	// death or churn event) the engine's current allocation is spread over
+	// the live workers, slotsPerMachine executors each, remainder local.
+	// Idempotent bindings make the steady-state pass a no-op; after a
+	// Rebalance (which rebuilds executors local) the next pass pushes them
+	// back out.
+	stopPlace := make(chan struct{})
+	placeDone := make(chan struct{})
+	if coord != nil {
+		go func() {
+			defer close(placeDone)
+			tick := time.NewTicker(time.Duration(*intervalMS) * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopPlace:
+					return
+				case <-tick.C:
+				case <-placeNudge:
+				}
+				applyWorkerPlacement(run, coord, *slots)
+			}
+		}()
+	} else {
+		close(placeDone)
+	}
+
 	// Replay the recovered unacked records through the now-running spout
 	// BEFORE the listeners open: replayed and fresh traffic never
 	// interleave, and every re-injected record is already in the log.
@@ -353,6 +455,14 @@ func cmdServe(tf topoFile, args []string) error {
 	}
 	time.Sleep(100 * time.Millisecond)
 	sup.Stop()
+	close(stopPlace)
+	<-placeDone
+	if coord != nil {
+		// Workers last: they participate in the drain above; any batch
+		// still in flight when the shuttles close replays in-process.
+		workerL.Close()
+		coord.Close()
+	}
 	close(stopCkpt)
 	<-ckptDone
 
@@ -379,6 +489,10 @@ func cmdServe(tf topoFile, args []string) error {
 	completions, meanSojourn := run.Completions()
 	fmt.Printf("engine: %d completions, mean sojourn %.1f ms, final alloc %v, %d machines\n",
 		completions, meanSojourn.Seconds()*1e3, run.Allocation(), pool.Machines())
+	if coord != nil {
+		fmt.Printf("worker tier: %d executor failure(s) healed, %d replay(s)\n",
+			run.ExecutorFailures(), run.Replayed())
+	}
 	fmt.Printf("\n%d control rounds, decision history:\n", sup.Rounds())
 	events := sup.History()
 	if len(events) == 0 {

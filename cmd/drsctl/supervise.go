@@ -159,14 +159,14 @@ func cmdSupervise(tf topoFile, args []string) error {
 	return nil
 }
 
-// addLiveOperators declares the topology file's operators as live bolts —
-// each busies an exponential service time per tuple, with a named stream
-// per edge so each edge applies its own selectivity independently — plus
-// the inter-operator edges. It returns the operator names in file order
-// and the initial allocation map. Shared by `supervise` (which adds
-// Poisson spouts for the external rates) and `serve` (which feeds the
-// entry operator from the network ingest tier instead).
-func addLiveOperators(b *engine.TopologyBuilder, tf topoFile, initial []int, tasks int, seed int64) ([]string, map[string]int) {
+// liveOperatorFactories builds the per-operator bolt factories the live
+// commands share: each bolt busies an exponential service time per tuple
+// and forwards on a named stream per edge so each edge applies its own
+// selectivity independently. The factories are pure functions of (file,
+// seed), which is the whole point — `drsctl worker` calls this with the
+// seed from the coordinator's welcome and hosts instances bit-identical
+// to the ones the serve process would have built in-process.
+func liveOperatorFactories(tf topoFile, seed int64) map[string]engine.BoltFactory {
 	type outEdge struct {
 		stream      string
 		selectivity float64
@@ -175,15 +175,12 @@ func addLiveOperators(b *engine.TopologyBuilder, tf topoFile, initial []int, tas
 	for i, e := range tf.Edges {
 		outs[e.From] = append(outs[e.From], outEdge{stream: fmt.Sprintf("e%d", i), selectivity: e.Selectivity})
 	}
-	names := make([]string, len(tf.Operators))
-	alloc := make(map[string]int, len(tf.Operators))
+	factories := make(map[string]engine.BoltFactory, len(tf.Operators))
 	for i, op := range tf.Operators {
 		op := op
-		names[i] = op.Name
-		alloc[op.Name] = initial[i]
 		edges := outs[op.Name]
 		taskSeed := seed + int64(i)*1009
-		b.Bolt(op.Name, tasks, func(task int) engine.Bolt {
+		factories[op.Name] = func(task int) engine.Bolt {
 			rng := rand.New(rand.NewSource(taskSeed + int64(task)))
 			return engine.BoltFunc(func(_ engine.Tuple, emit engine.Emit) error {
 				time.Sleep(time.Duration(rng.ExpFloat64() / op.ServiceRate * float64(time.Second)))
@@ -199,7 +196,25 @@ func addLiveOperators(b *engine.TopologyBuilder, tf topoFile, initial []int, tas
 				}
 				return nil
 			})
-		})
+		}
+	}
+	return factories
+}
+
+// addLiveOperators declares the topology file's operators as live bolts
+// (via liveOperatorFactories) plus the inter-operator edges. It returns
+// the operator names in file order and the initial allocation map. Shared
+// by `supervise` (which adds Poisson spouts for the external rates) and
+// `serve` (which feeds the entry operator from the network ingest tier
+// instead).
+func addLiveOperators(b *engine.TopologyBuilder, tf topoFile, initial []int, tasks int, seed int64) ([]string, map[string]int) {
+	factories := liveOperatorFactories(tf, seed)
+	names := make([]string, len(tf.Operators))
+	alloc := make(map[string]int, len(tf.Operators))
+	for i, op := range tf.Operators {
+		names[i] = op.Name
+		alloc[op.Name] = initial[i]
+		b.Bolt(op.Name, tasks, factories[op.Name])
 	}
 	for i, e := range tf.Edges {
 		b.ShuffleOn(fmt.Sprintf("e%d", i), e.From, e.To)

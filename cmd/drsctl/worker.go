@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/worker"
+)
+
+// workerInterrupts yields the channel cmdWorker waits on for shutdown
+// signals; a package var so tests can inject one.
+var workerInterrupts = func() <-chan os.Signal {
+	c := make(chan os.Signal, 1)
+	signal.Notify(c, os.Interrupt, syscall.SIGTERM)
+	return c
+}
+
+// cmdWorker runs one worker daemon: it dials the serve process's
+// -worker-listen endpoint, registers, builds the topology file's bolt
+// factories from the seed in the welcome (so its instances are
+// bit-identical to the ones the serve process would host in-process), and
+// processes shuttled batches until the connection dies or a signal
+// arrives. Scaling out a `drsctl serve` node is now just starting more of
+// these on other machines.
+func cmdWorker(tf topoFile, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	connect := fs.String("connect", "", "serve process's -worker-listen address (required)")
+	name := fs.String("name", "", "worker name for diagnostics (default host-pid)")
+	retryFor := fs.Float64("retry-for", 10, "seconds to keep retrying the initial connect (serve may still be booting)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *connect == "" {
+		return fmt.Errorf("-connect is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	cfg := worker.Config{
+		Addr: *connect,
+		Name: *name,
+		Build: func(seed int64) (map[string]engine.BoltFactory, error) {
+			return liveOperatorFactories(tf, seed), nil
+		},
+	}
+	// The serve process and its workers race to boot; retry the dial until
+	// the registration endpoint is up.
+	var (
+		w        *worker.Worker
+		err      error
+		deadline = time.Now().Add(secondsDuration(*retryFor))
+	)
+	for {
+		w, err = worker.Dial(cfg)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("worker: connect %s: %w", *connect, err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	fmt.Printf("worker %q: registered as machine %d (pid %d, seed %d)\n",
+		*name, w.Machine(), os.Getpid(), w.Seed())
+
+	done := make(chan error, 1)
+	go func() { done <- w.Run() }()
+	select {
+	case sig := <-workerInterrupts():
+		fmt.Printf("worker %q: received %v, deregistering\n", *name, sig)
+		w.Close()
+		<-done
+		return nil
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("worker: connection lost: %w", err)
+		}
+		return nil
+	}
+}
+
+// applyWorkerPlacement spreads the run's current allocation over the live
+// workers, slotsPerMachine executors each in ascending machine order;
+// whatever the worker tier cannot absorb stays in-process. Re-applied
+// every control interval and on churn, so rebalances and worker deaths
+// converge back to the intended split without coordination.
+func applyWorkerPlacement(run *engine.Run, coord *worker.Coordinator, slotsPerMachine int) worker.BindingPlan {
+	machines := coord.Workers()
+	placement := make(map[int]int, len(machines))
+	for _, m := range machines {
+		placement[m] = slotsPerMachine
+	}
+	return worker.ApplyPlacement(run, run.Allocation(), placement, 0, coord.Remote)
+}

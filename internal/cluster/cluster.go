@@ -142,12 +142,14 @@ type machine struct {
 
 // Pool is the simulated machine pool. Safe for concurrent use.
 type Pool struct {
-	mu      sync.Mutex
-	cfg     PoolConfig
-	fleet   []machine // provisioned machines (live and failed), id order
-	nextID  int
-	history []Transition
-	churn   func(ChurnEvent) // called after mu is released
+	mu         sync.Mutex
+	cfg        PoolConfig
+	fleet      []machine // provisioned machines (live and failed), id order
+	nextID     int
+	history    []Transition
+	churn      func(ChurnEvent)   // owner subscriber, called after mu is released
+	churnExtra []func(ChurnEvent) // additional listeners (see AddChurnListener)
+	workers    map[int]string     // machine id -> registered worker process
 }
 
 // NewPool builds a pool with the given starting machine count.
@@ -193,13 +195,19 @@ func (p *Pool) Provisioned() int {
 
 // MachineList returns every provisioned machine's state, in ID order.
 func (p *Pool) MachineList() []MachineInfo {
+	return p.AppendMachineList(nil)
+}
+
+// AppendMachineList appends every machine's status to dst and returns the
+// extended slice — MachineList without the per-call allocation, for hot
+// callers (the scheduler's placement rebuild) that keep a scratch buffer.
+func (p *Pool) AppendMachineList(dst []MachineInfo) []MachineInfo {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]MachineInfo, len(p.fleet))
-	for i, m := range p.fleet {
-		out[i] = MachineInfo{ID: m.id, Failed: m.failed, Straggler: m.straggler}
+	for _, m := range p.fleet {
+		dst = append(dst, MachineInfo{ID: m.id, Failed: m.failed, Straggler: m.straggler})
 	}
-	return out
+	return dst
 }
 
 // LiveMachines returns the machines currently in service, in ID order —
@@ -255,10 +263,10 @@ func (p *Pool) Fail(id int) error {
 	before := p.liveLocked()
 	m.failed = true
 	p.history = append(p.history, Transition{Kind: "machine-fail", MachinesBefore: before, MachinesAfter: before - 1})
-	notify := p.churn
+	notify := p.notifiersLocked()
 	p.mu.Unlock()
-	if notify != nil {
-		notify(ChurnEvent{Kind: "machine-fail", Machine: id, LiveBefore: before, LiveAfter: before - 1})
+	for _, fn := range notify {
+		fn(ChurnEvent{Kind: "machine-fail", Machine: id, LiveBefore: before, LiveAfter: before - 1})
 	}
 	return nil
 }
@@ -279,10 +287,10 @@ func (p *Pool) Recover(id int) error {
 	before := p.liveLocked()
 	m.failed = false
 	p.history = append(p.history, Transition{Kind: "machine-recover", MachinesBefore: before, MachinesAfter: before + 1})
-	notify := p.churn
+	notify := p.notifiersLocked()
 	p.mu.Unlock()
-	if notify != nil {
-		notify(ChurnEvent{Kind: "machine-recover", Machine: id, LiveBefore: before, LiveAfter: before + 1})
+	for _, fn := range notify {
+		fn(ChurnEvent{Kind: "machine-recover", Machine: id, LiveBefore: before, LiveAfter: before + 1})
 	}
 	return nil
 }
@@ -299,6 +307,7 @@ func (p *Pool) Decommission(id int) error {
 				return fmt.Errorf("cluster: machine %d is live; scale in instead", id)
 			}
 			p.fleet = append(p.fleet[:i], p.fleet[i+1:]...)
+			delete(p.workers, id) // the machine is gone; so is its lease
 			return nil
 		}
 	}
@@ -319,14 +328,16 @@ func (p *Pool) SetStraggler(id int, on bool) error {
 	changed := m.straggler != on
 	m.straggler = on
 	live := p.liveLocked()
-	notify := p.churn
+	notify := p.notifiersLocked()
 	p.mu.Unlock()
-	if changed && notify != nil {
+	if changed {
 		kind := "straggler"
 		if !on {
 			kind = "straggler-clear"
 		}
-		notify(ChurnEvent{Kind: kind, Machine: id, LiveBefore: live, LiveAfter: live})
+		for _, fn := range notify {
+			fn(ChurnEvent{Kind: kind, Machine: id, LiveBefore: live, LiveAfter: live})
+		}
 	}
 	return nil
 }
@@ -441,6 +452,7 @@ func (p *Pool) releaseLocked(n int) {
 	drop := func(wantStraggler bool) bool {
 		for i := len(p.fleet) - 1; i >= 0; i-- {
 			if !p.fleet[i].failed && p.fleet[i].straggler == wantStraggler {
+				delete(p.workers, p.fleet[i].id)
 				p.fleet = append(p.fleet[:i], p.fleet[i+1:]...)
 				return true
 			}

@@ -1,10 +1,11 @@
 package cluster
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 )
@@ -207,6 +208,15 @@ type Scheduler struct {
 	placement []MachineUse   // per-machine slot use, rebuilt each arbitration
 	history   []SchedulerEvent
 	histStart int
+
+	// Arbitration scratch, reused call to call (guarded by mu) so the
+	// per-request decision path stays off the allocator: the
+	// priority-sorted tenant view shared by the floor pass and the
+	// preemption overlay, the per-claimant victim list, and the machine
+	// list the placement rebuild walks.
+	prioScratch   []*Tenant
+	victimScratch []*Tenant
+	machScratch   []MachineInfo
 }
 
 // NewScheduler validates the config, fills defaults, takes ownership of
@@ -297,6 +307,13 @@ type Tenant struct {
 	report     TenantReport
 	haveReport bool
 	released   bool
+
+	// Per-arbitration scratch (guarded by s.mu, meaningful only inside one
+	// arbitrateLocked call): the grant entering the arbitration and whether
+	// the preemption overlay took from this tenant — held on the tenant so
+	// the decision path needs no per-call maps.
+	prevGranted int
+	preempted   bool
 }
 
 // Register admits a tenant and grants its initial slots, growing the pool
@@ -402,10 +419,10 @@ func (s *Scheduler) recordLocked(ev SchedulerEvent) {
 // It returns the pool transition and whether the machine count changed.
 func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 	now := s.clock.Now()
-	before := make(map[*Tenant]int, len(s.tenants))
 	for _, t := range s.tenants {
-		before[t] = t.granted
+		t.prevGranted = t.granted
 		t.granted = 0
+		t.preempted = false
 	}
 
 	// Negotiate the machine pool to the aggregate demand, clamped to the
@@ -432,14 +449,16 @@ func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 	// Floors first: a tenant's MinSlots are off the fairness table, so a
 	// burst of competing demand can never starve an incumbent below its
 	// stable minimum. Priority then registration order decides who eats
-	// when even the floors exceed capacity.
-	floors := make([]*Tenant, len(s.tenants))
-	copy(floors, s.tenants)
-	sort.SliceStable(floors, func(i, j int) bool {
-		return floors[i].cfg.Priority > floors[j].cfg.Priority
+	// when even the floors exceed capacity. The priority-sorted view is
+	// shared with the preemption overlay below (same order: priority
+	// descending, registration order within a rank).
+	byPrio := append(s.prioScratch[:0], s.tenants...)
+	slices.SortStableFunc(byPrio, func(a, b *Tenant) int {
+		return cmp.Compare(b.cfg.Priority, a.cfg.Priority)
 	})
+	s.prioScratch = byPrio
 	free := capacity
-	for _, t := range floors {
+	for _, t := range byPrio {
 		floor := t.cfg.MinSlots
 		if floor > t.demand {
 			floor = t.demand
@@ -475,18 +494,17 @@ func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 	// transfer stays in force exactly as long as the claimant still
 	// reports a violation — and unwinds by itself the round after the
 	// violation clears.
-	preempted := make(map[*Tenant]bool)
-	s.preemptLocked(preempted)
+	s.preemptLocked(byPrio)
 
 	// Record the net per-tenant changes of this arbitration.
 	rebalance := s.cfg.Pool.Costs().Rebalance
 	for _, t := range s.tenants {
-		old := before[t]
+		old := t.prevGranted
 		switch {
 		case t.granted > old:
 			s.recordLocked(SchedulerEvent{At: now, Kind: "grant", Tenant: t.cfg.Name,
 				From: old, To: t.granted, Detail: fmt.Sprintf("demand %d", t.demand)})
-		case t.granted < old && preempted[t]:
+		case t.granted < old && t.preempted:
 			s.recordLocked(SchedulerEvent{At: now, Kind: "preempt", Tenant: t.cfg.Name,
 				From: old, To: t.granted, Pause: rebalance,
 				Detail: fmt.Sprintf("floor %d", t.cfg.MinSlots)})
@@ -520,7 +538,8 @@ func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 // Leased <= Capacity is an arbitration invariant, every granted slot finds
 // a machine.
 func (s *Scheduler) placeLocked() {
-	list := s.cfg.Pool.MachineList()
+	list := s.cfg.Pool.AppendMachineList(s.machScratch[:0])
+	s.machScratch = list
 	s.placement = s.placement[:0]
 	for pass := 0; pass < 2; pass++ { // healthy machines first, stragglers second
 		for _, m := range list {
@@ -546,7 +565,11 @@ func (s *Scheduler) placeLocked() {
 		reserved -= take
 	}
 	for _, t := range s.tenants {
-		t.placement = make(map[int]int, 2)
+		if t.placement == nil {
+			t.placement = make(map[int]int, 2)
+		} else {
+			clear(t.placement)
+		}
 		need := t.granted
 		for need > 0 && cursor < len(s.placement) {
 			row := &s.placement[cursor]
@@ -582,12 +605,10 @@ func (s *Scheduler) placeLocked() {
 // the next, both sides paying a pause each way. The ceiling only ratchets
 // up through fresh guard clearances, and it resets the moment the
 // claimant stops reporting a violation or its fair share covers it.
-func (s *Scheduler) preemptLocked(preempted map[*Tenant]bool) {
-	claimants := make([]*Tenant, len(s.tenants))
-	copy(claimants, s.tenants)
-	sort.SliceStable(claimants, func(i, j int) bool {
-		return claimants[i].cfg.Priority > claimants[j].cfg.Priority
-	})
+//
+// claimants is every tenant in priority-descending order (the arbitration's
+// shared sorted view); victims it takes from are flagged via t.preempted.
+func (s *Scheduler) preemptLocked(claimants []*Tenant) {
 	rebalance := s.cfg.Pool.Costs().Rebalance.Seconds()
 	window := s.cfg.CostWindow.Seconds()
 	for _, c := range claimants {
@@ -599,17 +620,18 @@ func (s *Scheduler) preemptLocked(preempted map[*Tenant]bool) {
 		// Victims: strictly lower priority, above their floor, cheapest
 		// marginal loss first (never a tenant that has not reported — a
 		// blind preemption could destabilize it).
-		victims := make([]*Tenant, 0, len(s.tenants))
+		victims := s.victimScratch[:0]
 		for _, v := range s.tenants {
 			if v.cfg.Priority < c.cfg.Priority && v.granted > v.cfg.MinSlots && v.haveReport {
 				victims = append(victims, v)
 			}
 		}
-		sort.SliceStable(victims, func(i, j int) bool {
-			if victims[i].cfg.Priority != victims[j].cfg.Priority {
-				return victims[i].cfg.Priority < victims[j].cfg.Priority
+		s.victimScratch = victims
+		slices.SortStableFunc(victims, func(a, b *Tenant) int {
+			if a.cfg.Priority != b.cfg.Priority {
+				return cmp.Compare(a.cfg.Priority, b.cfg.Priority)
 			}
-			return victims[i].report.ShrinkCost < victims[j].report.ShrinkCost
+			return cmp.Compare(a.report.ShrinkCost, b.report.ShrinkCost)
 		})
 		taken := 0
 		for _, v := range victims {
@@ -648,7 +670,7 @@ func (s *Scheduler) preemptLocked(preempted map[*Tenant]bool) {
 			v.granted -= take
 			c.granted += take
 			taken += take
-			preempted[v] = true
+			v.preempted = true
 		}
 		if taken > sticky {
 			s.preempts[c.cfg.Name] = taken

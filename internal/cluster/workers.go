@@ -1,0 +1,84 @@
+package cluster
+
+import "fmt"
+
+// Worker registration: the bridge between the pool's simulated machine
+// lifecycle and real worker processes. A machine id can be leased to one
+// worker process at a time; while the lease holds, the machine's fate and
+// the process's fate are tied in both directions — the serve wiring fails
+// the machine when the worker's heartbeat lease lapses, and kills the
+// worker's connection when the pool fails the machine (so a scripted
+// churn event revokes a real process's lease, not just a counter).
+
+// AddChurnListener registers an additional churn subscriber alongside the
+// OnChurn owner. Where OnChurn belongs to the Scheduler that arbitrates
+// the pool, extra listeners observe: the worker coordinator uses one to
+// revoke live worker connections when a worker-backed machine fails.
+// Listeners run after the transition is applied and outside the pool
+// lock, in registration order, after the OnChurn owner.
+func (p *Pool) AddChurnListener(fn func(ChurnEvent)) {
+	if fn == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.churnExtra = append(p.churnExtra, fn)
+}
+
+// notifiersLocked snapshots the owner subscriber plus the extra listeners
+// in invocation order. Callers fire them after releasing the pool lock.
+func (p *Pool) notifiersLocked() []func(ChurnEvent) {
+	out := make([]func(ChurnEvent), 0, 1+len(p.churnExtra))
+	if p.churn != nil {
+		out = append(out, p.churn)
+	}
+	return append(out, p.churnExtra...)
+}
+
+// BindWorker leases machine id to the named worker process. The machine
+// must be provisioned and unbound; binding a failed machine is allowed
+// (the caller typically Recovers it right after — a replacement process
+// re-backing a crashed machine).
+func (p *Pool) BindWorker(id int, worker string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.findLocked(id) == nil {
+		return fmt.Errorf("%w: id %d", ErrUnknownMachine, id)
+	}
+	if w, bound := p.workers[id]; bound {
+		return fmt.Errorf("cluster: machine %d already backed by worker %q", id, w)
+	}
+	if p.workers == nil {
+		p.workers = make(map[int]string)
+	}
+	p.workers[id] = worker
+	return nil
+}
+
+// UnbindWorker releases a machine's worker lease. Unknown or unbound ids
+// are a no-op: death paths race with decommissions, and both sides may
+// try to clean up the same lease.
+func (p *Pool) UnbindWorker(id int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.workers, id)
+}
+
+// WorkerFor reports the worker process backing a machine, if any.
+func (p *Pool) WorkerFor(id int) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	w, ok := p.workers[id]
+	return w, ok
+}
+
+// WorkerBindings snapshots the machine -> worker lease table.
+func (p *Pool) WorkerBindings() map[int]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[int]string, len(p.workers))
+	for id, w := range p.workers {
+		out[id] = w
+	}
+	return out
+}

@@ -46,28 +46,37 @@ func (r *Run) FailExecutor(bolt string, exec int) (replayed int, err error) {
 	if r.stopped.Load() {
 		return 0, ErrStopped
 	}
-	var br *boltRuntime
-	for _, b := range r.bolts {
-		if b.spec.name == bolt {
-			br = b
-			break
-		}
-	}
+	br := r.boltByName(bolt)
 	if br == nil {
-		return 0, fmt.Errorf("engine: unknown bolt %q", bolt)
+		return 0, errUnknownBolt(bolt)
 	}
 	old := br.route.Load()
 	if exec < 0 || exec >= len(old.execs) {
-		return 0, fmt.Errorf("engine: bolt %q: executor %d out of [0, %d)", bolt, exec, len(old.execs))
+		return 0, errExecRange(bolt, exec, len(old.execs))
 	}
 	victim := old.execs[exec]
-	// Install the replacement before crashing the victim, so an emitter
-	// that bounces off the closed queue finds the live successor on its
-	// very first route reload. The replacement inherits the victim's
-	// probe: its undrained arrivals/served counters survive the crash
-	// (the probe is concurrency-safe), so the measurer's λ̂ does not dip
-	// and the replayed tuples — already counted as arrivals once — are
-	// not re-counted.
+	before := r.replayed.Load()
+	// A crashed remote-bound executor recovers as a local goroutine: its
+	// transport's fate is unknown, and the placement layer re-binds once
+	// the worker proves live again.
+	r.swapExecutorLocked(br, exec, nil)
+	r.reapExecutorLocked(br, victim)
+	r.execFailures.Add(1)
+	return int(r.replayed.Load() - before), nil
+}
+
+// swapExecutorLocked installs a fresh executor — local when remote is nil,
+// a remote drain loop otherwise — at one route-table slot, returning the
+// displaced victim. The replacement is installed before the victim is
+// touched, so an emitter that bounces off a closing queue finds the live
+// successor on its very first route reload. The replacement inherits the
+// victim's probe: its undrained arrivals/served counters survive the swap
+// (the probe is concurrency-safe), so the measurer's λ̂ does not dip and
+// replayed tuples — already counted as arrivals once — are not re-counted.
+// Caller holds r.mu.
+func (r *Run) swapExecutorLocked(br *boltRuntime, exec int, remote RemoteExecutor) (victim *executor) {
+	old := br.route.Load()
+	victim = old.execs[exec]
 	replacement := &executor{
 		q:     newQueue(),
 		probe: victim.probe,
@@ -77,25 +86,48 @@ func (r *Run) FailExecutor(bolt string, exec int) (replayed int, err error) {
 	copy(rt.execs, old.execs)
 	rt.execs[exec] = replacement
 	r.execWG.Add(1)
-	go r.runExecutor(br, replacement)
+	if remote != nil {
+		replacement.remote = remote
+		replacement.sem = make(chan struct{}, RemoteInflight)
+		replacement.kill = make(chan struct{})
+		go r.runRemoteExecutor(br, replacement)
+	} else {
+		go r.runExecutor(br, replacement)
+	}
 	br.route.Store(rt)
-	// Crash: flip the kill switch, then close the queue and seize its
-	// backlog atomically. The victim stops at its current tuple boundary,
-	// replays its own in-progress remainder, and exits.
-	before := r.replayed.Load()
+	return victim
+}
+
+// reapExecutorLocked crashes a displaced executor and replays everything it
+// still held: flip the kill switch, close the queue and seize its backlog
+// atomically, release a remote drain loop parked on its in-flight window,
+// wait for the goroutine to exit, then re-deliver the backlog plus any
+// stranded items through the current route table. The victim stops at its
+// current tuple boundary — a crash does not get to finish its backlog.
+// Arrival probes are not re-counted on replay: the tuples arrived once
+// already, and inflating λ̂ would bias the next control decision. Caller
+// holds r.mu.
+func (r *Run) reapExecutorLocked(br *boltRuntime, victim *executor) {
 	victim.crashed.Store(true)
+	victim.killRemote()
 	backlog := victim.q.crashCapture()
 	<-victim.done
-	// Replay the captured queue backlog. Arrival probes are not
-	// re-counted: the tuples arrived once already, and inflating λ̂ would
-	// bias the next control decision.
+	backlog = append(backlog, victim.takeStranded()...)
 	for _, it := range backlog {
 		if !r.redeliverItem(br, it) {
 			it.tup.tree.ackLazy() // shutdown raced the crash
 		}
 	}
-	r.execFailures.Add(1)
-	return int(r.replayed.Load() - before), nil
+}
+
+// errUnknownBolt names a bolt the topology does not have.
+func errUnknownBolt(bolt string) error {
+	return fmt.Errorf("engine: unknown bolt %q", bolt)
+}
+
+// errExecRange reports an executor index outside a bolt's current set.
+func errExecRange(bolt string, exec, n int) error {
+	return fmt.Errorf("engine: bolt %q: executor %d out of [0, %d)", bolt, exec, n)
 }
 
 // replayRemainder re-delivers the unprocessed tail of a crashed

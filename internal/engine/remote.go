@@ -1,0 +1,360 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+)
+
+// Remote executor destinations. A bolt's route table normally points every
+// task at a local executor — a goroutine draining an in-process queue. This
+// file makes the destination pluggable: BindExecutor swaps any route-table
+// slot to a RemoteExecutor, a transport that ships tuple batches to an
+// executor hosted in another process (the worker daemon) and brings the
+// emitted children back. The serve-side engine keeps the whole ack story —
+// processing trees, root log, WAL watermark — so accounting is identical
+// whether an executor is a goroutine or a machine across the network:
+//
+//   - outbound: the drain loop pops the executor's queue exactly like the
+//     local hot loop, pins each batch (the tuples' trees stay resolvable),
+//     and hands it to the transport with a bounded in-flight window;
+//   - inbound: the transport's completion callback applies the remotely
+//     emitted children through a normal emitter (fork before enqueue, so a
+//     partial delivery can never complete a tree early) and acks each input
+//     tuple's tree — the same sequence runExecutor performs inline;
+//   - failure: a transport error replays the affected batch through the
+//     current route table (at-least-once, never ack-without-processing) and
+//     self-heals the binding by swapping in a local replacement, exactly the
+//     FailExecutor recovery path.
+//
+// Exactly-once applies at the engine's accounting layer (each tree resolves
+// once); the application-level guarantee stays at-least-once: a batch whose
+// result frame was lost re-executes, bounded by the in-flight window
+// (RemoteInflight batches of RemoteBatchCap tuples per executor).
+
+// RemoteBatchCap bounds how many tuples one ProcessBatch call carries.
+const RemoteBatchCap = 256
+
+// RemoteInflight bounds how many ProcessBatch calls may be awaiting their
+// completion callback per remote-bound executor. Together with
+// RemoteBatchCap it caps the duplicate window of a worker crash: at most
+// RemoteInflight × RemoteBatchCap tuples per executor can have been
+// processed remotely without their results applied, and only those can
+// re-execute after a replay.
+const RemoteInflight = 4
+
+// errRemoteProcess is recorded as a bolt's last error when a remote worker
+// reports tuple-processing failures in a result batch.
+var errRemoteProcess = errors.New("engine: remote executor reported processing errors")
+
+// RemoteItem is one tuple bound for a remote executor: the task index that
+// must process it (task-local bolt state lives with the worker) and the
+// tuple payload.
+type RemoteItem struct {
+	// Task is the destination task within the bolt.
+	Task int
+	// Values is the tuple payload.
+	Values Values
+}
+
+// RemoteResult is the outcome of one remotely processed batch.
+type RemoteResult struct {
+	// Emitted holds, per input item (index-aligned with the ProcessBatch
+	// items), the payloads that item's processing emitted, stream tags
+	// in-band as produced by Emit.To. It is valid only during the done
+	// callback: transports reuse their decode buffers across frames.
+	Emitted [][]Values
+	// Served, Sampled, BusyNanos and BusySqMicros are the executor-probe
+	// aggregates measured where the CPU burned — on the worker — folded
+	// into the serve-side probe so the measurer's service-time estimate
+	// reflects remote execution without the network in it.
+	Served, Sampled, BusyNanos, BusySqMicros int64
+	// Errors counts items whose Process call failed on the worker.
+	Errors int64
+}
+
+// RemoteExecutor ships tuple batches to an executor hosted outside this
+// process. Implementations must honor this contract:
+//
+//   - ProcessBatch either returns a non-nil error — then done is never
+//     called and the caller keeps the items — or returns nil and guarantees
+//     done is invoked exactly once, possibly before ProcessBatch returns and
+//     possibly on a different goroutine (a connection reader).
+//   - done callbacks issued by one transport are serialized (never two
+//     concurrently), and must not block indefinitely.
+//   - ProcessBatch must not block indefinitely: transports enforce their own
+//     write deadlines and fail pending batches when the peer dies.
+//   - items and the RemoteResult are borrowed: items may be reused by the
+//     caller after ProcessBatch returns (encode synchronously), and the
+//     result is valid only during the done call.
+//   - values must be comparable (implementations are pointers): the engine
+//     uses == to make BindExecutor idempotent.
+type RemoteExecutor interface {
+	ProcessBatch(bolt string, items []RemoteItem, done func(RemoteResult, error)) error
+}
+
+// StreamTagValue returns the in-band stream marker Emit.To prefixes to a
+// payload, so transports can reconstruct stream-tagged emissions when
+// decoding remote results.
+func StreamTagValue(stream string) any { return streamTag(stream) }
+
+// StreamTagString reports whether v is a stream marker and, if so, the
+// stream name — the encode-side counterpart of StreamTagValue.
+func StreamTagString(v any) (string, bool) {
+	t, ok := v.(streamTag)
+	return string(t), ok
+}
+
+// BindExecutor points one of a bolt's route-table slots at a remote
+// destination (or back at a local goroutine when remote is nil). The swap
+// reuses the crash-recovery machinery: the replacement is installed first,
+// inheriting the victim's probe, then the victim drains out and its backlog
+// replays onto the successor — so rebinding mid-traffic loses nothing.
+// Binding the executor to the RemoteExecutor value it already has is a
+// no-op. Note a Rebalance rebuilds a bolt's executors local; callers owning
+// a placement re-apply their bindings after every allocation change.
+func (r *Run) BindExecutor(bolt string, exec int, remote RemoteExecutor) error {
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped.Load() {
+		return ErrStopped
+	}
+	br := r.boltByName(bolt)
+	if br == nil {
+		return errUnknownBolt(bolt)
+	}
+	rt := br.route.Load()
+	if exec < 0 || exec >= len(rt.execs) {
+		return errExecRange(bolt, exec, len(rt.execs))
+	}
+	victim := rt.execs[exec]
+	if victim.remote == remote {
+		return nil
+	}
+	r.swapExecutorLocked(br, exec, remote)
+	r.reapExecutorLocked(br, victim)
+	return nil
+}
+
+// RemoteBound reports how many of a bolt's executors are currently bound to
+// remote destinations.
+func (r *Run) RemoteBound(bolt string) (int, error) {
+	for _, br := range r.bolts {
+		if br.spec.name != bolt {
+			continue
+		}
+		n := 0
+		for _, ex := range br.route.Load().execs {
+			if ex.remote != nil {
+				n++
+			}
+		}
+		return n, nil
+	}
+	return 0, errUnknownBolt(bolt)
+}
+
+// pinBatch pins the queue items of one in-flight remote batch — tree
+// references included — until the transport's done callback resolves them.
+// Pins recycle through a pool so the steady shuttle path allocates nothing.
+type pinBatch struct {
+	items []queueItem
+}
+
+var pinPool = sync.Pool{New: func() any {
+	return &pinBatch{items: make([]queueItem, 0, RemoteBatchCap)}
+}}
+
+func getPin() *pinBatch { return pinPool.Get().(*pinBatch) }
+
+func (p *pinBatch) put() {
+	clear(p.items)
+	p.items = p.items[:0]
+	pinPool.Put(p)
+}
+
+// runRemoteExecutor is the drain loop of a remote-bound executor: the same
+// popAll cadence as the local hot loop, but each batch ships through the
+// transport instead of a Process call. The in-flight window (sem) bounds
+// unacked batches; the kill channel unblocks the window wait when a reaper
+// needs this goroutine gone while the transport is wedged.
+func (r *Run) runRemoteExecutor(br *boltRuntime, ex *executor) {
+	defer r.execWG.Done()
+	defer close(ex.done)
+	// The emitter is touched only inside done callbacks, which the
+	// transport serializes; the drain loop itself never uses it.
+	em := newEmitter(r)
+	var spare []queueItem
+	items := make([]RemoteItem, RemoteBatchCap)
+	for {
+		ring, head, n, ok := ex.q.popAll(spare)
+		if !ok {
+			return
+		}
+		mask := len(ring) - 1
+		for base := 0; base < n; {
+			// A crash (reap) ends the drain at a batch boundary; the
+			// unsent remainder strands for the reaper to replay.
+			if ex.crashed.Load() {
+				ex.strandRing(ring, head+base, n-base)
+				return
+			}
+			cnt := n - base
+			if cnt > RemoteBatchCap {
+				cnt = RemoteBatchCap
+			}
+			select {
+			case ex.sem <- struct{}{}:
+			case <-ex.kill:
+				ex.strandRing(ring, head+base, n-base)
+				return
+			}
+			pin := getPin()
+			for i := 0; i < cnt; i++ {
+				it := ring[(head+base+i)&mask]
+				pin.items = append(pin.items, it)
+				items[i] = RemoteItem{Task: it.task, Values: it.tup.Values}
+			}
+			err := ex.remote.ProcessBatch(br.spec.name, items[:cnt], func(res RemoteResult, rerr error) {
+				defer func() { <-ex.sem }()
+				if rerr != nil {
+					r.replayPin(br, ex, pin)
+					return
+				}
+				r.applyRemote(br, em, ex, pin, res)
+			})
+			if err != nil {
+				<-ex.sem
+				// This batch was pinned but never handed off; it strands
+				// together with the ring remainder, and the binding
+				// self-heals to a local replacement.
+				ex.strandPin(pin)
+				ex.strandRing(ring, head+base+cnt, n-base-cnt)
+				r.failRemoteBinding(br, ex)
+				return
+			}
+			base += cnt
+		}
+		for i := 0; i < n; i++ {
+			ring[(head+i)&mask] = queueItem{}
+		}
+		spare = ring
+	}
+}
+
+// applyRemote applies one remote result batch: each input tuple's emitted
+// children route through a normal emitter (fork-before-enqueue preserved)
+// and its tree acks — the exact sequence the local hot loop performs inline
+// — then the worker-measured probe aggregates fold into the executor probe.
+func (r *Run) applyRemote(br *boltRuntime, em *emitter, ex *executor, pin *pinBatch, res RemoteResult) {
+	for i := range pin.items {
+		tree := pin.items[i].tup.tree
+		em.begin(tree)
+		if i < len(res.Emitted) {
+			for _, v := range res.Emitted[i] {
+				em.emit(br.outEdges, v)
+			}
+		}
+		em.flush()
+		tree.ackLazy()
+	}
+	if res.Errors > 0 {
+		br.errCount.Add(res.Errors)
+		held := errRemoteProcess
+		br.lastErr.Store(&held)
+	}
+	ex.probe.TuplesServed(res.Served, res.Sampled, res.BusyNanos, res.BusySqMicros)
+	pin.put()
+}
+
+// replayPin re-delivers a batch whose transport failed after handoff
+// through the bolt's current route table — the tuples may have been
+// processed remotely (the result was lost), so this is the at-least-once
+// re-execution window — and triggers the binding's self-heal.
+func (r *Run) replayPin(br *boltRuntime, ex *executor, pin *pinBatch) {
+	for _, it := range pin.items {
+		if !r.redeliverItem(br, it) {
+			it.tup.tree.ackLazy() // shutdown raced the failure
+		}
+	}
+	pin.put()
+	r.failRemoteBinding(br, ex)
+}
+
+// healReq asks for one failed remote binding to be swapped local and
+// reaped. Requests queue under their own lock so they can be filed while
+// r.mu is held (a quiescing Rebalance) and drained by whoever holds it.
+type healReq struct {
+	br *boltRuntime
+	ex *executor
+}
+
+// failRemoteBinding swaps a failed remote binding for a local replacement
+// and reaps the victim — FailExecutor's recovery, triggered by the
+// transport instead of injected. The request is queued (the trigger may be
+// a connection reader that must keep draining completion callbacks, or the
+// victim's own drain loop, which must exit before the reap can finish) and
+// filed at most once per executor; it is served by an async goroutine or,
+// when a quiescing Rebalance holds r.mu, by the quiesce loop itself — a
+// dead binding's backlog pins its tuple trees until the heal runs, so the
+// drain must be able to perform it. A concurrent Rebalance/BindExecutor
+// that already swapped the victim out wins, having reaped it itself.
+func (r *Run) failRemoteBinding(br *boltRuntime, ex *executor) {
+	ex.failOnce.Do(func() {
+		r.healMu.Lock()
+		r.healQ = append(r.healQ, healReq{br: br, ex: ex})
+		r.healMu.Unlock()
+		go func() {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			r.drainHealsLocked()
+		}()
+	})
+}
+
+// drainHealsLocked serves every queued remote-binding heal: install a
+// local replacement (unless the run is stopping) and reap the victim,
+// replaying its backlog. Each request is dequeued exactly once; a victim
+// that some other swap already removed from the route table needs nothing.
+// Caller holds r.mu.
+func (r *Run) drainHealsLocked() {
+	for {
+		r.healMu.Lock()
+		q := r.healQ
+		r.healQ = nil
+		r.healMu.Unlock()
+		if len(q) == 0 {
+			return
+		}
+		for _, h := range q {
+			rt := h.br.route.Load()
+			idx := -1
+			for i, e := range rt.execs {
+				if e == h.ex {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				continue // already swapped out and reaped
+			}
+			if !r.stopped.Load() {
+				r.swapExecutorLocked(h.br, idx, nil)
+			}
+			r.reapExecutorLocked(h.br, h.ex)
+			r.execFailures.Add(1)
+		}
+	}
+}
+
+// boltByName finds a bolt's runtime, or nil.
+func (r *Run) boltByName(bolt string) *boltRuntime {
+	for _, br := range r.bolts {
+		if br.spec.name == bolt {
+			return br
+		}
+	}
+	return nil
+}

