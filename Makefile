@@ -22,9 +22,11 @@ test:
 # randomized scheduler property test, the ingest gate's sharded-registry
 # and concurrent-clients-vs-shed-threshold-flips tests, the group-commit
 # WAL's concurrent appenders, the simulator and the scenario generator's
-# determinism properties, all under -race here exactly as in CI.
+# determinism properties, and the decision log's
+# deciders-vs-drainer-vs-scrape-vs-sampling-knob storm, all under -race
+# here exactly as in CI.
 race:
-	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/... ./internal/wal/... ./internal/worker/...
+	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/... ./internal/wal/... ./internal/worker/... ./internal/obs/...
 
 # Native fuzzing smoke: a short budget per target keeps it CI-sized; raise
 # FUZZTIME locally for real hunting. Seed corpora live in each package's
@@ -36,6 +38,7 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzParseScenario -fuzztime $(FUZZTIME) ./internal/scenario
 	$(GO) test -run '^$$' -fuzz FuzzWALSegment -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzWorkerFrame -fuzztime $(FUZZTIME) ./internal/worker
+	$(GO) test -run '^$$' -fuzz FuzzDecisionRecord -fuzztime $(FUZZTIME) ./internal/obs
 
 # Boots `drsctl serve` on a loopback port, pushes a client burst through
 # the HTTP front door and asserts a 2xx/429 split (admitted + backpressure).

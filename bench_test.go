@@ -22,6 +22,7 @@ import (
 	"github.com/drs-repro/drs/internal/ingest"
 	"github.com/drs-repro/drs/internal/loop"
 	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/obs"
 	"github.com/drs-repro/drs/internal/queueing"
 	"github.com/drs-repro/drs/internal/sim"
 	"github.com/drs-repro/drs/internal/stats"
@@ -732,6 +733,27 @@ func BenchmarkIngest(b *testing.B) {
 			}
 		}
 	})
+	b.Run("admit-logged", func(b *testing.B) {
+		// The same fast path with the decision log enabled: shed plans are
+		// emitted at Replan granularity, never per record, so this must
+		// match "admit" — the observability-cost table holds the receipt.
+		dlog := obs.NewLog(obs.Config{})
+		defer dlog.Close()
+		g := ingest.NewGate(ingest.GateConfig{RingCapacity: 1 << 12, DecisionLog: dlog})
+		c := g.Client("bench", 1, 0, 0)
+		done := make(chan struct{})
+		buf := make([]engine.Values, 0, 1<<12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if v := c.Offer(payload); !v.Admitted {
+				b.Fatalf("offer %d refused: %+v", i, v)
+			}
+			if i&(1<<11-1) == 1<<11-1 { // drain half-full, one lock round
+				g.Ring().PopBatch(done, buf)
+			}
+		}
+	})
 	b.Run("admit-ratelimited", func(b *testing.B) {
 		// The same path with a live token bucket (never empty): adds the
 		// clock read and the bucket mutex.
@@ -913,5 +935,216 @@ func BenchmarkWALAppend(b *testing.B) {
 			b.Fatal(err)
 		}
 		seq += batch
+	}
+}
+
+// BenchmarkDecisionLog measures the decision log's emit path — the cost a
+// decider pays per record. "emit" is the kept-record path (copy into a
+// ring slot under a shard mutex) with the drain amortized on the clock;
+// "emit-sampled" runs the 100-permille knob, the mixed kept/thinned
+// profile of a sampled deployment; "encode" is the drainer's canonical
+// NDJSON encoding of one full preemption record.
+func BenchmarkDecisionLog(b *testing.B) {
+	rec := obs.Record{
+		Kind: obs.KindPreempt, Tenant: "gold", Peer: "bronze",
+		From: 7, To: 6, Gain: 0.42, Loss: 0.17, Lambda0: 130, PeerLambda0: 80,
+		PauseNS: int64(3 * time.Second), Flag: true, Detail: "floor 4",
+	}
+	drop := func(*obs.Record) {}
+	b.Run("emit", func(b *testing.B) {
+		l := obs.NewLog(obs.Config{Shards: 4, ShardCapacity: 4096})
+		defer l.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Emit(&rec)
+			if i&2047 == 2047 { // drain well before overflow, on the clock
+				l.Sweep(drop)
+			}
+		}
+		if st := l.Stats(); st.Dropped != 0 {
+			b.Fatalf("ring overflowed: %d dropped", st.Dropped)
+		}
+	})
+	b.Run("emit-sampled", func(b *testing.B) {
+		l := obs.NewLog(obs.Config{Shards: 4, ShardCapacity: 4096, SamplePermille: 100})
+		defer l.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			l.Emit(&rec)
+			if i&8191 == 8191 {
+				l.Sweep(drop)
+			}
+		}
+		if st := l.Stats(); st.Dropped != 0 {
+			b.Fatalf("ring overflowed: %d dropped", st.Dropped)
+		}
+	})
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, 512)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = obs.AppendRecord(buf[:0], &rec)
+		}
+		if len(buf) == 0 {
+			b.Fatal("empty encoding")
+		}
+	})
+}
+
+// BenchmarkMetricsScrape measures one full /metrics exposition render over
+// a serve-sized registry: ~30 live-read series (gate, engine, per-bolt,
+// WAL, worker, lease families) plus two populated histograms — the cost a
+// Prometheus scrape interval charges the daemon.
+func BenchmarkMetricsScrape(b *testing.B) {
+	reg := obs.NewRegistry()
+	var ctr atomic.Int64
+	read := func() float64 { return float64(ctr.Load()) }
+	families := []string{
+		"drs_gate_offered_total", "drs_gate_admitted_total",
+		"drs_engine_roots_started_total", "drs_engine_roots_completed_total",
+		"drs_engine_sojourn_seconds_total", "drs_engine_executor_failures_total",
+		"drs_engine_replayed_total", "drs_loop_rounds_total",
+		"drs_wal_tail_seq", "drs_wal_watermark",
+		"drs_worker_joins_total", "drs_worker_deaths_total",
+		"drs_decision_log_offered_total", "drs_decision_log_dropped_total",
+	}
+	for _, name := range families {
+		reg.Func(name, "bench series", obs.Counter, "", read)
+	}
+	bolts := []string{"extract", "transform", "match", "rank", "aggregate", "sink"}
+	for _, bolt := range bolts {
+		reg.Func("drs_engine_bolt_arrivals_total", "bench series", obs.Counter, `bolt="`+bolt+`"`, read)
+		reg.Func("drs_engine_bolt_served_total", "bench series", obs.Counter, `bolt="`+bolt+`"`, read)
+	}
+	reg.Func("drs_gate_shed_total", "bench series", obs.Counter, `reason="rate-limit"`, read)
+	reg.Func("drs_gate_shed_total", "bench series", obs.Counter, `reason="overload"`, read)
+	reg.Func("drs_gate_shed_total", "bench series", obs.Counter, `reason="backlog"`, read)
+	soj := reg.Histogram("drs_tenant_sojourn_seconds", "bench histogram",
+		[]float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}, `tenant="bench"`)
+	frac := reg.Histogram("drs_tenant_shed_fraction", "bench histogram",
+		[]float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9}, `tenant="bench"`)
+	for i := 0; i < 10000; i++ {
+		soj.Observe(float64(i%997) / 400)
+		frac.Observe(float64(i%89) / 100)
+	}
+	buf := make([]byte, 0, 1<<15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctr.Add(1) // counters move between scrapes, as in production
+		buf = reg.Write(buf[:0])
+	}
+	b.StopTimer()
+	if len(buf) == 0 {
+		b.Fatal("empty exposition")
+	}
+}
+
+// BenchmarkSupervisorTickLogged is BenchmarkSupervisorTick with the full
+// observability stack attached — decision log wired, per-tenant sojourn
+// and shed-fraction histograms observed every round. EXPERIMENTS.md's
+// observability-cost table pairs this with the bare run; the delta is the
+// price of an auditable control plane (steady-state holds emit nothing,
+// so it must stay near zero).
+func BenchmarkSupervisorTickLogged(b *testing.B) {
+	names := []string{"extract", "match", "aggregate"}
+	target := &benchTarget{
+		alloc: map[string]int{"extract": 10, "match": 11, "aggregate": 1},
+		rep: metrics.IntervalReport{
+			Duration:         10 * time.Second,
+			ExternalArrivals: 130,
+			Ops: []metrics.OpInterval{
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.45 * float64(time.Second))},
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.50 * float64(time.Second))},
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.01 * float64(time.Second))},
+			},
+			SojournCount: 120,
+			SojournTotal: 120 * time.Second,
+		},
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{Mode: core.ModeMinLatency, Kmax: 22, MinGain: 0.05})
+	if err != nil {
+		b.Fatal(err)
+	}
+	dlog := obs.NewLog(obs.Config{})
+	defer dlog.Close()
+	reg := obs.NewRegistry()
+	sup, err := loop.New(loop.Config{
+		Target:      target,
+		Operators:   names,
+		Stepper:     ctrl,
+		Pool:        loop.FixedPool(22),
+		Interval:    10 * time.Second,
+		Cooldown:    time.Nanosecond, // decide every round: measure the full path
+		Tenant:      "bench",
+		DecisionLog: dlog,
+		Sojourn:     reg.Histogram("soj", "bench", []float64{0.1, 1}, `tenant="bench"`),
+		ShedFrac:    reg.Histogram("shed", "bench", []float64{0.1, 0.5}, `tenant="bench"`),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sup.Tick()
+	}
+}
+
+// BenchmarkSchedulerArbitrationLogged is BenchmarkSchedulerArbitration
+// with the decision log wired: every grant change, preemption (with its
+// Appendix-B verdict inputs) and shrink now emits a record, drained on
+// the clock. The delta over the bare run is what audit costs the
+// arbitration path.
+func BenchmarkSchedulerArbitrationLogged(b *testing.B) {
+	dlog := obs.NewLog(obs.Config{Shards: 4, ShardCapacity: 8192})
+	defer dlog.Close()
+	pool, err := cluster.NewPool(cluster.PoolConfig{SlotsPerMachine: 8, MaxMachines: 8}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool, DecisionLog: dlog})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tenants := make([]*cluster.Tenant, 8)
+	for i := range tenants {
+		t, err := sched.Register(cluster.TenantConfig{
+			Name:     string(rune('a' + i)),
+			Weight:   float64(i%3 + 1),
+			Priority: i % 2,
+			MinSlots: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		t.Report(cluster.TenantReport{
+			Lambda0:     10,
+			Violating:   i%2 == 1,
+			GrowBenefit: float64(i),
+			ShrinkCost:  0.5,
+		})
+		tenants[i] = t
+	}
+	for _, t := range tenants {
+		if _, err := t.Resize(12); err != nil && !errors.Is(err, cluster.ErrNoCapacity) {
+			b.Fatal(err)
+		}
+	}
+	drop := func(*obs.Record) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tenants[i%len(tenants)].Resize(12 + i%2); err != nil && !errors.Is(err, cluster.ErrNoCapacity) {
+			b.Fatal(err)
+		}
+		if i&511 == 511 { // drain well before overflow, on the clock
+			dlog.Sweep(drop)
+		}
+	}
+	b.StopTimer()
+	if st := dlog.Stats(); st.Dropped != 0 {
+		b.Fatalf("ring overflowed: %d dropped", st.Dropped)
 	}
 }

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"fmt"
+
+	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/ingest"
+	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/obs"
+	"github.com/drs-repro/drs/internal/wal"
+	"github.com/drs-repro/drs/internal/worker"
+)
+
+// sojournBounds are the bucket boundaries (seconds) for the per-tenant
+// sojourn histogram: sub-millisecond through multi-second, matching the
+// latency range the experiments sweep.
+var sojournBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
+
+// shedFracBounds are the bucket boundaries for the per-tenant shed
+// fraction histogram (dimensionless, 0..1).
+var shedFracBounds = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9}
+
+// serveMetrics is the serve daemon's exposition state: the registry the
+// /metrics handler scrapes and the per-tenant histograms the control loop
+// observes into. Built in two steps because the histograms must exist
+// before loop.New while most scrape sources exist only after.
+type serveMetrics struct {
+	reg      *obs.Registry
+	sojourn  *obs.Histogram
+	shedFrac *obs.Histogram
+}
+
+// newServeMetrics creates the registry and the per-tenant histograms that
+// loop.Config needs up front.
+func newServeMetrics(tenant string) *serveMetrics {
+	reg := obs.NewRegistry()
+	tl := fmt.Sprintf("tenant=%q", tenant)
+	return &serveMetrics{
+		reg: reg,
+		sojourn: reg.Histogram("drs_tenant_sojourn_seconds",
+			"Measured mean sojourn per control round, by tenant.", sojournBounds, tl),
+		shedFrac: reg.Histogram("drs_tenant_shed_fraction",
+			"Shed fraction per control round, by tenant.", shedFracBounds, tl),
+	}
+}
+
+// register wires every serve-side metric family against the live
+// components. Nil components (no WAL, no worker tier, no decision log)
+// skip their families, so the exposition always reflects what is actually
+// running. All reads go through the components' own thread-safe accessors
+// at scrape time.
+func (m *serveMetrics) register(gate *ingest.Gate, run *engine.Run, bolts []string,
+	sup *loop.Supervisor, lease *cluster.Tenant, pool *cluster.Pool,
+	walLog *wal.Log, coord *worker.Coordinator, dlog *obs.Log) {
+	reg := m.reg
+
+	// Admission gate: offered/admitted and the shed split are cumulative
+	// counters; the plan echoes are gauges.
+	reg.Func("drs_gate_offered_total", "Records clients presented to the admission gate.",
+		obs.Counter, "", func() float64 { return float64(gate.Stats().Offered) })
+	reg.Func("drs_gate_admitted_total", "Records admitted into the ingest ring.",
+		obs.Counter, "", func() float64 { return float64(gate.Stats().Admitted) })
+	reg.Func("drs_gate_shed_total", "Records refused by the gate, by reason.",
+		obs.Counter, `reason="rate-limit"`, func() float64 { return float64(gate.Stats().ShedRateLimit) })
+	reg.Func("drs_gate_shed_total", "Records refused by the gate, by reason.",
+		obs.Counter, `reason="overload"`, func() float64 { return float64(gate.Stats().ShedOverload) })
+	reg.Func("drs_gate_shed_total", "Records refused by the gate, by reason.",
+		obs.Counter, `reason="backlog"`, func() float64 { return float64(gate.Stats().ShedBacklog) })
+	reg.Func("drs_gate_admit_fraction", "Admit fraction of the current shed plan.",
+		obs.Gauge, "", func() float64 { return gate.Stats().AdmitFraction })
+	reg.Func("drs_gate_sustainable_rate", "Sustainable rate (records/s) of the current shed plan.",
+		obs.Gauge, "", func() float64 { return gate.Stats().SustainableRate })
+	reg.Func("drs_gate_scale_out_viable", "Whether the Appendix-B guard says scale-out beats shedding (1/0).",
+		obs.Gauge, "", func() float64 {
+			if gate.Stats().ScaleOutViable {
+				return 1
+			}
+			return 0
+		})
+
+	// Engine: root-tuple books and the per-bolt cumulative counters the
+	// DrainInterval folds (probe resets on rebalance do not zero these).
+	reg.Func("drs_engine_roots_started_total", "Root tuples injected by spouts.",
+		obs.Counter, "", func() float64 { s, _, _ := run.RootTotals(); return float64(s) })
+	reg.Func("drs_engine_roots_completed_total", "Root tuples fully processed.",
+		obs.Counter, "", func() float64 { _, c, _ := run.RootTotals(); return float64(c) })
+	reg.Func("drs_engine_sojourn_seconds_total", "Summed end-to-end sojourn of completed root tuples.",
+		obs.Counter, "", func() float64 { _, _, ns := run.RootTotals(); return float64(ns) / 1e9 })
+	for _, b := range bolts {
+		bolt := b
+		labels := fmt.Sprintf("bolt=%q", bolt)
+		reg.Func("drs_engine_bolt_arrivals_total", "Tuples that arrived at each bolt.",
+			obs.Counter, labels, func() float64 { a, _, _ := run.BoltTotals(bolt); return float64(a) })
+		reg.Func("drs_engine_bolt_served_total", "Tuples each bolt finished serving.",
+			obs.Counter, labels, func() float64 { _, s, _ := run.BoltTotals(bolt); return float64(s) })
+	}
+	reg.Func("drs_engine_executor_failures_total", "Remote executor failures healed back to local bindings.",
+		obs.Counter, "", func() float64 { return float64(run.ExecutorFailures()) })
+	reg.Func("drs_engine_replayed_total", "In-flight batches replayed after a remote failure.",
+		obs.Counter, "", func() float64 { return float64(run.Replayed()) })
+
+	// Control loop and lease.
+	reg.Func("drs_loop_rounds_total", "Control rounds the supervisor has completed.",
+		obs.Counter, "", func() float64 { return float64(sup.Rounds()) })
+	reg.Func("drs_lease_granted_slots", "Executor slots the scheduler currently grants this tenant.",
+		obs.Gauge, "", func() float64 { return float64(lease.Granted()) })
+	reg.Func("drs_pool_machines", "Machines currently provisioned in the pool.",
+		obs.Gauge, "", func() float64 { return float64(pool.Machines()) })
+
+	// Durable admission (WAL) — only when running durable.
+	if walLog != nil {
+		reg.Func("drs_wal_tail_seq", "Highest sequence number appended to the WAL.",
+			obs.Counter, "", func() float64 { return float64(walLog.TailSeq()) })
+		reg.Func("drs_wal_watermark", "Contiguous completion watermark retired from the WAL.",
+			obs.Counter, "", func() float64 { return float64(walLog.Watermark()) })
+		reg.Func("drs_wal_segments", "Live WAL segment files.",
+			obs.Gauge, "", func() float64 { return float64(walLog.Segments()) })
+	}
+
+	// Worker tier — only when a coordinator listens.
+	if coord != nil {
+		reg.Func("drs_worker_live", "Worker processes currently registered.",
+			obs.Gauge, "", func() float64 { return float64(len(coord.Workers())) })
+		reg.Func("drs_worker_joins_total", "Worker registrations accepted.",
+			obs.Counter, "", func() float64 { j, _ := coord.Counts(); return float64(j) })
+		reg.Func("drs_worker_deaths_total", "Worker leases lapsed or connections lost.",
+			obs.Counter, "", func() float64 { _, d := coord.Counts(); return float64(d) })
+	}
+
+	// Decision log self-accounting — only when the log is enabled.
+	if dlog != nil {
+		reg.Func("drs_decision_log_offered_total", "Decision records offered to the log.",
+			obs.Counter, "", func() float64 { return float64(dlog.Stats().Offered) })
+		reg.Func("drs_decision_log_thinned_total", "Decision records thinned by the sampling knob.",
+			obs.Counter, "", func() float64 { return float64(dlog.Stats().Thinned) })
+		reg.Func("drs_decision_log_dropped_total", "Decision records dropped on ring overflow.",
+			obs.Counter, "", func() float64 { return float64(dlog.Stats().Dropped) })
+	}
+}

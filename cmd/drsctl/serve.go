@@ -19,6 +19,7 @@ import (
 	"github.com/drs-repro/drs/internal/engine"
 	"github.com/drs-repro/drs/internal/ingest"
 	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/obs"
 	"github.com/drs-repro/drs/internal/wal"
 	"github.com/drs-repro/drs/internal/worker"
 )
@@ -57,6 +58,8 @@ func cmdServe(tf topoFile, args []string) error {
 	weights := fs.String("client-weights", "", "shedding weights per client id, e.g. gold=4,bronze=1")
 	seed := fs.Int64("seed", 1, "workload seed")
 	walDir := fs.String("wal-dir", "", "write-ahead log directory: durable admission (ACK after append) with crash-recovery replay on boot (empty = non-durable)")
+	decisionDir := fs.String("decision-log", "", "decision log directory: every control-plane verdict (grants, preemptions, shed plans, re-fits, heals) as rotating NDJSON (empty = disabled)")
+	decisionSample := fs.Int("decision-sample", 1000, "decision log sampling rate in permille (1000 = keep everything)")
 	workerListen := fs.String("worker-listen", "", "worker registration address: `drsctl worker` processes host executors over framed TCP (empty = all in-process)")
 	minWorkers := fs.Int("min-workers", 0, "workers to wait for before opening the ingest listeners")
 	verbose := fs.Bool("v", false, "log every loop event")
@@ -71,6 +74,9 @@ func cmdServe(tf topoFile, args []string) error {
 	}
 	if *minWorkers > 0 && *workerListen == "" {
 		return fmt.Errorf("-min-workers needs -worker-listen")
+	}
+	if *decisionSample < 0 || *decisionSample > 1000 {
+		return fmt.Errorf("-decision-sample wants permille in [0,1000], got %d", *decisionSample)
 	}
 	weightMap, err := parseWeights(*weights)
 	if err != nil {
@@ -123,14 +129,34 @@ func cmdServe(tf topoFile, args []string) error {
 		}
 	}
 
+	// The decision log: control-plane verdicts from every decider stream
+	// asynchronously into rotating NDJSON, never blocking the deciders.
+	var dlog *obs.Log
+	if *decisionDir != "" {
+		sink, err := obs.NewFileSink(*decisionDir, 0)
+		if err != nil {
+			return fmt.Errorf("decision log: %w", err)
+		}
+		dlog = obs.NewLog(obs.Config{SamplePermille: *decisionSample, Sink: sink})
+		defer func() {
+			if err := dlog.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "drsctl: decision log close:", err)
+			}
+		}()
+		fmt.Printf("decision log in %s (sampling %d permille)\n", *decisionDir, *decisionSample)
+	}
+	metrics := newServeMetrics("serve")
+
 	// The gate, then the engine behind it: a NetworkSpout drains the
 	// gate's source into the entry operator.
 	maxSlots := *slots * *maxMachines
 	gate := ingest.NewGate(ingest.GateConfig{
+		Name:         "serve",
 		Tmax:         *tmaxMS / 1e3,
 		MaxSlots:     maxSlots,
 		RingCapacity: *ringCap,
 		ReplanEvery:  time.Duration(*intervalMS) * time.Millisecond,
+		DecisionLog:  dlog,
 	})
 	if walLog != nil {
 		if err := gate.AttachWAL(walLog); err != nil {
@@ -177,7 +203,7 @@ func cmdServe(tf topoFile, args []string) error {
 	if err != nil {
 		return err
 	}
-	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 30 * time.Second})
+	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 30 * time.Second, DecisionLog: dlog})
 	if err != nil {
 		return err
 	}
@@ -197,7 +223,7 @@ func cmdServe(tf topoFile, args []string) error {
 	if err != nil {
 		return err
 	}
-	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool})
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool, DecisionLog: dlog})
 	if err != nil {
 		return err
 	}
@@ -232,13 +258,17 @@ func cmdServe(tf topoFile, args []string) error {
 		}
 	}
 	sup, err := loop.New(loop.Config{
-		Target:    ingest.SupervisedTarget{Inner: loop.EngineTarget(run), Gate: gate},
-		Operators: names,
-		Stepper:   ctrl,
-		Pool:      lease,
-		Interval:  time.Duration(*intervalMS) * time.Millisecond,
-		Logger:    slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
-		Resume:    resume,
+		Target:      ingest.SupervisedTarget{Inner: loop.EngineTarget(run), Gate: gate},
+		Operators:   names,
+		Stepper:     ctrl,
+		Pool:        lease,
+		Interval:    time.Duration(*intervalMS) * time.Millisecond,
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level})),
+		Resume:      resume,
+		Tenant:      "serve",
+		DecisionLog: dlog,
+		Sojourn:     metrics.sojourn,
+		ShedFrac:    metrics.shedFrac,
 	})
 	if err != nil {
 		return err
@@ -270,7 +300,8 @@ func cmdServe(tf topoFile, args []string) error {
 	if *workerListen != "" {
 		var synthetic atomic.Int64 // ids past the pool when it is full
 		coord = worker.NewCoordinator(worker.CoordinatorConfig{
-			Seed: *seed,
+			Seed:        *seed,
+			DecisionLog: dlog,
 			Bind: func(name string, pid int) (int, error) {
 				lessee := fmt.Sprintf("%s/%d", name, pid)
 				for _, m := range pool.MachineList() {
@@ -396,6 +427,10 @@ func cmdServe(tf topoFile, args []string) error {
 		close(ckptDone)
 	}
 
+	// Every metric family reads live components, so registration waits
+	// until the whole daemon is assembled.
+	metrics.register(gate, run, names, sup, lease, pool, walLog, coord, dlog)
+
 	lcfg := ingest.ListenerConfig{
 		Weights: weightMap,
 		Rate:    *clientRate,
@@ -407,9 +442,12 @@ func cmdServe(tf topoFile, args []string) error {
 		if err != nil {
 			return err
 		}
-		httpSrv = &http.Server{Handler: ingest.Handler(gate, lcfg)}
+		mux := http.NewServeMux()
+		mux.Handle("/", ingest.Handler(gate, lcfg))
+		mux.Handle("/metrics", metrics.reg.Handler())
+		httpSrv = &http.Server{Handler: mux}
 		go httpSrv.Serve(l)
-		fmt.Printf("HTTP ingest on http://%s/ingest (stats on /stats)\n", l.Addr())
+		fmt.Printf("HTTP ingest on http://%s/ingest (stats on /stats, Prometheus on /metrics)\n", l.Addr())
 	}
 	var tcpL net.Listener
 	if *tcpAddr != "" {

@@ -3,12 +3,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/obs"
 	"github.com/drs-repro/drs/internal/worker"
 )
 
@@ -32,6 +35,7 @@ func cmdWorker(tf topoFile, args []string) error {
 	connect := fs.String("connect", "", "serve process's -worker-listen address (required)")
 	name := fs.String("name", "", "worker name for diagnostics (default host-pid)")
 	retryFor := fs.Float64("retry-for", 10, "seconds to keep retrying the initial connect (serve may still be booting)")
+	metricsAddr := fs.String("metrics", "", "Prometheus /metrics listen address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +72,29 @@ func cmdWorker(tf topoFile, args []string) error {
 	}
 	fmt.Printf("worker %q: registered as machine %d (pid %d, seed %d)\n",
 		*name, w.Machine(), os.Getpid(), w.Seed())
+
+	// The worker's own /metrics endpoint: its lease, what it hosts, and
+	// how much it has processed.
+	if *metricsAddr != "" {
+		l, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return err
+		}
+		defer l.Close()
+		reg := obs.NewRegistry()
+		reg.Func("drs_worker_machine", "Pool machine id leased from the coordinator.",
+			obs.Gauge, "", func() float64 { return float64(w.Machine()) })
+		reg.Func("drs_worker_hosted_bolts", "Distinct bolts with a live runner on this worker.",
+			obs.Gauge, "", func() float64 { return float64(w.HostedBolts()) })
+		reg.Func("drs_worker_batches_total", "Batches this worker has processed.",
+			obs.Counter, "", func() float64 { b, _ := w.Counts(); return float64(b) })
+		reg.Func("drs_worker_tuples_total", "Tuples this worker has processed.",
+			obs.Counter, "", func() float64 { _, t := w.Counts(); return float64(t) })
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go func() { _ = http.Serve(l, mux) }()
+		fmt.Printf("worker %q: Prometheus on http://%s/metrics\n", *name, l.Addr())
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- w.Run() }()

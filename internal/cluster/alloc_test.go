@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/drs-repro/drs/internal/obs"
+)
+
+// TestArbitrationAllocBudgetWithDecisionLog pins a contended 8-tenant
+// arbitration at the one-allocation budget behind the 1.9 µs claim, with
+// the decision log on. Preemption records carry their full Appendix-B
+// verdict inputs, yet Emit copies into a preallocated ring slot — so
+// logging must not add a single allocation to the decision path. Fails
+// when a change regresses the budget.
+func TestArbitrationAllocBudgetWithDecisionLog(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	dlog := obs.NewLog(obs.Config{})
+	defer dlog.Close()
+	pool, err := NewPool(PoolConfig{SlotsPerMachine: 8, MaxMachines: 8}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(SchedulerConfig{Pool: pool, DecisionLog: dlog})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tenants := make([]*Tenant, 8)
+	for i := range tenants {
+		tn, err := sched.Register(TenantConfig{
+			Name:     string(rune('a' + i)),
+			Weight:   float64(i%3 + 1),
+			Priority: i % 2,
+			MinSlots: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn.Report(TenantReport{
+			Lambda0:     10,
+			Violating:   i%2 == 1,
+			GrowBenefit: float64(i),
+			ShrinkCost:  0.5,
+		})
+		tenants[i] = tn
+	}
+	// Oversubscribe: total demand 8×12 = 96 over 64 slots, so every
+	// arbitration below runs the contended path end to end.
+	for _, tn := range tenants {
+		if _, err := tn.Resize(12); err != nil && !errors.Is(err, ErrNoCapacity) {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(5000, func() {
+		if _, err := tenants[i%len(tenants)].Resize(12 + i%2); err != nil && !errors.Is(err, ErrNoCapacity) {
+			t.Fatal(err)
+		}
+		i++
+	})
+	if allocs > 1 {
+		t.Fatalf("arbitration allocated %.3f/op with the decision log on; budget is 1", allocs)
+	}
+}

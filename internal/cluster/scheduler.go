@@ -8,6 +8,8 @@ import (
 	"slices"
 	"sync"
 	"time"
+
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // This file is the cluster-level arbiter: where cluster.Pool models the
@@ -117,6 +119,11 @@ type SchedulerConfig struct {
 	MaxHistory int
 	// Clock defaults to the wall clock.
 	Clock Clock
+	// DecisionLog, when set, receives every arbitration outcome as a
+	// structured record — preemptions carry their full Appendix-B verdict
+	// inputs (claimant benefit, victim cost, both arrival rates, the
+	// charged pause). Nil disables emission at the cost of one branch.
+	DecisionLog *obs.Log
 }
 
 // SchedulerEvent is one arbitration outcome that changed a grant or the
@@ -309,11 +316,14 @@ type Tenant struct {
 	released   bool
 
 	// Per-arbitration scratch (guarded by s.mu, meaningful only inside one
-	// arbitrateLocked call): the grant entering the arbitration and whether
-	// the preemption overlay took from this tenant — held on the tenant so
-	// the decision path needs no per-call maps.
+	// arbitrateLocked call): the grant entering the arbitration, whether
+	// the preemption overlay took from this tenant, and which claimant took
+	// last (the decision log reads its verdict inputs off the claimant's
+	// report) — held on the tenant so the decision path needs no per-call
+	// maps.
 	prevGranted int
 	preempted   bool
+	preemptBy   *Tenant
 }
 
 // Register admits a tenant and grants its initial slots, growing the pool
@@ -378,8 +388,20 @@ func (s *Scheduler) History() []SchedulerEvent {
 	return out
 }
 
-// recordLocked appends an event, overwriting the oldest past MaxHistory.
+// recordLocked appends an event, overwriting the oldest past MaxHistory,
+// and mirrors it into the decision log. Preempt events are the exception:
+// arbitrateLocked emits those itself so they carry the Appendix-B verdict
+// inputs the history line compresses away.
 func (s *Scheduler) recordLocked(ev SchedulerEvent) {
+	if s.cfg.DecisionLog != nil && ev.Kind != "preempt" {
+		if k, ok := obs.KindFromString(ev.Kind); ok {
+			s.cfg.DecisionLog.Emit(&obs.Record{
+				At:   ev.At.UnixNano(),
+				Kind: k, Tenant: ev.Tenant, From: ev.From, To: ev.To,
+				PauseNS: ev.Pause.Nanoseconds(), Detail: ev.Detail,
+			})
+		}
+	}
 	if len(s.history) < s.cfg.MaxHistory {
 		s.history = append(s.history, ev)
 		return
@@ -423,6 +445,7 @@ func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 		t.prevGranted = t.granted
 		t.granted = 0
 		t.preempted = false
+		t.preemptBy = nil
 	}
 
 	// Negotiate the machine pool to the aggregate demand, clamped to the
@@ -505,6 +528,23 @@ func (s *Scheduler) arbitrateLocked(lostCapacity int) (Transition, bool) {
 			s.recordLocked(SchedulerEvent{At: now, Kind: "grant", Tenant: t.cfg.Name,
 				From: old, To: t.granted, Detail: fmt.Sprintf("demand %d", t.demand)})
 		case t.granted < old && t.preempted:
+			if s.cfg.DecisionLog != nil && t.preemptBy != nil {
+				// The audited form of the preemption: claimant, victim and
+				// the Appendix-B inputs the guard weighed — marginal gain vs
+				// loss, both external arrival rates pricing the pauses, and
+				// the charged pause itself. Flag records that the pair was
+				// priority-ordered (always true by victim selection).
+				c := t.preemptBy
+				s.cfg.DecisionLog.Emit(&obs.Record{
+					At:   now.UnixNano(),
+					Kind: obs.KindPreempt, Tenant: c.cfg.Name, Peer: t.cfg.Name,
+					From: old, To: t.granted,
+					Gain: c.report.GrowBenefit, Loss: t.report.ShrinkCost,
+					Lambda0: c.report.Lambda0, PeerLambda0: t.report.Lambda0,
+					PauseNS: rebalance.Nanoseconds(),
+					Flag:    c.cfg.Priority > t.cfg.Priority,
+				})
+			}
 			s.recordLocked(SchedulerEvent{At: now, Kind: "preempt", Tenant: t.cfg.Name,
 				From: old, To: t.granted, Pause: rebalance,
 				Detail: fmt.Sprintf("floor %d", t.cfg.MinSlots)})
@@ -671,6 +711,7 @@ func (s *Scheduler) preemptLocked(claimants []*Tenant) {
 			c.granted += take
 			taken += take
 			v.preempted = true
+			v.preemptBy = c
 		}
 		if taken > sticky {
 			s.preempts[c.cfg.Name] = taken

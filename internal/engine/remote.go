@@ -3,6 +3,8 @@ package engine
 import (
 	"errors"
 	"sync"
+
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // Remote executor destinations. A bolt's route table normally points every
@@ -345,6 +347,12 @@ func (r *Run) drainHealsLocked() {
 			}
 			r.reapExecutorLocked(h.br, h.ex)
 			r.execFailures.Add(1)
+			if r.cfg.DecisionLog != nil {
+				r.cfg.DecisionLog.Emit(&obs.Record{
+					Kind: obs.KindHeal, Peer: h.br.spec.name, To: idx,
+					Detail: "remote binding swapped local",
+				})
+			}
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // ErrQuiesceTimeout is returned when a rebalance cannot drain in-flight
@@ -31,6 +32,10 @@ type RunConfig struct {
 	// tree does not complete within the window — Storm's message-timeout
 	// signal, exposed via LateTuples. Zero disables tracking.
 	TupleTimeout time.Duration
+	// DecisionLog, when set, receives engine self-heal events (a failed
+	// remote binding swapped for a local replacement). Emission happens on
+	// the heal path, never per tuple.
+	DecisionLog *obs.Log
 }
 
 // executor is one processor: a goroutine draining an input queue, either
@@ -117,6 +122,12 @@ type boltRuntime struct {
 	outEdges  []int
 	errCount  atomic.Int64
 	lastErr   atomic.Pointer[error]
+	// Cumulative per-bolt tuple counters, folded from the probes by
+	// DrainInterval. Probes reset on rebalance (fresh executors get fresh
+	// probes), so monotonic exports must accumulate here, off the hot
+	// path, instead of reading the probes directly.
+	cumArrivals atomic.Int64
+	cumServed   atomic.Int64
 }
 
 // spoutRuntime is one spout's running state.
@@ -566,8 +577,29 @@ func (r *Run) DrainInterval() metrics.IntervalReport {
 			Sampled: agg.Sampled, BusyTime: agg.BusyTime,
 			BusySqSeconds: agg.BusySqSeconds,
 		}
+		br.cumArrivals.Add(agg.Arrivals)
+		br.cumServed.Add(agg.Served)
 	}
 	return rep
+}
+
+// RootTotals reports the root log's cumulative external-tuple counters:
+// trees started, trees completed, and the summed sojourn nanoseconds of
+// the completed ones — the raw series behind /metrics.
+func (r *Run) RootTotals() (started, completed, sojournNanos int64) {
+	return r.roots.totals()
+}
+
+// BoltTotals reports one bolt's cumulative arrived/served tuple counts as
+// folded by DrainInterval. Unlike the probes (which reset whenever a
+// rebalance installs fresh executors) these are monotonic for the life of
+// the run; they advance at DrainInterval granularity.
+func (r *Run) BoltTotals(bolt string) (arrivals, served int64, err error) {
+	br := r.boltByName(bolt)
+	if br == nil {
+		return 0, 0, fmt.Errorf("engine: unknown bolt %q", bolt)
+	}
+	return br.cumArrivals.Load(), br.cumServed.Load(), nil
 }
 
 // Rebalance changes executor counts (bolt name -> count). It pauses

@@ -12,6 +12,7 @@ import (
 	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/ingest"
 	"github.com/drs-repro/drs/internal/loop"
+	"github.com/drs-repro/drs/internal/obs"
 	"github.com/drs-repro/drs/internal/scenario"
 	"github.com/drs-repro/drs/internal/sim"
 )
@@ -148,7 +149,7 @@ type chaosTenant struct {
 // whose stages serve the timeline's service distribution (exponential, or
 // mean-pinned Pareto for heavy-tailed tenants).
 func newChaosTenant(tl *scenario.Timeline, ts scenario.TenantSpec, lease *cluster.Tenant,
-	clock loop.Clock, failures *loopFailures, interval float64, seed uint64) (*chaosTenant, error) {
+	clock loop.Clock, failures *loopFailures, interval float64, seed uint64, dlog *obs.Log) (*chaosTenant, error) {
 	weight := ts.Weight
 	if weight <= 0 {
 		weight = 1
@@ -197,14 +198,16 @@ func newChaosTenant(tl *scenario.Timeline, ts scenario.TenantSpec, lease *cluste
 		return nil, err
 	}
 	ct.sup, err = loop.New(loop.Config{
-		Target:    simTarget{s: s, names: names},
-		Operators: names,
-		Stepper:   ctrl,
-		Pool:      lease,
-		Interval:  secondsToDuration(interval),
-		Cooldown:  secondsToDuration(4 * interval),
-		Clock:     clock,
-		Logger:    slog.New(failures),
+		Target:      simTarget{s: s, names: names},
+		Operators:   names,
+		Stepper:     ctrl,
+		Pool:        lease,
+		Interval:    secondsToDuration(interval),
+		Cooldown:    secondsToDuration(4 * interval),
+		Clock:       clock,
+		Logger:      slog.New(failures),
+		Tenant:      ts.Name,
+		DecisionLog: dlog,
 	})
 	if err != nil {
 		return nil, err
@@ -377,7 +380,7 @@ func RunChaosSpec(spec scenario.Spec, o Options) (ChaosResult, error) {
 		return res, err
 	}
 	clock := &simClock{}
-	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool, Clock: clock})
+	sched, err := cluster.NewScheduler(cluster.SchedulerConfig{Pool: pool, Clock: clock, DecisionLog: o.DecisionLog})
 	if err != nil {
 		return res, err
 	}
@@ -398,7 +401,7 @@ func RunChaosSpec(spec scenario.Spec, o Options) (ChaosResult, error) {
 		if err != nil {
 			return res, err
 		}
-		ct, err := newChaosTenant(tl, ts, lease, clock, failures, interval, o.Seed+uint64(i))
+		ct, err := newChaosTenant(tl, ts, lease, clock, failures, interval, o.Seed+uint64(i), o.DecisionLog)
 		if err != nil {
 			return res, err
 		}
@@ -444,9 +447,11 @@ func RunChaosSpec(spec scenario.Spec, o Options) (ChaosResult, error) {
 		for _, ct := range tenants {
 			c := ct.client
 			rate := float64(c.offered-c.lastOffered) / interval
+			admittedDelta := c.admitted - c.lastAdmitted
+			shedDelta := c.shed - ct.lastShed
 			ph.Offered += c.offered - c.lastOffered
-			ph.Admitted += c.admitted - c.lastAdmitted
-			ph.Shed += c.shed - ct.lastShed
+			ph.Admitted += admittedDelta
+			ph.Shed += shedDelta
 			c.lastOffered, c.lastAdmitted, ct.lastShed = c.offered, c.admitted, c.shed
 			plan := ingest.Plan{AdmitFraction: 1, SustainableRate: rate, ScaleOutViable: true}
 			if snap, ok := ct.sup.LastSnapshot(); ok {
@@ -455,6 +460,19 @@ func RunChaosSpec(spec scenario.Spec, o Options) (ChaosResult, error) {
 			}
 			p := ingest.AdmitPermilles(plan, []float64{c.weight}, []string{c.name}, []float64{rate})
 			c.permille = p[0]
+			if o.DecisionLog != nil {
+				// One auditable record per tenant per round, stamped with
+				// simulated time and carrying the round's admitted/shed
+				// deltas — the reconcile test sums these per phase against
+				// the phase books.
+				o.DecisionLog.Emit(&obs.Record{
+					At:   simEpoch.Add(secondsToDuration(t)).UnixNano(),
+					Kind: obs.KindShedPlan, Tenant: c.name,
+					Fraction: plan.AdmitFraction, Rate: plan.SustainableRate,
+					Lambda0: rate, Flag: plan.ScaleOutViable,
+					Gain: float64(admittedDelta), Loss: float64(shedDelta),
+				})
+			}
 			for _, d := range ct.s.Dropped() {
 				dropped += d
 			}

@@ -20,6 +20,7 @@ import (
 	"github.com/drs-repro/drs/internal/apps/fpd"
 	"github.com/drs-repro/drs/internal/apps/vld"
 	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/obs"
 	"github.com/drs-repro/drs/internal/sim"
 )
 
@@ -75,6 +76,13 @@ type Options struct {
 	Warmup float64
 	// Seed feeds the simulations (default 1).
 	Seed uint64
+	// DecisionLog, when non-nil, receives every control-plane verdict the
+	// run makes — scheduler arbitration and preemptions (with their
+	// Appendix-B inputs), per-round shed plans and supervisor re-fits —
+	// stamped with simulated time, so a replayed scenario's decisions can
+	// be audited against its books. Only the scenario-driven experiments
+	// (chaos) emit today.
+	DecisionLog *obs.Log
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,41 @@
+package ingest
+
+import (
+	"testing"
+
+	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/obs"
+)
+
+// TestOfferZeroAllocsWithDecisionLog pins the admission fast path at zero
+// allocations per record with the decision log enabled — the regression
+// guard behind the 46 ns/0-alloc admit claim. Decision records are
+// emitted at Replan granularity, never per record, so turning the log on
+// must not cost the hot path anything; this fails (not a bench note) if a
+// change sneaks an allocation in.
+func TestOfferZeroAllocsWithDecisionLog(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	dlog := obs.NewLog(obs.Config{})
+	defer dlog.Close()
+	g := NewGate(GateConfig{RingCapacity: 1 << 12, DecisionLog: dlog})
+	defer g.Close()
+	c := g.Client("alloc", 1, 0, 0)
+	payload := engine.Values{[]byte("record")}
+	done := make(chan struct{})
+	buf := make([]engine.Values, 0, 1<<12)
+	i := 0
+	allocs := testing.AllocsPerRun(10000, func() {
+		if v := c.Offer(payload); !v.Admitted {
+			t.Fatalf("offer %d refused: %+v", i, v)
+		}
+		if i&(1<<11-1) == 1<<11-1 { // drain half-full, one lock round
+			g.Ring().PopBatch(done, buf)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer allocated %.3f/op with the decision log on; want 0", allocs)
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/obs"
 	"github.com/drs-repro/drs/internal/wal"
 )
 
@@ -128,6 +129,14 @@ type GateConfig struct {
 	RetryAfter time.Duration
 	// Now overrides the clock (tests); nil uses time.Now.
 	Now func() time.Time
+	// Name labels this gate's records in the decision log (default
+	// "gate").
+	Name string
+	// DecisionLog, when set, receives one shed-plan record per Replan
+	// round: offered rate, sustainable rate, admit fraction and the
+	// Appendix-B scale-out verdict. Replan runs off the admit path, so
+	// the 0-alloc Offer fast path is untouched.
+	DecisionLog *obs.Log
 }
 
 // GateStats is a point-in-time reading of the gate's cumulative counters.
@@ -226,6 +235,9 @@ func NewGate(cfg GateConfig) *Gate {
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
+	}
+	if cfg.Name == "" {
+		cfg.Name = "gate"
 	}
 	g := &Gate{
 		cfg:     cfg,
@@ -365,6 +377,13 @@ func (g *Gate) Replan() {
 	g.admitFraction.store(plan.AdmitFraction)
 	g.sustainableRate.store(plan.SustainableRate)
 	g.scaleOutViable.Store(plan.ScaleOutViable)
+	if g.cfg.DecisionLog != nil {
+		g.cfg.DecisionLog.Emit(&obs.Record{
+			Kind: obs.KindShedPlan, Tenant: g.cfg.Name,
+			Fraction: plan.AdmitFraction, Rate: plan.SustainableRate,
+			Lambda0: provisioningRate, Flag: plan.ScaleOutViable,
+		})
+	}
 
 	weights := make([]float64, len(list))
 	ids := make([]string, len(list))

@@ -1,0 +1,85 @@
+package loop
+
+import (
+	"testing"
+	"time"
+
+	"github.com/drs-repro/drs/internal/core"
+	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/obs"
+)
+
+// allocTarget is a fakeTarget without the defensive copies: Allocation
+// returns the live map, so AllocsPerRun sees only the supervisor's own
+// allocations, exactly as the root BenchmarkSupervisorTick measures them.
+type allocTarget struct {
+	alloc map[string]int
+	rep   metrics.IntervalReport
+}
+
+func (t *allocTarget) DrainInterval() metrics.IntervalReport { return t.rep }
+func (t *allocTarget) Allocation() map[string]int            { return t.alloc }
+func (t *allocTarget) Rebalance(alloc map[string]int, _ time.Duration) error {
+	for k, v := range alloc {
+		t.alloc[k] = v
+	}
+	return nil
+}
+
+// TestSupervisorTickZeroAllocs pins a full control round — measurer
+// ingest, snapshot, Algorithm 1 solve, hold/apply verdict — at zero
+// allocations with the decision log and the per-tenant histograms wired
+// in. Steady-state rounds hold (emit-on-change means they log nothing),
+// so observability must stay free on the per-Tm path; this fails when a
+// change regresses it.
+func TestSupervisorTickZeroAllocs(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	dlog := obs.NewLog(obs.Config{})
+	defer dlog.Close()
+	reg := obs.NewRegistry()
+	names := []string{"extract", "match", "aggregate"}
+	target := &allocTarget{
+		alloc: map[string]int{"extract": 10, "match": 11, "aggregate": 1},
+		rep: metrics.IntervalReport{
+			Duration:         10 * time.Second,
+			ExternalArrivals: 130,
+			Ops: []metrics.OpInterval{
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.45 * float64(time.Second))},
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.50 * float64(time.Second))},
+				{Arrivals: 130, Served: 130, Sampled: 130, BusyTime: time.Duration(130 * 0.01 * float64(time.Second))},
+			},
+			SojournCount: 120,
+			SojournTotal: 120 * time.Second,
+		},
+	}
+	ctrl, err := core.NewController(core.ControllerConfig{Mode: core.ModeMinLatency, Kmax: 22, MinGain: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, err := New(Config{
+		Target:      target,
+		Operators:   names,
+		Stepper:     ctrl,
+		Pool:        FixedPool(22),
+		Interval:    10 * time.Second,
+		Cooldown:    time.Nanosecond, // decide every round: measure the full path
+		Tenant:      "alloc",
+		DecisionLog: dlog,
+		Sojourn:     reg.Histogram("sojourn", "sojourn", []float64{0.1, 1}, `tenant="alloc"`),
+		ShedFrac:    reg.Histogram("shed", "shed", []float64{0.1, 0.5}, `tenant="alloc"`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Converge first: the opening rounds may rebalance (and log); the
+	// guard is about the steady state every deployment spends its life in.
+	for i := 0; i < 8; i++ {
+		sup.Tick()
+	}
+	allocs := testing.AllocsPerRun(5000, func() { sup.Tick() })
+	if allocs != 0 {
+		t.Fatalf("Tick allocated %.3f/op with the decision log on; want 0", allocs)
+	}
+}

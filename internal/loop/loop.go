@@ -34,6 +34,7 @@ import (
 	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/engine"
 	"github.com/drs-repro/drs/internal/metrics"
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // ErrRunning is returned by Start when the supervisor is already running.
@@ -192,6 +193,20 @@ type Config struct {
 	// around the hysteresis the previous life had already earned. Nil
 	// means a cold start.
 	Resume *PersistedState
+	// Tenant labels this supervisor's decision-log records (optional).
+	Tenant string
+	// DecisionLog, when set, receives every recorded event — applied
+	// re-fits, failed applies, suppression episodes, forced shrinks — as
+	// a structured record. Hold rounds record nothing, so the 0-alloc
+	// steady-state tick is untouched.
+	DecisionLog *obs.Log
+	// Sojourn, when set, observes each measured round's end-to-end
+	// sojourn (seconds) — the per-tenant latency histogram behind
+	// /metrics. Observation is a few atomic adds.
+	Sojourn *obs.Histogram
+	// ShedFrac, when set, observes each measured round's shed fraction
+	// (offered minus admitted over offered).
+	ShedFrac *obs.Histogram
 }
 
 // PersistedState is the supervisor state worth carrying across a process
@@ -497,6 +512,8 @@ func (s *Supervisor) Tick() {
 	s.lastAllocTotal = sumInts(alloc)
 	s.mu.Unlock()
 	s.reportTenant(snap, shedFraction)
+	s.cfg.Sojourn.Observe(snap.MeasuredSojourn)
+	s.cfg.ShedFrac.Observe(shedFraction)
 
 	d, err := s.cfg.Stepper.Step(snap)
 	if err != nil {
@@ -902,8 +919,26 @@ func (s *Supervisor) record(ev Event) {
 
 // appendLocked appends under s.mu. Once MaxHistory events exist the slice
 // becomes a ring and the oldest event is overwritten in place — O(1) per
-// event, so a long-lived daemon neither grows nor re-copies its log.
+// event, so a long-lived daemon neither grows nor re-copies its log. Every
+// appended event is mirrored into the decision log (hold rounds never
+// reach here, so the steady-state tick stays allocation-free).
 func (s *Supervisor) appendLocked(ev Event) {
+	if s.cfg.DecisionLog != nil {
+		kind := obs.KindRefit
+		switch {
+		case ev.Suppressed:
+			kind = obs.KindSuppress
+		case ev.Err != nil:
+			kind = obs.KindRefitFailed
+		}
+		s.cfg.DecisionLog.Emit(&obs.Record{
+			At:   ev.At.UnixNano(),
+			Kind: kind, Tenant: s.cfg.Tenant,
+			From: s.lastAllocTotal, To: sumInts(ev.Target),
+			Gain: ev.Estimated, PauseNS: ev.Pause.Nanoseconds(),
+			Flag: ev.Preempted || ev.SlotsLost, Detail: ev.Reason,
+		})
+	}
 	if len(s.history) < s.cfg.MaxHistory {
 		s.history = append(s.history, ev)
 		return

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// update regenerates the exposition golden: go test ./internal/obs -run Exposition -update
+var update = flag.Bool("update", false, "rewrite the obs golden files")
+
+// buildTestRegistry assembles a registry shaped like the serve daemon's:
+// func-backed counters/gauges over atomics plus labeled histograms.
+func buildTestRegistry() (*Registry, *atomic.Int64, *atomic.Int64, *Histogram, *Histogram) {
+	reg := NewRegistry()
+	var admitted, shed atomic.Int64
+	admitted.Store(900)
+	shed.Store(100)
+	reg.Func("drs_gate_admitted_total", "Tuples admitted by the ingest gate.", Counter,
+		`tenant="gold"`, func() float64 { return float64(admitted.Load()) })
+	reg.Func("drs_gate_shed_total", "Tuples shed by the ingest gate.", Counter,
+		`tenant="gold"`, func() float64 { return float64(shed.Load()) })
+	reg.Func("drs_gate_admit_fraction", "Current admit fraction per tenant.", Gauge,
+		`tenant="gold"`, func() float64 { return 0.9 })
+	reg.Func("drs_wal_segments", "Live WAL segment count.", Gauge, "",
+		func() float64 { return 3 })
+	soj := reg.Histogram("drs_tenant_sojourn_seconds",
+		"Measured tuple sojourn per tenant.", []float64{0.01, 0.05, 0.25, 1}, `tenant="gold"`)
+	shf := reg.Histogram("drs_tenant_shed_fraction",
+		"Shed fraction per control round per tenant.", []float64{0.01, 0.1, 0.5}, `tenant="gold"`)
+	soj.Observe(0.004)
+	soj.Observe(0.04)
+	soj.Observe(0.2)
+	soj.Observe(3)
+	shf.Observe(0)
+	shf.Observe(0.3)
+	return reg, &admitted, &shed, soj, shf
+}
+
+// TestExpositionGolden pins the full text exposition: family order,
+// HELP/TYPE headers, label rendering, histogram buckets.
+func TestExpositionGolden(t *testing.T) {
+	reg, _, _, _, _ := buildTestRegistry()
+	got := reg.Write(nil)
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("exposition drifted from golden (run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// parseExposition reads sample lines into name{labels} -> value.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("malformed value in %q: %v", line, err)
+		}
+		out[line[:sp]] = v
+	}
+	return out
+}
+
+// TestExpositionMonotonicUnderTraffic scrapes twice while counters and
+// histograms move and checks counters never regress, histogram buckets
+// stay cumulative, and _count/_sum agree with the observations.
+func TestExpositionMonotonicUnderTraffic(t *testing.T) {
+	reg, admitted, shed, soj, _ := buildTestRegistry()
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	scrape := func() (string, map[string]float64) {
+		resp, err := srv.Client().Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+			t.Fatalf("content type %q is not Prometheus text 0.0.4", ct)
+		}
+		var sb strings.Builder
+		if _, err := fmt.Fprint(&sb, mustRead(t, resp.Body)); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), parseExposition(t, sb.String())
+	}
+
+	text1, first := scrape()
+	// Live traffic between scrapes.
+	admitted.Add(500)
+	shed.Add(50)
+	soj.Observe(0.02)
+	soj.Observe(0.7)
+	text2, second := scrape()
+
+	for series, v1 := range first {
+		if strings.Contains(series, "_fraction") && !strings.Contains(series, "_bucket") &&
+			!strings.Contains(series, "_sum") && !strings.Contains(series, "_count") {
+			continue // gauges may move either way
+		}
+		if second[series] < v1 {
+			t.Fatalf("series %s went backwards: %v -> %v\nscrape1:\n%s\nscrape2:\n%s",
+				series, v1, second[series], text1, text2)
+		}
+	}
+	if got := second[`drs_gate_admitted_total{tenant="gold"}`]; got != 1400 {
+		t.Fatalf("admitted counter = %v, want 1400", got)
+	}
+
+	// Histogram buckets must be cumulative and end at _count.
+	prev := -1.0
+	for _, le := range []string{"0.01", "0.05", "0.25", "1", "+Inf"} {
+		key := fmt.Sprintf(`drs_tenant_sojourn_seconds_bucket{tenant="gold",le="%s"}`, le)
+		v, ok := second[key]
+		if !ok {
+			t.Fatalf("missing bucket %s\n%s", key, text2)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%s not cumulative: %v < %v", le, v, prev)
+		}
+		prev = v
+	}
+	if cnt := second[`drs_tenant_sojourn_seconds_count{tenant="gold"}`]; cnt != prev {
+		t.Fatalf("_count %v != +Inf bucket %v", cnt, prev)
+	}
+	if cnt := second[`drs_tenant_sojourn_seconds_count{tenant="gold"}`]; cnt != 6 {
+		t.Fatalf("_count %v, want 6 observations", cnt)
+	}
+	wantSum := 0.004 + 0.04 + 0.2 + 3 + 0.02 + 0.7
+	if sum := second[`drs_tenant_sojourn_seconds_sum{tenant="gold"}`]; sum < wantSum-1e-9 || sum > wantSum+1e-9 {
+		t.Fatalf("_sum %v, want %v", sum, wantSum)
+	}
+}
+
+// mustRead drains r fully as a string.
+func mustRead(t *testing.T, r interface{ Read([]byte) (int, error) }) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram reports nonzero")
+	}
+}

@@ -1,0 +1,416 @@
+// Package obs is the control plane's observability layer: a structured,
+// bounded, allocation-disciplined decision log plus a hand-rolled
+// Prometheus-format metrics registry. It follows the decision-log plugin
+// idiom popularized by OPA: deciders emit fixed-shape records into a
+// sharded ring buffer (sample-then-store, drop-counter on overflow, never
+// block), and a single drainer goroutine encodes NDJSON to a sink off the
+// hot path. The package depends only on the standard library so every
+// subsystem (engine, cluster, ingest, loop, worker, wal) can emit into it
+// without import cycles.
+package obs
+
+import (
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind tags what control decision a Record captures. The zero Kind is
+// invalid so a forgotten tag is visible in the log.
+type Kind uint8
+
+// Decision kinds. Scheduler kinds mirror cluster.SchedulerEvent kinds
+// one-for-one; the rest cover the ingest gate, the control loop, the
+// engine's self-heal path and the worker tier.
+const (
+	KindInvalid Kind = iota
+
+	// Scheduler (cluster) decisions.
+	KindRegister       // tenant lease registered; To = initial grant
+	KindGrant          // grant changed by arbitration; From -> To slots
+	KindShrink         // voluntary shrink; From -> To slots
+	KindPreempt        // Appendix-B guarded transfer; see Gain/Loss/Lambda0 fields
+	KindSlotsLost      // machine failure took slots; From -> To
+	KindRelease        // tenant lease released
+	KindPool           // pool capacity changed; From -> To slots
+	KindPriority       // tenant priority changed; To = new priority
+	KindMachineFail    // machine failed; To = machine id
+	KindMachineRecover // machine recovered; To = machine id
+	KindStraggler      // machine marked straggler; To = machine id
+	KindStragglerClear // straggler cleared; To = machine id
+
+	// Ingest gate decisions.
+	KindShedPlan // gate re-planned admission; Fraction/Rate/Lambda0/Flag
+
+	// Control loop (supervisor) decisions.
+	KindRefit       // scale decision applied; From -> To executors
+	KindSuppress    // scale decision suppressed (cooldown/hysteresis)
+	KindRefitFailed // actuation failed; Detail holds the action
+
+	// Engine / worker tier events.
+	KindHeal        // remote binding swapped local; Peer = bolt, To = slot
+	KindWorkerJoin  // worker registered; To = machine id
+	KindWorkerDeath // worker deregistered/died; To = machine id
+
+	kindCount // sentinel; keep last
+)
+
+// kindNames is the canonical wire name per kind, used by the NDJSON codec
+// and by /metrics label sets. Names are stable: changing one breaks log
+// consumers.
+var kindNames = [kindCount]string{
+	KindInvalid:        "invalid",
+	KindRegister:       "register",
+	KindGrant:          "grant",
+	KindShrink:         "shrink",
+	KindPreempt:        "preempt",
+	KindSlotsLost:      "slots-lost",
+	KindRelease:        "release",
+	KindPool:           "pool",
+	KindPriority:       "priority",
+	KindMachineFail:    "machine-fail",
+	KindMachineRecover: "machine-recover",
+	KindStraggler:      "straggler",
+	KindStragglerClear: "straggler-clear",
+	KindShedPlan:       "shed-plan",
+	KindRefit:          "refit",
+	KindSuppress:       "suppress",
+	KindRefitFailed:    "refit-failed",
+	KindHeal:           "heal",
+	KindWorkerJoin:     "worker-join",
+	KindWorkerDeath:    "worker-death",
+}
+
+// String returns the canonical wire name for the kind.
+func (k Kind) String() string {
+	if k >= kindCount {
+		return "invalid"
+	}
+	return kindNames[k]
+}
+
+// KindFromString maps a wire name back to its Kind (false for unknown
+// names, including "invalid" — no decider emits it).
+func KindFromString(s string) (Kind, bool) {
+	for k := KindRegister; k < kindCount; k++ {
+		if kindNames[k] == s {
+			return k, true
+		}
+	}
+	return KindInvalid, false
+}
+
+// Record is one control decision in fixed shape: every kind uses the same
+// struct so emission is a value copy into a preallocated ring slot — zero
+// heap allocations. String fields must be header copies of strings that
+// already exist (tenant names, bolt names, constant action words), never
+// formatted on the emit path. Field semantics by kind:
+//
+//   - preempt: Tenant = claimant, Peer = victim, From -> To = victim's
+//     grant change, Gain = claimant GrowBenefit (util/slot), Loss = victim
+//     ShrinkCost, Lambda0/PeerLambda0 = claimant/victim external arrival
+//     rates, PauseNS = rebalance pause charged by the Appendix-B verdict,
+//     Flag = the tenant pair was priority-ordered (claimant outranks victim).
+//   - shed-plan: Tenant = plan scope, Fraction = admit fraction,
+//     Rate = sustainable rate (tuples/s), Lambda0 = offered rate,
+//     Flag = scale-out viable, Gain/Loss = admitted/shed record deltas
+//     since the previous plan (scenario drivers; the live gate leaves
+//     them zero).
+//   - refit/suppress/refit-failed: Tenant = topology, Detail = action,
+//     From -> To = executor total change, Gain = estimated sojourn (s),
+//     PauseNS = estimated rebalance pause, Flag = decision was preempted
+//     by the scheduler rather than chosen by the controller.
+//   - scheduler kinds: Tenant = lease, From -> To = slot change; machine
+//     kinds put the machine id in To.
+//   - heal: Peer = bolt name, To = executor slot index.
+//   - worker-join/worker-death: Peer = worker name, To = machine id.
+type Record struct {
+	Seq         uint64  // global emission sequence (assigned by Emit)
+	At          int64   // unix nanoseconds (stamped by Emit when zero)
+	Kind        Kind    // decision kind; see kind docs
+	Tenant      string  // acting tenant/lease/topology ("" when n/a)
+	Peer        string  // counterparty: preemption victim, bolt, worker
+	From        int     // prior value (slots, executors)
+	To          int     // new value (slots, executors, machine id)
+	Gain        float64 // claimant benefit (util/slot) or estimated sojourn
+	Loss        float64 // victim shrink cost (util/slot)
+	Lambda0     float64 // claimant external arrival rate (tuples/s)
+	PeerLambda0 float64 // victim external arrival rate (tuples/s)
+	Fraction    float64 // admit/shed fraction in [0,1]
+	Rate        float64 // sustainable rate (tuples/s)
+	PauseNS     int64   // rebalance pause charged to the decision
+	Flag        bool    // kind-dependent boolean verdict input
+	Detail      string  // short constant tag (action word, reason)
+}
+
+// shard is one ring of the log. Emission appends under the shard mutex;
+// the drainer swaps the filled region out wholesale. Fixed-capacity, drop
+// on overflow: a slow drainer costs records (counted), never latency.
+type shard struct {
+	mu  sync.Mutex
+	buf []Record // append cursor is len(buf); capacity fixed at build
+	_   [32]byte // pad to keep neighbouring shards off one cache line
+}
+
+// Config sizes a Log. The zero value is usable: 4 shards x 1024 records,
+// sampling every record, no sink (manual Sweep only).
+type Config struct {
+	// Shards is the ring shard count, rounded up to a power of two.
+	Shards int
+	// ShardCapacity is the record capacity per shard.
+	ShardCapacity int
+	// SamplePermille keeps N records per 1000 emissions (default 1000 =
+	// keep everything). Sampling is deterministic over the emission
+	// sequence, so identical runs keep identical records.
+	SamplePermille int
+	// Sink receives drained NDJSON batches. Nil means no drainer
+	// goroutine runs; records wait in the rings for a manual Sweep.
+	Sink Sink
+	// FlushEvery is the drainer's sweep cadence (default 250ms).
+	FlushEvery time.Duration
+	// Now supplies timestamps (default time.Now). Virtual-time
+	// experiments inject their simulated clock here.
+	Now func() time.Time
+}
+
+// Log is a bounded, sharded, sampled decision log. All methods are
+// nil-safe: a nil *Log ignores emissions, so wiring is optional
+// everywhere and the disabled path costs one branch.
+type Log struct {
+	shards []*shard
+	mask   uint64
+	now    func() time.Time
+
+	seq      atomic.Uint64 // emissions offered (pre-sampling)
+	permille atomic.Int64  // sampling knob, flippable at runtime
+	dropped  atomic.Uint64 // records lost to ring overflow
+	thinned  atomic.Uint64 // records skipped by sampling
+
+	sink       Sink
+	flushEvery time.Duration
+	drainBuf   []Record // drainer-owned scratch, reused every sweep
+	encBuf     []byte   // drainer-owned encode scratch
+	stop       chan struct{}
+	done       chan struct{}
+	closeOnce  sync.Once
+}
+
+// NewLog builds a decision log. If cfg.Sink is non-nil a single drainer
+// goroutine starts sweeping the rings; Close stops it and flushes.
+func NewLog(cfg Config) *Log {
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = 4
+	}
+	// Round up to a power of two so shard choice is a mask, not a mod.
+	pow := 1
+	for pow < nshards {
+		pow <<= 1
+	}
+	capacity := cfg.ShardCapacity
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	permille := cfg.SamplePermille
+	if permille <= 0 || permille > permilleScale {
+		permille = permilleScale
+	}
+	flush := cfg.FlushEvery
+	if flush <= 0 {
+		flush = 250 * time.Millisecond
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	l := &Log{
+		shards:     make([]*shard, pow),
+		mask:       uint64(pow - 1),
+		now:        now,
+		sink:       cfg.Sink,
+		flushEvery: flush,
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for i := range l.shards {
+		l.shards[i] = &shard{buf: make([]Record, 0, capacity)}
+	}
+	l.permille.Store(int64(permille))
+	if l.sink != nil {
+		go l.drain()
+	} else {
+		close(l.done)
+	}
+	return l
+}
+
+// permilleScale is the denominator of the sampling knob.
+const permilleScale = 1000
+
+// thinAdmit reports whether the seq-th emission survives permille
+// sampling — the same deterministic thinning the ingest gate uses: admit
+// when the scaled counter crosses an integer boundary, which spreads kept
+// records evenly instead of front-loading them.
+func thinAdmit(seq uint64, permille int64) bool {
+	if permille >= permilleScale {
+		return true
+	}
+	if permille <= 0 {
+		return false
+	}
+	p := uint64(permille)
+	return seq*p/permilleScale != (seq-1)*p/permilleScale
+}
+
+// Emit records one decision. The record is copied by value into a ring
+// slot under a shard mutex — no allocation, no blocking; if the shard is
+// full the record is dropped and counted. Emit assigns Seq always and At
+// when the caller left it zero (deterministic drivers stamp their own
+// virtual time); other fields are the caller's. Safe on a nil log (no-op)
+// and for concurrent use.
+func (l *Log) Emit(r *Record) {
+	if l == nil {
+		return
+	}
+	seq := l.seq.Add(1)
+	if !thinAdmit(seq, l.permille.Load()) {
+		l.thinned.Add(1)
+		return
+	}
+	at := r.At
+	if at == 0 {
+		at = l.now().UnixNano()
+	}
+	s := l.shards[seq&l.mask]
+	s.mu.Lock()
+	if len(s.buf) == cap(s.buf) {
+		s.mu.Unlock()
+		l.dropped.Add(1)
+		return
+	}
+	s.buf = append(s.buf, *r)
+	rec := &s.buf[len(s.buf)-1]
+	rec.Seq = seq
+	rec.At = at
+	s.mu.Unlock()
+}
+
+// SetSample re-aims the sampling knob to keep permille records per 1000
+// emissions, effective for subsequent emissions. Values are clamped to
+// [0, 1000]. Safe on a nil log and during concurrent emission.
+func (l *Log) SetSample(permille int) {
+	if l == nil {
+		return
+	}
+	if permille < 0 {
+		permille = 0
+	}
+	if permille > permilleScale {
+		permille = permilleScale
+	}
+	l.permille.Store(int64(permille))
+}
+
+// Stats is a point-in-time account of the log's traffic.
+type Stats struct {
+	Offered uint64 // Emit calls seen (pre-sampling)
+	Thinned uint64 // emissions skipped by the sampling knob
+	Dropped uint64 // records lost to ring overflow
+}
+
+// Stats reports emission/sampling/drop counters. Safe on a nil log.
+func (l *Log) Stats() Stats {
+	if l == nil {
+		return Stats{}
+	}
+	return Stats{
+		Offered: l.seq.Load(),
+		Thinned: l.thinned.Load(),
+		Dropped: l.dropped.Load(),
+	}
+}
+
+// Sweep drains every shard and hands the records, ordered by emission
+// sequence, to fn. It is the synchronous form of the drainer loop, used
+// by experiments and tests; it shares the drainer's scratch, so do not
+// call it concurrently with a running drainer's sweeps (Close first) or
+// from multiple goroutines. Safe on a nil log.
+func (l *Log) Sweep(fn func(*Record)) {
+	if l == nil {
+		return
+	}
+	recs := l.collect()
+	for i := range recs {
+		fn(&recs[i])
+	}
+}
+
+// collect moves all buffered records into the drainer scratch, sorted by
+// emission sequence, and resets the rings.
+func (l *Log) collect() []Record {
+	l.drainBuf = l.drainBuf[:0]
+	for _, s := range l.shards {
+		s.mu.Lock()
+		l.drainBuf = append(l.drainBuf, s.buf...)
+		s.buf = s.buf[:0]
+		s.mu.Unlock()
+	}
+	slices.SortFunc(l.drainBuf, func(a, b Record) int {
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
+	})
+	return l.drainBuf
+}
+
+// drain is the single background drainer: every FlushEvery it sweeps the
+// rings, encodes the batch as NDJSON into a reused scratch buffer, and
+// writes it to the sink. One goroutine, one encode buffer — encoding cost
+// never lands on a decider.
+func (l *Log) drain() {
+	defer close(l.done)
+	t := time.NewTicker(l.flushEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.flushOnce()
+		case <-l.stop:
+			l.flushOnce()
+			return
+		}
+	}
+}
+
+// flushOnce sweeps and encodes one batch to the sink.
+func (l *Log) flushOnce() {
+	recs := l.collect()
+	if len(recs) == 0 {
+		return
+	}
+	l.encBuf = l.encBuf[:0]
+	for i := range recs {
+		l.encBuf = AppendRecord(l.encBuf, &recs[i])
+		l.encBuf = append(l.encBuf, '\n')
+	}
+	l.sink.Write(l.encBuf)
+}
+
+// Close stops the drainer (if any), flushes buffered records to the sink,
+// and closes the sink. Safe on a nil log and safe to call twice.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.closeOnce.Do(func() { close(l.stop) })
+	<-l.done
+	if l.sink != nil {
+		return l.sink.Close()
+	}
+	return nil
+}

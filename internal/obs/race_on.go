@@ -1,0 +1,8 @@
+//go:build race
+
+package obs
+
+// RaceEnabled reports whether the race detector is compiled in. The
+// allocation-guard tests skip under it: the detector's shadow bookkeeping
+// allocates, making testing.AllocsPerRun meaningless.
+const RaceEnabled = true

@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/drs-repro/drs/internal/obs"
+)
+
+// TestAppendBatchZeroAllocs pins the durable admission hot path — frame,
+// CRC-32C, stage, group-commit write — at zero allocations per batch in
+// steady state (rotation excluded by an oversized segment). Every admit
+// ACK waits behind this path, so an allocation here is a regression the
+// suite should fail on, not a bench note.
+func TestAppendBatchZeroAllocs(t *testing.T) {
+	if obs.RaceEnabled {
+		t.Skip("AllocsPerRun is unreliable under -race")
+	}
+	l, _, err := Open(Options{
+		Dir:          t.TempDir(),
+		SegmentBytes: 1 << 30, // no rotation inside the measurement
+		SyncEvery:    10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	const batch = 64
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	recs := make([][]byte, batch)
+	for i := range recs {
+		recs[i] = payload
+	}
+	seq := uint64(0)
+	// Warm the staging buffers past their high-water mark first.
+	for i := 0; i < 32; i++ {
+		if err := l.AppendBatch(seq+1, recs); err != nil {
+			t.Fatal(err)
+		}
+		seq += batch
+	}
+	runtime.GC()
+	allocs := testing.AllocsPerRun(2000, func() {
+		if err := l.AppendBatch(seq+1, recs); err != nil {
+			t.Fatal(err)
+		}
+		seq += batch
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendBatch allocated %.3f/batch; want 0", allocs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // Default protocol timers. The heartbeat is deliberately fast — worker
@@ -51,6 +52,9 @@ type CoordinatorConfig struct {
 	// OnDeath fires when a worker's lease lapses or its connection dies,
 	// after the shuttle has failed its in-flight batches.
 	OnDeath func(machine int)
+	// DecisionLog, when set, receives worker-join/worker-death records
+	// (worker name, machine id) as the lease lifecycle turns over.
+	DecisionLog *obs.Log
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -78,6 +82,10 @@ type Coordinator struct {
 	joined  *sync.Cond // signaled on every join/death
 	closed  bool
 	wg      sync.WaitGroup
+
+	// Cumulative lease-lifecycle counters, exported via /metrics.
+	joins  atomic.Int64
+	deaths atomic.Int64
 }
 
 // NewCoordinator builds a coordinator; call Serve with a listener to
@@ -150,6 +158,9 @@ func (c *Coordinator) handle(conn net.Conn) {
 	if !c.register(machine, s) {
 		return
 	}
+	c.joins.Add(1)
+	c.cfg.DecisionLog.Emit(&obs.Record{Kind: obs.KindWorkerJoin,
+		Peer: hello.Worker, To: machine})
 	if c.cfg.OnJoin != nil {
 		c.cfg.OnJoin(machine)
 	}
@@ -158,6 +169,9 @@ func (c *Coordinator) handle(conn net.Conn) {
 	// race.
 	s.readLoop(c.cfg.Lease)
 	c.unregister(machine, s)
+	c.deaths.Add(1)
+	c.cfg.DecisionLog.Emit(&obs.Record{Kind: obs.KindWorkerDeath,
+		Peer: hello.Worker, To: machine})
 	if c.cfg.OnDeath != nil {
 		c.cfg.OnDeath(machine)
 	}
@@ -186,6 +200,12 @@ func (c *Coordinator) unregister(machine int, s *Shuttle) {
 	}
 	c.joined.Broadcast()
 	c.mu.Unlock()
+}
+
+// Counts reports the cumulative worker joins and deaths this coordinator
+// has seen — the lease-lifecycle counters behind /metrics.
+func (c *Coordinator) Counts() (joins, deaths int64) {
+	return c.joins.Load(), c.deaths.Load()
 }
 
 // Shuttle returns the live transport for a machine, or nil — callers bind

@@ -6,6 +6,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/drs-repro/drs/internal/engine"
@@ -43,6 +44,9 @@ type Worker struct {
 	hosted  map[string]*hostedBolt
 	closed  bool
 	readErr error
+
+	batches atomic.Int64
+	tuples  atomic.Int64
 }
 
 // hostedBolt is one bolt's worker-side runtime: a serialized processing
@@ -116,6 +120,20 @@ func Dial(cfg Config) (*Worker, error) {
 // Machine reports the pool machine id the coordinator leased to this
 // worker.
 func (w *Worker) Machine() int { return w.machine }
+
+// Counts reports how many batches and tuples this worker has processed
+// across all hosted bolts since it connected.
+func (w *Worker) Counts() (batches, tuples int64) {
+	return w.batches.Load(), w.tuples.Load()
+}
+
+// HostedBolts reports how many distinct bolts currently have a live
+// worker-side runner.
+func (w *Worker) HostedBolts() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.hosted)
+}
 
 // Seed reports the topology seed from the welcome.
 func (w *Worker) Seed() int64 { return w.seed }
@@ -247,6 +265,8 @@ func (w *Worker) runBolt(h *hostedBolt) {
 	var emits []engine.Values
 	emit := engine.Emit(func(v engine.Values) { emits = append(emits, v) })
 	for m := range h.batches {
+		w.batches.Add(1)
+		w.tuples.Add(int64(len(m.Items)))
 		res.Seq = m.Seq
 		res.Emitted = res.Emitted[:0]
 		res.Served = int64(len(m.Items))

@@ -17,9 +17,12 @@
 # (BenchmarkSchedulerArbitration), one degraded-pool arbitration with a
 # machine down (BenchmarkSchedulerFailover) and the sharded client
 # registry at a million token buckets (BenchmarkBucketShard — the
-# millions-of-users admission path) and the group-commit WAL's amortized
+# millions-of-users admission path), the group-commit WAL's amortized
 # per-record append at batch 64 (BenchmarkWALAppend — the durable admit
-# ACK path).
+# ACK path), the decision log's emit/encode paths (BenchmarkDecisionLog)
+# with "Logged" twins of the tick/arbitration/admit benchmarks pricing
+# observability on vs off, and a full /metrics render over a serve-sized
+# registry (BenchmarkMetricsScrape).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,7 +35,7 @@ if [ -z "$PR" ]; then
 fi
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard|BenchmarkWALAppend'
+PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard|BenchmarkWALAppend|BenchmarkDecisionLog|BenchmarkMetricsScrape'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)"
 echo "$RAW"
