@@ -22,9 +22,10 @@ test:
 # randomized scheduler property test, the ingest gate's sharded-registry
 # and concurrent-clients-vs-shed-threshold-flips tests, the group-commit
 # WAL's concurrent appenders, the simulator and the scenario generator's
-# determinism properties, and the decision log's
-# deciders-vs-drainer-vs-scrape-vs-sampling-knob storm, all under -race
-# here exactly as in CI.
+# determinism properties, the decision log's
+# deciders-vs-drainer-vs-scrape-vs-sampling-knob storm, and the tracer's
+# emitters-vs-drainer-vs-assembler-vs-scrape storm, all under -race here
+# exactly as in CI.
 race:
 	$(GO) test -race ./internal/engine/... ./internal/loop/... ./internal/metrics/... ./internal/cluster/... ./internal/sim/... ./internal/ingest/... ./internal/scenario/... ./internal/wal/... ./internal/worker/... ./internal/obs/...
 
@@ -39,6 +40,7 @@ test-fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzWALSegment -fuzztime $(FUZZTIME) ./internal/wal
 	$(GO) test -run '^$$' -fuzz FuzzWorkerFrame -fuzztime $(FUZZTIME) ./internal/worker
 	$(GO) test -run '^$$' -fuzz FuzzDecisionRecord -fuzztime $(FUZZTIME) ./internal/obs
+	$(GO) test -run '^$$' -fuzz FuzzTraceRecord -fuzztime $(FUZZTIME) ./internal/obs
 
 # Boots `drsctl serve` on a loopback port, pushes a client burst through
 # the HTTP front door and asserts a 2xx/429 split (admitted + backpressure).

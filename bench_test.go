@@ -432,9 +432,9 @@ func (s *gateSpout) Run(ctx engine.SpoutContext) error {
 // runEngineThroughput starts the topology, releases the spouts, and times
 // the drain of exactly b.N external tuples: ns/op is the per-external-tuple
 // cost of the full data plane (emit, route, enqueue, process, ack).
-func runEngineThroughput(b *testing.B, topo *engine.Topology, alloc map[string]int, gate chan struct{}) {
+func runEngineThroughput(b *testing.B, topo *engine.Topology, cfg engine.RunConfig, gate chan struct{}) {
 	b.Helper()
-	run, err := topo.Start(engine.RunConfig{Alloc: alloc})
+	run, err := topo.Start(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -476,7 +476,34 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runEngineThroughput(b, topo, map[string]int{"sink": 4}, gate)
+		runEngineThroughput(b, topo, engine.RunConfig{Alloc: map[string]int{"sink": 4}}, gate)
+	})
+	b.Run("single-bolt-traced", func(b *testing.B) {
+		// The tracing-enabled, sampled-out twin: a tracer is wired into the
+		// run but every root's trace id is zero, so the hot loop pays only
+		// the per-tuple `tree.trace != 0` check. EXPERIMENTS.md's cost-of-
+		// being-traced table pairs this with the bare single-bolt number;
+		// the data plane must stay allocation-free per external tuple.
+		tracer := obs.NewTracer(obs.TracerConfig{Shards: 4, ShardCapacity: 1 << 12})
+		defer tracer.Close()
+		gate := make(chan struct{})
+		const spouts = 4
+		topo, err := engine.NewTopology().
+			Spout("src", spouts, func(i int) engine.Spout {
+				return &gateSpout{total: b.N, instances: spouts, instance: i, gate: gate}
+			}).
+			Bolt("sink", 8, noop).
+			Shuffle("src", "sink").
+			Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		runEngineThroughput(b, topo,
+			engine.RunConfig{Alloc: map[string]int{"sink": 4}, Tracer: tracer}, gate)
+		if st := tracer.Stats(); st.Spans != 0 {
+			b.Fatalf("sampled-out run emitted %d spans", st.Spans)
+		}
 	})
 	b.Run("single-bolt-batch", func(b *testing.B) {
 		gate := make(chan struct{})
@@ -491,7 +518,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runEngineThroughput(b, topo, map[string]int{"sink": 4}, gate)
+		runEngineThroughput(b, topo, engine.RunConfig{Alloc: map[string]int{"sink": 4}}, gate)
 	})
 	b.Run("vld", func(b *testing.B) {
 		gate := make(chan struct{})
@@ -523,7 +550,8 @@ func BenchmarkEngineThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		runEngineThroughput(b, topo, map[string]int{"extract": 10, "match": 11, "aggregate": 1}, gate)
+		runEngineThroughput(b, topo,
+			engine.RunConfig{Alloc: map[string]int{"extract": 10, "match": 11, "aggregate": 1}}, gate)
 	})
 }
 
@@ -752,6 +780,37 @@ func BenchmarkIngest(b *testing.B) {
 			if i&(1<<11-1) == 1<<11-1 { // drain half-full, one lock round
 				g.Ring().PopBatch(done, buf)
 			}
+		}
+	})
+	b.Run("admit-traced", func(b *testing.B) {
+		// The same fast path with a tracer wired at a production sampling
+		// rate (10‰): every admit pays the deterministic sampling hash, one
+		// in a hundred also stamps a gate span. The sampled-out majority
+		// reads no clock and allocates nothing, so this must sit within a
+		// few ns of the bare "admit" number.
+		tracer := obs.NewTracer(obs.TracerConfig{
+			Shards: 4, ShardCapacity: 1 << 14, SamplePermille: 10,
+			Sink:       discardSink{},
+			FlushEvery: 200 * time.Microsecond,
+		})
+		defer tracer.Close()
+		g := ingest.NewGate(ingest.GateConfig{RingCapacity: 1 << 12, Tracer: tracer})
+		c := g.Client("bench", 1, 0, 0)
+		done := make(chan struct{})
+		buf := make([]engine.Values, 0, 1<<12)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if v := c.Offer(payload); !v.Admitted {
+				b.Fatalf("offer %d refused: %+v", i, v)
+			}
+			if i&(1<<11-1) == 1<<11-1 { // drain half-full, one lock round
+				g.Ring().PopBatch(done, buf)
+			}
+		}
+		b.StopTimer()
+		if st := tracer.Stats(); st.Dropped != 0 {
+			b.Fatalf("tracer rings overflowed: %d dropped", st.Dropped)
 		}
 	})
 	b.Run("admit-ratelimited", func(b *testing.B) {
@@ -987,6 +1046,93 @@ func BenchmarkDecisionLog(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			buf = obs.AppendRecord(buf[:0], &rec)
+		}
+		if len(buf) == 0 {
+			b.Fatal("empty encoding")
+		}
+	})
+}
+
+// BenchmarkTraceSpan measures the tracer's per-span hot path — what a
+// sampled-in tuple pays at each hop. "emit" is the copy-in of one span
+// into a per-shard ring (the drainer drains on its own clock); "sample"
+// is the deterministic per-root sampling decision every admit pays,
+// sampled-in or not; "encode" is the drainer-side canonical NDJSON
+// encoding of one full hop span. The sampled-in stamp budget is ≤~150 ns
+// and zero allocations.
+// discardSink is a no-op trace sink: it keeps the tracer's drainer running
+// (encode + sweep, off the emitters' critical path) without billing disk
+// writes to the benchmark.
+type discardSink struct{}
+
+func (discardSink) Write([]byte) {}
+func (discardSink) Close() error { return nil }
+
+func BenchmarkTraceSpan(b *testing.B) {
+	span := obs.SpanRecord{
+		Seq: 12345, Trace: 67890, Kind: obs.SpanService,
+		Bolt: "match", Tenant: "gold", Task: 7,
+		StartNS: 1_723_000_000_000_000_000, DurNS: 184_250,
+	}
+	b.Run("emit", func(b *testing.B) {
+		// A tight single-goroutine loop outruns any drainer by orders of
+		// magnitude (no sampled workload stamps spans back to back), so the
+		// bench swaps in a fresh tracer before the rings can fill: every
+		// measured emit is a successful copy-in, never the cheaper drop.
+		newTracer := func() *obs.Tracer {
+			return obs.NewTracer(obs.TracerConfig{Shards: 4, ShardCapacity: 1 << 15})
+		}
+		const window = 100_000 // < 4 shards x 32768 slots: no ring fills
+		tracer := newTracer()
+		emitted := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if emitted == window {
+				b.StopTimer()
+				if st := tracer.Stats(); st.Dropped != 0 {
+					b.Fatalf("dropped %d spans inside the window", st.Dropped)
+				}
+				if err := tracer.Close(); err != nil {
+					b.Fatal(err)
+				}
+				tracer = newTracer()
+				emitted = 0
+				b.StartTimer()
+			}
+			tracer.EmitSpan(&span)
+			emitted++
+		}
+		b.StopTimer()
+		if st := tracer.Stats(); st.Dropped != 0 {
+			b.Fatalf("dropped %d spans inside the window", st.Dropped)
+		}
+		if err := tracer.Close(); err != nil {
+			b.Fatal(err)
+		}
+	})
+	b.Run("sample", func(b *testing.B) {
+		tracer := obs.NewTracer(obs.TracerConfig{SamplePermille: 10})
+		defer tracer.Close()
+		hits := 0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if tracer.SampleTrace(uint64(i) + 1) {
+				hits++
+			}
+		}
+		b.StopTimer()
+		if b.N > 10000 && (hits < b.N/1000 || hits > b.N/10) {
+			b.Fatalf("10-permille sampling hit %d of %d", hits, b.N)
+		}
+	})
+	b.Run("encode", func(b *testing.B) {
+		buf := make([]byte, 0, 256)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = obs.AppendSpan(buf[:0], &span)
 		}
 		if len(buf) == 0 {
 			b.Fatal("empty encoding")

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|chaos|restart|all>
+//	drs-experiments [flags] <fig6|fig7|fig8|fig9|fig10|table2|baseline|shedding|overload|contention|churn|chaos|restart|trace|all>
 //
 // Flags:
 //
@@ -47,7 +47,7 @@ func run(args []string) error {
 	}
 	if fs.NArg() != 1 {
 		fs.Usage()
-		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn chaos restart all")
+		return fmt.Errorf("need exactly one experiment: fig6 fig7 fig8 fig9 fig10 table2 baseline shedding overload contention churn chaos restart trace all")
 	}
 	opts := experiments.Options{Seed: *seed, Duration: *duration}
 	apps, err := appsFor(*app)
@@ -81,6 +81,8 @@ func run(args []string) error {
 		return runChaos(opts, *scenarioPath)
 	case "restart":
 		return runRestart(opts)
+	case "trace":
+		return runTrace(opts)
 	case "all":
 		if err := runFig6(apps, opts); err != nil {
 			return err
@@ -116,6 +118,9 @@ func run(args []string) error {
 			return err
 		}
 		if err := runRestart(opts); err != nil {
+			return err
+		}
+		if err := runTrace(opts); err != nil {
 			return err
 		}
 		return runTable2(*iters)
@@ -169,6 +174,18 @@ func runChaos(opts experiments.Options, path string) error {
 // ingest stack: WAL recovery, checkpointed watermarks and replay.
 func runRestart(opts experiments.Options) error {
 	r, err := experiments.RunRestart(opts)
+	if err != nil {
+		return err
+	}
+	r.Print(os.Stdout)
+	return nil
+}
+
+// runTrace replays the chaos workload through the real engine with
+// per-tuple tracing on, locally and across live workers, and prints the
+// measured sojourn decomposition plus the determinism audit.
+func runTrace(opts experiments.Options) error {
+	r, err := experiments.RunTrace(opts)
 	if err != nil {
 		return err
 	}

@@ -2,8 +2,10 @@ package main
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/drs-repro/drs/internal/cluster"
+	"github.com/drs-repro/drs/internal/core"
 	"github.com/drs-repro/drs/internal/engine"
 	"github.com/drs-repro/drs/internal/ingest"
 	"github.com/drs-repro/drs/internal/loop"
@@ -20,6 +22,12 @@ var sojournBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25
 // shedFracBounds are the bucket boundaries for the per-tenant shed
 // fraction histogram (dimensionless, 0..1).
 var shedFracBounds = []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9}
+
+// traceBoundsNS are the bucket boundaries (nanoseconds) of the trace
+// latency-breakdown histograms: microseconds through seconds, log-spaced,
+// covering queue waits on an idle executor up to sojourns at the latency
+// target.
+var traceBoundsNS = []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 
 // serveMetrics is the serve daemon's exposition state: the registry the
 // /metrics handler scrapes and the per-tenant histograms the control loop
@@ -45,6 +53,34 @@ func newServeMetrics(tenant string) *serveMetrics {
 	}
 }
 
+// traceAssembler builds the trace assembler whose completed traces fold
+// into this registry: topology-wide queue-wait / service / shuttle
+// breakdown histograms plus per-bolt queue-wait and service families. The
+// assembler runs on the tracer's drainer goroutine; histograms are
+// atomic, so scrapes never block it.
+func (m *serveMetrics) traceAssembler(bolts []string) *obs.Assembler {
+	reg := m.reg
+	boltQ := make(map[string]*obs.Histogram, len(bolts))
+	boltS := make(map[string]*obs.Histogram, len(bolts))
+	for _, b := range bolts {
+		l := fmt.Sprintf("bolt=%q", b)
+		boltQ[b] = reg.Histogram("drs_trace_bolt_queue_wait_ns",
+			"Per-span queue wait by bolt, from sampled traces.", traceBoundsNS, l)
+		boltS[b] = reg.Histogram("drs_trace_bolt_service_ns",
+			"Per-span service time by bolt, from sampled traces.", traceBoundsNS, l)
+	}
+	return obs.NewAssembler(obs.AssemblerConfig{
+		QueueWait: reg.Histogram("drs_trace_queue_wait_ns",
+			"Summed queue wait per completed sampled trace.", traceBoundsNS, ""),
+		Service: reg.Histogram("drs_trace_service_ns",
+			"Summed service time per completed sampled trace.", traceBoundsNS, ""),
+		Shuttle: reg.Histogram("drs_trace_shuttle_ns",
+			"Summed remote shuttle time per completed sampled trace.", traceBoundsNS, ""),
+		BoltQueueWait: boltQ,
+		BoltService:   boltS,
+	})
+}
+
 // register wires every serve-side metric family against the live
 // components. Nil components (no WAL, no worker tier, no decision log)
 // skip their families, so the exposition always reflects what is actually
@@ -52,7 +88,7 @@ func newServeMetrics(tenant string) *serveMetrics {
 // at scrape time.
 func (m *serveMetrics) register(gate *ingest.Gate, run *engine.Run, bolts []string,
 	sup *loop.Supervisor, lease *cluster.Tenant, pool *cluster.Pool,
-	walLog *wal.Log, coord *worker.Coordinator, dlog *obs.Log) {
+	walLog *wal.Log, coord *worker.Coordinator, dlog *obs.Log, tracer *obs.Tracer) {
 	reg := m.reg
 
 	// Admission gate: offered/admitted and the shed split are cumulative
@@ -126,6 +162,51 @@ func (m *serveMetrics) register(gate *ingest.Gate, run *engine.Run, bolts []stri
 			obs.Counter, "", func() float64 { j, _ := coord.Counts(); return float64(j) })
 		reg.Func("drs_worker_deaths_total", "Worker leases lapsed or connections lost.",
 			obs.Counter, "", func() float64 { _, d := coord.Counts(); return float64(d) })
+	}
+
+	// The model's own verdict beside the measured trace decomposition: the
+	// predicted mean sojourn E[T] (Equation 3) for the allocation in force,
+	// recomputed at scrape time from the supervisor's latest snapshot. A
+	// scrape therefore reads measured (drs_trace_*) and predicted sojourn
+	// from the same instant — the measured-vs-model comparison is one query.
+	var (
+		modelMu sync.Mutex
+		model   core.Model
+	)
+	reg.Func("drs_model_predicted_sojourn_ns", "Model-predicted mean sojourn E[T] for the current allocation.",
+		obs.Gauge, "", func() float64 {
+			snap, ok := sup.LastSnapshot()
+			if !ok || len(snap.Ops) == 0 || snap.Lambda0 <= 0 || len(snap.Alloc) != len(snap.Ops) {
+				return 0
+			}
+			modelMu.Lock()
+			defer modelMu.Unlock()
+			if err := model.Reset(snap.Lambda0, snap.Ops); err != nil {
+				return 0
+			}
+			et, err := model.ExpectedSojourn(snap.Alloc)
+			if err != nil {
+				return 0
+			}
+			return et * 1e9
+		})
+
+	// Tracing self-accounting — only when the tracer is enabled.
+	if tracer != nil {
+		reg.Func("drs_trace_spans_total", "Spans emitted into the tracer's rings.",
+			obs.Counter, "", func() float64 { return float64(tracer.Stats().Spans) })
+		reg.Func("drs_trace_spans_dropped_total", "Spans dropped on tracer ring overflow.",
+			obs.Counter, "", func() float64 { return float64(tracer.Stats().Dropped) })
+		if asm := tracer.Assembler(); asm != nil {
+			reg.Func("drs_trace_started_total", "Sampled traces the assembler has seen spans for.",
+				obs.Counter, "", func() float64 { return float64(asm.Stats().Started) })
+			reg.Func("drs_trace_completed_total", "Sampled traces assembled to completion.",
+				obs.Counter, "", func() float64 { return float64(asm.Stats().Completed) })
+			reg.Func("drs_trace_lost_total", "Spans discarded because the pending-trace table was full.",
+				obs.Counter, "", func() float64 { return float64(asm.Stats().Lost) })
+			reg.Func("drs_trace_pending", "Traces currently awaiting their root span.",
+				obs.Gauge, "", func() float64 { return float64(asm.Stats().Pending) })
+		}
 	}
 
 	// Decision log self-accounting — only when the log is enabled.

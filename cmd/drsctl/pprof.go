@@ -1,0 +1,18 @@
+package main
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// registerPprof mounts net/http/pprof on an explicit mux. The daemons
+// build their own muxes (the default mux would expose pprof on every
+// listener unconditionally), so the handlers are mounted by hand — the
+// same routes the package's init would claim on http.DefaultServeMux.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

@@ -62,6 +62,9 @@ func cmdServe(tf topoFile, args []string) error {
 	decisionSample := fs.Int("decision-sample", 1000, "decision log sampling rate in permille (1000 = keep everything)")
 	workerListen := fs.String("worker-listen", "", "worker registration address: `drsctl worker` processes host executors over framed TCP (empty = all in-process)")
 	minWorkers := fs.Int("min-workers", 0, "workers to wait for before opening the ingest listeners")
+	traceDir := fs.String("trace", "", "trace directory: sampled per-tuple root spans from gate to ack as rotating NDJSON (empty = disabled)")
+	traceSample := fs.Int("trace-sample", 10, "trace sampling rate in permille (1000 = trace every admitted record)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the HTTP listener")
 	verbose := fs.Bool("v", false, "log every loop event")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +80,12 @@ func cmdServe(tf topoFile, args []string) error {
 	}
 	if *decisionSample < 0 || *decisionSample > 1000 {
 		return fmt.Errorf("-decision-sample wants permille in [0,1000], got %d", *decisionSample)
+	}
+	if *traceSample < 1 || *traceSample > 1000 {
+		return fmt.Errorf("-trace-sample wants permille in [1,1000], got %d", *traceSample)
+	}
+	if *pprofFlag && *httpAddr == "" {
+		return fmt.Errorf("-pprof needs the -http listener")
 	}
 	weightMap, err := parseWeights(*weights)
 	if err != nil {
@@ -147,6 +156,32 @@ func cmdServe(tf topoFile, args []string) error {
 	}
 	metrics := newServeMetrics("serve")
 
+	// Per-tuple tracing: deterministic hash sampling at the admission ring,
+	// spans from every stage stitched by the assembler into the latency
+	// breakdown histograms, raw traces into rotating NDJSON.
+	var tracer *obs.Tracer
+	if *traceDir != "" {
+		tsink, err := obs.NewFileSinkNamed(*traceDir, "trace", 0)
+		if err != nil {
+			return fmt.Errorf("trace sink: %w", err)
+		}
+		opNames := make([]string, len(tf.Operators))
+		for i, op := range tf.Operators {
+			opNames[i] = op.Name
+		}
+		tracer = obs.NewTracer(obs.TracerConfig{
+			SamplePermille: *traceSample,
+			Sink:           tsink,
+			Assembler:      metrics.traceAssembler(opNames),
+		})
+		defer func() {
+			if err := tracer.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "drsctl: tracer close:", err)
+			}
+		}()
+		fmt.Printf("tracing in %s (sampling %d permille)\n", *traceDir, *traceSample)
+	}
+
 	// The gate, then the engine behind it: a NetworkSpout drains the
 	// gate's source into the entry operator.
 	maxSlots := *slots * *maxMachines
@@ -157,6 +192,7 @@ func cmdServe(tf topoFile, args []string) error {
 		RingCapacity: *ringCap,
 		ReplanEvery:  time.Duration(*intervalMS) * time.Millisecond,
 		DecisionLog:  dlog,
+		Tracer:       tracer,
 	})
 	if walLog != nil {
 		if err := gate.AttachWAL(walLog); err != nil {
@@ -203,7 +239,7 @@ func cmdServe(tf topoFile, args []string) error {
 	if err != nil {
 		return err
 	}
-	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 30 * time.Second, DecisionLog: dlog})
+	run, err := topo.Start(engine.RunConfig{Alloc: alloc, QuiesceTimeout: 30 * time.Second, DecisionLog: dlog, Tracer: tracer})
 	if err != nil {
 		return err
 	}
@@ -429,7 +465,7 @@ func cmdServe(tf topoFile, args []string) error {
 
 	// Every metric family reads live components, so registration waits
 	// until the whole daemon is assembled.
-	metrics.register(gate, run, names, sup, lease, pool, walLog, coord, dlog)
+	metrics.register(gate, run, names, sup, lease, pool, walLog, coord, dlog, tracer)
 
 	lcfg := ingest.ListenerConfig{
 		Weights: weightMap,
@@ -445,6 +481,10 @@ func cmdServe(tf topoFile, args []string) error {
 		mux := http.NewServeMux()
 		mux.Handle("/", ingest.Handler(gate, lcfg))
 		mux.Handle("/metrics", metrics.reg.Handler())
+		if *pprofFlag {
+			registerPprof(mux)
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", l.Addr())
+		}
 		httpSrv = &http.Server{Handler: mux}
 		go httpSrv.Serve(l)
 		fmt.Printf("HTTP ingest on http://%s/ingest (stats on /stats, Prometheus on /metrics)\n", l.Addr())

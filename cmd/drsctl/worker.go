@@ -36,11 +36,15 @@ func cmdWorker(tf topoFile, args []string) error {
 	name := fs.String("name", "", "worker name for diagnostics (default host-pid)")
 	retryFor := fs.Float64("retry-for", 10, "seconds to keep retrying the initial connect (serve may still be booting)")
 	metricsAddr := fs.String("metrics", "", "Prometheus /metrics listen address (empty disables)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ on the -metrics listener")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *connect == "" {
 		return fmt.Errorf("-connect is required")
+	}
+	if *pprofFlag && *metricsAddr == "" {
+		return fmt.Errorf("-pprof needs the -metrics listener")
 	}
 	if *name == "" {
 		host, _ := os.Hostname()
@@ -92,6 +96,10 @@ func cmdWorker(tf topoFile, args []string) error {
 			obs.Counter, "", func() float64 { _, t := w.Counts(); return float64(t) })
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		if *pprofFlag {
+			registerPprof(mux)
+			fmt.Printf("worker %q: pprof on http://%s/debug/pprof/\n", *name, l.Addr())
+		}
 		go func() { _ = http.Serve(l, mux) }()
 		fmt.Printf("worker %q: Prometheus on http://%s/metrics\n", *name, l.Addr())
 	}

@@ -32,6 +32,7 @@ var emitterSeq atomic.Uint64
 type emitter struct {
 	r        *Run
 	tree     *ackTree // tree of the tuple currently being processed
+	handoff  int64    // wall stamp copied onto buffered children (tracing)
 	children int      // tuples buffered across dests
 	rootMark int      // children count when the current root scope opened
 	ndests   int      // live prefix of dests
@@ -88,10 +89,14 @@ func (em *emitter) emit(edges []int, v Values) {
 	}
 }
 
-// add buffers one child for the executor owning task in rt.
+// add buffers one child for the executor owning task in rt. The handoff
+// stamp is copied unconditionally (one store) but only meaningful when
+// the tree is traced: root scopes set it to the batch's arrival stamp
+// up front, and a traced bolt hop overwrites its children's stamps with
+// the service-end time via stampHandoffs before flushing.
 func (em *emitter) add(to int, rt *routeTable, task int, v Values) {
 	ex := rt.execs[rt.assign[task]]
-	it := queueItem{task: task, tup: Tuple{Values: v, tree: em.tree}}
+	it := queueItem{task: task, tup: Tuple{Values: v, tree: em.tree, handoff: em.handoff}}
 	for i := 0; i < em.ndests; i++ {
 		if em.dests[i].ex == ex {
 			em.dests[i].items = append(em.dests[i].items, it)
@@ -108,6 +113,21 @@ func (em *emitter) add(to int, rt *routeTable, task int, v Values) {
 	d.to = to
 	d.items = append(d.items[:0], it)
 	em.children++
+}
+
+// stampHandoffs overwrites the handoff stamp of every buffered child
+// with ns — a traced bolt hop's service end, read after Process returned
+// but before the children are enqueued, so each child's queue-wait span
+// starts exactly at its parent's service end. Only called on traced
+// hops, whose emit scope flushes per tuple, so the buffered children are
+// exactly the current tuple's.
+func (em *emitter) stampHandoffs(ns int64) {
+	for i := 0; i < em.ndests; i++ {
+		items := em.dests[i].items
+		for j := range items {
+			items[j].tup.handoff = ns
+		}
+	}
 }
 
 // flush closes the emit scope of a processed tuple: it registers all

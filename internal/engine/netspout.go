@@ -31,6 +31,30 @@ type AckBatchSource interface {
 	PopBatchAcked(done <-chan struct{}, buf []Values) (batch []Values, ack func(), ok bool)
 }
 
+// TracedBatchSource is an AckBatchSource whose payloads carry trace ids
+// assigned at the ingest gate (0 = untraced; nonzero only for roots that
+// won the deterministic sampling hash). A NetworkSpout drains it through
+// PopBatchTraced when the run's SpoutContext supports traced injection,
+// so the trace context crosses the ring without widening the payload.
+type TracedBatchSource interface {
+	BatchSource
+	// PopBatchTraced is PopBatchAcked additionally filling ids with the
+	// trace id of each popped payload, aligned with the returned batch
+	// (traces aliases ids as batch aliases buf). ack may be nil.
+	PopBatchTraced(done <-chan struct{}, buf []Values, ids []uint64) (batch []Values, traces []uint64, ack func(), ok bool)
+}
+
+// TracedSpoutContext is the traced-injection seam: the engine's spout
+// context implements it, and sources that carry trace ids are injected
+// through EmitBatchTraced so each root's ack tree inherits its id.
+type TracedSpoutContext interface {
+	SpoutContext
+	// EmitBatchTraced is EmitBatchAcked for payloads with trace ids
+	// (traces[i] == 0 injects an untraced root); done may be nil for a
+	// batch that needs no completion tracking.
+	EmitBatchTraced(vs []Values, traces []uint64, done func())
+}
+
 // NetworkSpout adapts a BatchSource to the Spout interface: it drains the
 // source in batches and injects each batch through SpoutContext.EmitBatch,
 // so a whole network read's worth of tuples shares one clock stamp and one
@@ -52,14 +76,27 @@ func (s *NetworkSpout) Run(ctx SpoutContext) error {
 		max = 256
 	}
 	acked, _ := s.Source.(AckBatchSource)
+	traced, _ := s.Source.(TracedBatchSource)
+	tctx, _ := ctx.(TracedSpoutContext)
+	if tctx == nil {
+		traced = nil // no traced seam downstream; ids would be dropped
+	}
 	buf := make([]Values, 0, max)
+	var ids []uint64
+	if traced != nil {
+		ids = make([]uint64, 0, max)
+	}
 	for {
 		var batch []Values
+		var traceIDs []uint64
 		var ack func()
 		var ok bool
-		if acked != nil {
+		switch {
+		case traced != nil:
+			batch, traceIDs, ack, ok = traced.PopBatchTraced(ctx.Done(), buf, ids)
+		case acked != nil:
 			batch, ack, ok = acked.PopBatchAcked(ctx.Done(), buf)
-		} else {
+		default:
 			batch, ok = s.Source.PopBatch(ctx.Done(), buf)
 		}
 		if !ok {
@@ -73,9 +110,12 @@ func (s *NetworkSpout) Run(ctx SpoutContext) error {
 				time.Sleep(time.Millisecond)
 			}
 		}
-		if ack != nil {
+		switch {
+		case traceIDs != nil:
+			tctx.EmitBatchTraced(batch, traceIDs, ack)
+		case ack != nil:
 			ctx.EmitBatchAcked(batch, ack)
-		} else {
+		default:
 			ctx.EmitBatch(batch)
 		}
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"sync"
+	"time"
 
 	"github.com/drs-repro/drs/internal/obs"
 )
@@ -56,6 +57,11 @@ type RemoteItem struct {
 	Task int
 	// Values is the tuple payload.
 	Values Values
+	// Traced marks a tuple whose processing tree carries a sampled trace
+	// id: the transport ships the flag with the batch and the worker
+	// measures this item's queue wait and service time individually,
+	// reporting them back through the result's trace block.
+	Traced bool
 }
 
 // RemoteResult is the outcome of one remotely processed batch.
@@ -72,6 +78,15 @@ type RemoteResult struct {
 	Served, Sampled, BusyNanos, BusySqMicros int64
 	// Errors counts items whose Process call failed on the worker.
 	Errors int64
+	// TraceIdx lists, in ascending order, the batch indices of items the
+	// worker measured individually (those sent with Traced set); TraceWaitNS
+	// and TraceServiceNS align with it. The wait is measured from the
+	// batch's arrival at the worker to that item's Process start, and the
+	// service time is the worker-local Process duration — both on the
+	// worker's own clock, so they are clock-skew-free durations. Like
+	// Emitted, the slices are valid only during the done callback.
+	TraceIdx                    []uint32
+	TraceWaitNS, TraceServiceNS []int64
 }
 
 // RemoteExecutor ships tuple batches to an executor hosted outside this
@@ -188,6 +203,7 @@ func (r *Run) runRemoteExecutor(br *boltRuntime, ex *executor) {
 	// The emitter is touched only inside done callbacks, which the
 	// transport serializes; the drain loop itself never uses it.
 	em := newEmitter(r)
+	tracer := r.cfg.Tracer
 	var spare []queueItem
 	items := make([]RemoteItem, RemoteBatchCap)
 	for {
@@ -214,10 +230,19 @@ func (r *Run) runRemoteExecutor(br *boltRuntime, ex *executor) {
 				return
 			}
 			pin := getPin()
+			hasTraced := false
 			for i := 0; i < cnt; i++ {
 				it := ring[(head+base+i)&mask]
 				pin.items = append(pin.items, it)
-				items[i] = RemoteItem{Task: it.task, Values: it.tup.Values}
+				traced := tracer != nil && it.tup.tree.trace != 0
+				hasTraced = hasTraced || traced
+				items[i] = RemoteItem{Task: it.task, Values: it.tup.Values, Traced: traced}
+			}
+			// The send stamp anchors the batch's shuttle segments; untraced
+			// batches pay no clock read.
+			var sentNS int64
+			if hasTraced {
+				sentNS = time.Now().UnixNano()
 			}
 			err := ex.remote.ProcessBatch(br.spec.name, items[:cnt], func(res RemoteResult, rerr error) {
 				defer func() { <-ex.sem }()
@@ -225,7 +250,7 @@ func (r *Run) runRemoteExecutor(br *boltRuntime, ex *executor) {
 					r.replayPin(br, ex, pin)
 					return
 				}
-				r.applyRemote(br, em, ex, pin, res)
+				r.applyRemote(br, em, ex, pin, res, sentNS)
 			})
 			if err != nil {
 				<-ex.sem
@@ -250,17 +275,58 @@ func (r *Run) runRemoteExecutor(br *boltRuntime, ex *executor) {
 // children route through a normal emitter (fork-before-enqueue preserved)
 // and its tree acks — the exact sequence the local hot loop performs inline
 // — then the worker-measured probe aggregates fold into the executor probe.
-func (r *Run) applyRemote(br *boltRuntime, em *emitter, ex *executor, pin *pinBatch, res RemoteResult) {
+//
+// Traced items decompose their remote hop into three telescoping segments
+// on the serve-side clock: queue wait = (send − handoff) + worker wait,
+// service = the worker-measured duration, shuttle = the round trip minus
+// both — summing exactly to recv − handoff, so the trace's segment sum
+// still reconciles with the root sojourn even though the service ran on
+// another machine's clock. Children of a traced item hand off at recv.
+func (r *Run) applyRemote(br *boltRuntime, em *emitter, ex *executor, pin *pinBatch, res RemoteResult, sentNS int64) {
+	tracer := r.cfg.Tracer
+	var recv time.Time
+	var recvNS int64
+	if tracer != nil && len(res.TraceIdx) > 0 {
+		recv = time.Now()
+		recvNS = recv.UnixNano()
+		em.handoff = recvNS
+	}
+	traceCur := 0
+	var span obs.SpanRecord // reused scratch; EmitSpan copies it out
 	for i := range pin.items {
 		tree := pin.items[i].tup.tree
+		traced := recvNS != 0 && traceCur < len(res.TraceIdx) && int(res.TraceIdx[traceCur]) == i
 		em.begin(tree)
+		if traced {
+			// Spans go into the tracer's rings before this item's children
+			// are enqueued (happens-before the root span; see runExecutor).
+			handoff := pin.items[i].tup.handoff
+			waitNS := res.TraceWaitNS[traceCur]
+			svcNS := res.TraceServiceNS[traceCur]
+			traceCur++
+			task := pin.items[i].task
+			span = obs.SpanRecord{Trace: tree.trace, Kind: obs.SpanQueue, Bolt: br.spec.name,
+				Task: task, Remote: true, StartNS: handoff, DurNS: (sentNS - handoff) + waitNS}
+			tracer.EmitSpan(&span)
+			span = obs.SpanRecord{Trace: tree.trace, Kind: obs.SpanService, Bolt: br.spec.name,
+				Task: task, Remote: true, StartNS: sentNS + waitNS, DurNS: svcNS}
+			tracer.EmitSpan(&span)
+			span = obs.SpanRecord{Trace: tree.trace, Kind: obs.SpanShuttle, Bolt: br.spec.name,
+				Task: task, Remote: true, StartNS: sentNS, DurNS: (recvNS - sentNS) - waitNS - svcNS}
+			tracer.EmitSpan(&span)
+			tree.noteEnd(recvNS)
+		}
 		if i < len(res.Emitted) {
 			for _, v := range res.Emitted[i] {
 				em.emit(br.outEdges, v)
 			}
 		}
 		em.flush()
-		tree.ackLazy()
+		if traced {
+			tree.ack(recv)
+		} else {
+			tree.ackLazy()
+		}
 	}
 	if res.Errors > 0 {
 		br.errCount.Add(res.Errors)

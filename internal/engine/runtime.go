@@ -36,6 +36,12 @@ type RunConfig struct {
 	// remote binding swapped for a local replacement). Emission happens on
 	// the heal path, never per tuple.
 	DecisionLog *obs.Log
+	// Tracer, when set, receives latency spans for roots whose trees carry
+	// a sampled trace id (see TracedSpoutContext): per-hop queue-wait and
+	// service segments, remote shuttle segments, and the closing root
+	// span. Untraced tuples pay one branch per hop; sampled-out roots pay
+	// nothing here at all (sampling is decided at the source).
+	Tracer *obs.Tracer
 }
 
 // executor is one processor: a goroutine draining an input queue, either
@@ -283,11 +289,13 @@ func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
 	defer close(ex.done)
 	em := newEmitter(r)
 	emit := Emit(func(v Values) { em.emit(br.outEdges, v) })
-	var spare []queueItem // cleared ring handed back to the queue each round
+	tracer := r.cfg.Tracer
+	var span obs.SpanRecord // reused span scratch; EmitSpan copies it out
+	var spare []queueItem   // cleared ring handed back to the queue each round
 	nm := ex.probe.SampleStride()
 	var sinceSample int64 // stride phase, carried across batches
 	var now time.Time     // start-of-service mark, valid only when chained
-	chained := false      // now holds the previous sampled tuple's end
+	chained := false      // now holds the previous timed tuple's end
 	for {
 		ring, head, n, ok := ex.q.popAll(spare)
 		if !ok {
@@ -308,26 +316,50 @@ func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
 				return
 			}
 			it := &ring[(head+i)&mask]
-			// A sampled duration must cover exactly one tuple: read a fresh
-			// start unless the previous tuple was sampled too (Nm = 1), in
-			// which case its end is this tuple's start. Unsampled tuples
-			// pay no clock read at all.
+			// A timed duration must cover exactly one tuple: read a fresh
+			// start unless the previous tuple was timed too, in which case
+			// its end is this tuple's start. Tuples that are neither
+			// sampled nor traced pay no clock read at all.
+			tree := it.tup.tree
+			traced := tracer != nil && tree.trace != 0
 			sampleThis := sinceSample+1 == nm
-			if sampleThis && !chained {
+			if (sampleThis || traced) && !chained {
 				now = time.Now()
 			}
-			em.begin(it.tup.tree)
+			em.begin(tree)
 			if err := br.instances[it.task].Process(it.tup, emit); err != nil {
 				br.errCount.Add(1)
 				heldErr := err // escapes only on the error path
 				br.lastErr.Store(&heldErr)
 			}
-			em.flush()
-			tree := it.tup.tree
+			var end time.Time
+			if traced {
+				// The service end is read before the children are enqueued:
+				// it is their queue-wait start (stampHandoffs), and both hop
+				// spans must be in the tracer's rings before any enqueued
+				// child can complete the root downstream — the assembler
+				// counts on segment emission happening-before the root span.
+				end = time.Now()
+				startNS, endNS := now.UnixNano(), end.UnixNano()
+				tree.noteEnd(endNS)
+				em.stampHandoffs(endNS)
+				span = obs.SpanRecord{Trace: tree.trace, Kind: obs.SpanQueue, Bolt: br.spec.name,
+					Task: it.task, StartNS: it.tup.handoff, DurNS: startNS - it.tup.handoff}
+				tracer.EmitSpan(&span)
+				span = obs.SpanRecord{Trace: tree.trace, Kind: obs.SpanService, Bolt: br.spec.name,
+					Task: it.task, StartNS: startNS, DurNS: endNS - startNS}
+				tracer.EmitSpan(&span)
+				em.flush()
+			} else {
+				em.flush()
+				if sampleThis {
+					end = time.Now()
+				}
+			}
 			*it = queueItem{} // release references before handing the ring back
-			if sampleThis {
+			switch {
+			case sampleThis:
 				sinceSample = 0
-				end := time.Now()
 				d := end.Sub(now)
 				sampled++
 				busyNanos += int64(d)
@@ -336,7 +368,14 @@ func (r *Run) runExecutor(br *boltRuntime, ex *executor) {
 				tree.ack(end)
 				now = end
 				chained = nm == 1
-			} else {
+			case traced:
+				sinceSample++
+				// The traced ack carries the end stamp so a completing leaf
+				// closes its trace exactly at its own service end.
+				tree.ack(end)
+				now = end
+				chained = true
+			default:
 				sinceSample++
 				chained = false
 				// The tree reads its own clock in the rare case this ack
@@ -438,6 +477,49 @@ func (c *spoutCtx) EmitBatchAcked(vs []Values, done func()) {
 		entry := r.timeouts.watch(now)
 		tree := newRootFor(r, now, entry)
 		tree.batch = b
+		c.em.beginRoot(tree)
+		c.em.emit(edges, v)
+		c.em.sealRoot(now)
+	}
+	c.em.pushDests()
+}
+
+// EmitBatchTraced is the TracedSpoutContext injection path: EmitBatchAcked
+// semantics (done may be nil — then no completion tracking at all), plus
+// each root whose traces[i] is nonzero inherits that trace id and the
+// batch's arrival wall stamp. The stamp doubles as the emitter handoff, so
+// a traced root's first hop measures queue wait from the moment the batch
+// left the source ring.
+func (c *spoutCtx) EmitBatchTraced(vs []Values, traces []uint64, done func()) {
+	r := c.run
+	if len(vs) == 0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	// A stopped run drops without acking (see EmitBatchAcked).
+	if r.stopped.Load() {
+		return
+	}
+	var b *batchAck
+	if done != nil {
+		b = &batchAck{done: done}
+		b.pending.Store(int64(len(vs)))
+	}
+	now := time.Now()
+	nowNS := now.UnixNano()
+	c.em.handoff = nowNS
+	edges := r.spouts[c.spoutIdx].outEdges
+	r.roots.startN(c.shard, int64(len(vs)))
+	for i, v := range vs {
+		entry := r.timeouts.watch(now)
+		tree := newRootFor(r, now, entry)
+		tree.batch = b
+		if traces[i] != 0 {
+			tree.trace = traces[i]
+			tree.arrivedNS = nowNS
+		}
 		c.em.beginRoot(tree)
 		c.em.emit(edges, v)
 		c.em.sealRoot(now)

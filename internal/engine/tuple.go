@@ -4,6 +4,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // Values is the payload of a tuple: a positional field list, as in Storm.
@@ -15,6 +17,11 @@ type Tuple struct {
 	// Values is the tuple payload.
 	Values Values
 	tree   *ackTree
+	// handoff is the parent's service-end wall stamp (unix nanoseconds),
+	// read only when the tuple's tree is traced: the child's queue-wait
+	// span starts exactly where the parent's service span ended, so a
+	// trace's segments telescope with no gaps or overlaps.
+	handoff int64
 }
 
 // ackTree tracks one external tuple's processing tree: it completes when
@@ -37,6 +44,23 @@ type ackTree struct {
 	// is first allocated; distinct pool objects land on distinct shards,
 	// spreading concurrent completions across cache lines.
 	shard uint32
+	// trace is the sampled trace id (0 = untraced — the common case).
+	// Children share the tree pointer, so the id rides the whole
+	// processing tree for free; completion emits the root span and
+	// clears it before the tree is pooled.
+	trace uint64
+	// arrivedNS is the root's arrival wall stamp, set only for traced
+	// roots: trace segments are wall-clock diffs, so the root span (and
+	// the traced root's book entry) must be too, or the telescoped
+	// segment sum would drift from the sojourn by clock-step noise.
+	arrivedNS int64
+	// endNS is the maximum segment-end stamp any traced ack has recorded
+	// (noteEnd). The completing ack is the last to *execute*, not the one
+	// with the latest stamp — a parent that read its end before flushing
+	// children can ack after a child already did — so the root span must
+	// close at the max across acks or a trace's segments could extend
+	// past its sojourn. Untraced trees never touch it.
+	endNS atomic.Int64
 }
 
 var treeShardSeq atomic.Uint32
@@ -81,9 +105,40 @@ func (t *ackTree) ackLazy() {
 	}
 }
 
+// noteEnd records a traced hop's segment-end stamp before its ack, keeping
+// the running maximum. Called only on traced paths; the pending counter
+// orders every noteEnd before the completing read in complete.
+func (t *ackTree) noteEnd(ns int64) {
+	for {
+		cur := t.endNS.Load()
+		if ns <= cur || t.endNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
 func (t *ackTree) complete(now time.Time) {
 	r := t.run
 	sojourn := now.Sub(t.arrived)
+	if t.trace != 0 {
+		// Traced roots book the same wall-stamp sojourn their trace
+		// carries, so the root span reconciles bit-for-bit with both the
+		// segment telescope and the root log. The root closes at the max
+		// segment end any ack noted, not the completing ack's own stamp —
+		// the two differ when a parent's ack executes after its child's.
+		endNS := now.UnixNano()
+		if m := t.endNS.Load(); m > endNS {
+			endNS = m
+		}
+		t.endNS.Store(0)
+		ns := endNS - t.arrivedNS
+		sojourn = time.Duration(ns)
+		if tr := r.cfg.Tracer; tr != nil {
+			span := obs.SpanRecord{Trace: t.trace, Kind: obs.SpanRoot, StartNS: t.arrivedNS, DurNS: ns}
+			tr.EmitSpan(&span)
+		}
+		t.trace, t.arrivedNS = 0, 0
+	}
 	r.timeouts.resolve(t.entry, now)
 	r.roots.complete(t.shard, sojourn)
 	if b := t.batch; b != nil {

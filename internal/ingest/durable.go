@@ -61,6 +61,18 @@ func (s *DurableSource) PopBatchAcked(done <-chan struct{}, buf []engine.Values)
 	return batch, s.tr.Deliver(s.popped), true
 }
 
+// PopBatchTraced implements engine.TracedBatchSource: PopBatchAcked with
+// each payload's trace id alongside, so durable ingest and tracing
+// compose — the watermark ack and the trace context ride the same pop.
+func (s *DurableSource) PopBatchTraced(done <-chan struct{}, buf []engine.Values, ids []uint64) ([]engine.Values, []uint64, func(), bool) {
+	batch, traces, ok := s.ring.popBatch(done, buf, ids)
+	if !ok {
+		return nil, nil, nil, false
+	}
+	s.popped += uint64(len(batch))
+	return batch, traces, s.tr.Deliver(s.popped), true
+}
+
 // AttachWAL puts the gate in durable mode: admission seqs continue from
 // the log's recovered ack watermark, Offer appends before acknowledging,
 // and the log's unacked records are staged for Replay. Call once, before
@@ -108,7 +120,7 @@ func (g *Gate) Replay() (int, error) {
 	for i, rec := range pending {
 		v := engine.Values{rec.Payload}
 		for {
-			if _, ok := g.ring.tryPushSeq(v); ok {
+			if _, _, ok := g.ring.tryPushSeq(v); ok {
 				break
 			}
 			if g.closed.Load() {

@@ -137,6 +137,14 @@ type GateConfig struct {
 	// Appendix-B scale-out verdict. Replan runs off the admit path, so
 	// the 0-alloc Offer fast path is untouched.
 	DecisionLog *obs.Log
+	// Tracer, when set, samples admitted records at the ring push: a
+	// record whose admission seq wins the tracer's deterministic hash
+	// carries that seq as its trace id through the ring, the spout and
+	// every hop to the final ack (see engine.TracedSpoutContext). A
+	// sampled admit emits a gate span (and, in durable mode, a WAL span
+	// covering the append); a sampled-out admit pays one hash — no clock
+	// read, no allocation.
+	Tracer *obs.Tracer
 }
 
 // GateStats is a point-in-time reading of the gate's cumulative counters.
@@ -245,6 +253,7 @@ func NewGate(cfg GateConfig) *Gate {
 		clients: newClientMap(),
 		control: cfg.Control,
 	}
+	g.ring.tracer = cfg.Tracer
 	g.admitFraction.store(1)
 	g.scaleOutViable.Store(true)
 	return g
@@ -560,12 +569,18 @@ func (c *Client) Offer(v engine.Values) Verdict {
 			g.intervalShed.Add(1)
 			return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
 		}
-		seq, pushed := g.ring.tryPushSeq(v)
+		seq, trace, pushed := g.ring.tryPushSeq(v)
 		if !pushed {
 			c.shed.Add(1)
 			g.shedBacklog.Add(1)
 			g.intervalShed.Add(1)
 			return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+		}
+		// Sampled admits bracket the WAL append with wall stamps; the
+		// sampled-out path never reads a clock for tracing.
+		var walStart int64
+		if trace != 0 {
+			walStart = g.cfg.Now().UnixNano()
 		}
 		if err := l.Append(seq, rec); err != nil {
 			// The record is in the ring and may process, but the client is
@@ -576,15 +591,32 @@ func (c *Client) Offer(v engine.Values) Verdict {
 			g.intervalShed.Add(1)
 			return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
 		}
+		if trace != 0 {
+			tr := g.cfg.Tracer
+			span := obs.SpanRecord{Trace: trace, Kind: obs.SpanGate, Tenant: c.id, StartNS: walStart}
+			tr.EmitSpan(&span)
+			span = obs.SpanRecord{Trace: trace, Kind: obs.SpanWAL, Tenant: c.id,
+				StartNS: walStart, DurNS: g.cfg.Now().UnixNano() - walStart}
+			tr.EmitSpan(&span)
+		}
 		c.admitted.Add(1)
 		g.admitted.Add(1)
 		return Verdict{Admitted: true}
 	}
-	if !g.ring.TryPush(v) {
+	_, trace, pushed := g.ring.tryPushSeq(v)
+	if !pushed {
 		c.shed.Add(1)
 		g.shedBacklog.Add(1)
 		g.intervalShed.Add(1)
 		return Verdict{Reason: ShedBacklog, RetryAfter: g.cfg.RetryAfter}
+	}
+	if trace != 0 {
+		// The gate span is the admit mark: zero duration, stamped at the
+		// moment the record entered the ring, labeled with the client id so
+		// the assembler can attribute the whole trace to a tenant.
+		span := obs.SpanRecord{Trace: trace, Kind: obs.SpanGate, Tenant: c.id,
+			StartNS: g.cfg.Now().UnixNano()}
+		g.cfg.Tracer.EmitSpan(&span)
 	}
 	c.admitted.Add(1)
 	g.admitted.Add(1)

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/drs-repro/drs/internal/engine"
+	"github.com/drs-repro/drs/internal/obs"
 )
 
 // Ring is the bounded MPSC hand-off between the listener threads and the
@@ -17,14 +18,27 @@ import (
 // paths allocate nothing in steady state.
 type Ring struct {
 	mu     sync.Mutex
-	buf    []engine.Values // power-of-two ring, fixed capacity
-	head   int             // index of the oldest item
-	n      int             // live item count
-	pushed uint64          // total successful pushes — the admission seq counter
+	buf    []slot // power-of-two ring, fixed capacity
+	head   int    // index of the oldest item
+	n      int    // live item count
+	pushed uint64 // total successful pushes — the admission seq counter
 	closed bool
+	// tracer, when set (NewGate wires GateConfig.Tracer), decides per-push
+	// — under the ring lock, from the admission seq alone — whether the
+	// payload carries a trace id. The sampled-out cost is one hash and a
+	// compare; no clock is read here either way.
+	tracer *obs.Tracer
 	// notEmpty latches the empty->non-empty transition (and the close) for
 	// the consumer; capacity 1, non-blocking sends.
 	notEmpty chan struct{}
+}
+
+// slot is one ring entry: the payload plus its trace id (0 = untraced).
+// The id rides the ring alongside the payload rather than inside it, so
+// tracing never widens or reshapes what the topology processes.
+type slot struct {
+	v     engine.Values
+	trace uint64
 }
 
 // NewRing builds a ring holding at least capacity payloads (rounded up to
@@ -35,7 +49,7 @@ func NewRing(capacity int) *Ring {
 		size *= 2
 	}
 	return &Ring{
-		buf:      make([]engine.Values, size),
+		buf:      make([]slot, size),
 		notEmpty: make(chan struct{}, 1),
 	}
 }
@@ -53,30 +67,37 @@ func (r *Ring) Len() int {
 // TryPush enqueues one payload without blocking. It returns false when the
 // ring is full (the backpressure signal) or closed.
 func (r *Ring) TryPush(v engine.Values) bool {
-	_, ok := r.tryPushSeq(v)
+	_, _, ok := r.tryPushSeq(v)
 	return ok
 }
 
 // tryPushSeq is TryPush returning the payload's admission sequence number
 // — the count of successful pushes, assigned under the ring lock so seq
-// order IS ring FIFO order. The durable gate logs each record under this
-// seq and the pop side reconstructs batch seq ranges by counting.
-func (r *Ring) tryPushSeq(v engine.Values) (uint64, bool) {
+// order IS ring FIFO order — and the payload's trace id (nonzero only when
+// a tracer is wired and the seq wins its deterministic sampling hash; the
+// trace id IS the seq, so a trace names the admission that spawned it and
+// the sampled set is identical across runs and processes). The durable
+// gate logs each record under this seq and the pop side reconstructs
+// batch seq ranges by counting.
+func (r *Ring) tryPushSeq(v engine.Values) (seq, trace uint64, ok bool) {
 	r.mu.Lock()
 	if r.closed || r.n == len(r.buf) {
 		r.mu.Unlock()
-		return 0, false
+		return 0, 0, false
 	}
-	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
-	r.n++
 	r.pushed++
-	seq := r.pushed
+	seq = r.pushed
+	if r.tracer.SampleTrace(seq) {
+		trace = seq
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = slot{v: v, trace: trace}
+	r.n++
 	wake := r.n == 1
 	r.mu.Unlock()
 	if wake {
 		r.signal()
 	}
-	return seq, true
+	return seq, trace, true
 }
 
 // Pushed reports the total successful pushes — the high end of the
@@ -111,10 +132,30 @@ func (r *Ring) signal() {
 // reports ok=false. done is the consumer's shutdown fallback — when it
 // closes while the ring is empty, PopBatch returns promptly.
 func (r *Ring) PopBatch(done <-chan struct{}, buf []engine.Values) ([]engine.Values, bool) {
+	batch, _, ok := r.popBatch(done, buf, nil)
+	return batch, ok
+}
+
+// PopBatchTraced implements engine.TracedBatchSource for the non-durable
+// gate: PopBatch additionally returning each payload's trace id. The ack
+// is always nil — only the durable source tracks completions.
+func (r *Ring) PopBatchTraced(done <-chan struct{}, buf []engine.Values, ids []uint64) ([]engine.Values, []uint64, func(), bool) {
+	batch, traces, ok := r.popBatch(done, buf, ids)
+	return batch, traces, nil, ok
+}
+
+// popBatch is the shared drain: it blocks until payloads are available,
+// moves up to cap(buf) of them into buf under one lock round, and — when
+// ids is non-nil — mirrors their trace ids into ids. traces is nil when
+// ids is (the untraced callers pay nothing for the trace lane).
+func (r *Ring) popBatch(done <-chan struct{}, buf []engine.Values, ids []uint64) (batch []engine.Values, traces []uint64, ok bool) {
 	max := cap(buf)
 	if max == 0 {
 		max = 1
 		buf = make([]engine.Values, 0, 1)
+	}
+	if ids != nil && cap(ids) < max {
+		ids = make([]uint64, 0, max)
 	}
 	for {
 		r.mu.Lock()
@@ -125,25 +166,31 @@ func (r *Ring) PopBatch(done <-chan struct{}, buf []engine.Values) ([]engine.Val
 			}
 			out := buf[:take]
 			mask := len(r.buf) - 1
+			if ids != nil {
+				traces = ids[:take]
+			}
 			for i := 0; i < take; i++ {
 				idx := (r.head + i) & mask
-				out[i] = r.buf[idx]
-				r.buf[idx] = nil // release the payload reference
+				out[i] = r.buf[idx].v
+				if ids != nil {
+					traces[i] = r.buf[idx].trace
+				}
+				r.buf[idx] = slot{} // release the payload reference
 			}
 			r.head = (r.head + take) & mask
 			r.n -= take
 			r.mu.Unlock()
-			return out, true
+			return out, traces, true
 		}
 		closed := r.closed
 		r.mu.Unlock()
 		if closed {
-			return nil, false
+			return nil, nil, false
 		}
 		select {
 		case <-r.notEmpty:
 		case <-done:
-			return nil, false
+			return nil, nil, false
 		}
 	}
 }

@@ -1,0 +1,219 @@
+// assemble.go folds drained spans back into whole traces. The assembler
+// runs on the tracer's drainer goroutine: executors never pay for trace
+// assembly, and because the drainer observes spans in emission-sequence
+// order within a sweep, the root span (always emitted last — the final
+// ack happens-after every segment emission) reliably closes its trace.
+// A freshly rooted trace is held one sweep before finalizing: a segment
+// emitted just before the root on another shard may be collected one
+// sweep later, never more.
+package obs
+
+import "sync"
+
+// Trace is one completed, reassembled root: its end-to-end sojourn and
+// the measured decomposition into the paper's latency segments. For a
+// chain topology the segments telescope exactly: QueueNS + ServiceNS +
+// ShuttleNS == SojournNS, which is the reconciliation the golden trace
+// experiment asserts span by span.
+type Trace struct {
+	ID        uint64 // trace id (the gate's admit sequence)
+	Tenant    string // gate client id ("" when the trace skipped the gate)
+	StartNS   int64  // root arrival, unix nanoseconds
+	SojournNS int64  // whole-tree sojourn from the root span
+	GateNS    int64  // admit mark duration (0 by construction)
+	WALNS     int64  // durable append segments
+	QueueNS   int64  // queue-wait segments summed over hops
+	ServiceNS int64  // service segments summed over hops
+	ShuttleNS int64  // remote shuttle residue summed over hops
+	Spans     int    // segment spans folded in (root span excluded)
+	Remote    int    // segments that crossed the worker shuttle
+}
+
+// partialTrace accumulates segments until the root span arrives.
+type partialTrace struct {
+	tr     Trace
+	rooted bool
+}
+
+// AssemblerConfig wires an Assembler's outputs. All fields are optional;
+// a zero config still assembles and counts.
+type AssemblerConfig struct {
+	// QueueWait/Service/Shuttle observe each completed trace's segment
+	// sums, in nanoseconds (the drs_trace_*_ns families).
+	QueueWait *Histogram
+	Service   *Histogram
+	Shuttle   *Histogram
+	// BoltQueueWait/BoltService observe individual hop segments per bolt
+	// name, in nanoseconds (per-bolt breakdown families).
+	BoltQueueWait map[string]*Histogram
+	BoltService   map[string]*Histogram
+	// OnComplete is called for every finalized trace, on the drainer
+	// goroutine. Keep it cheap; experiments use it to capture traces.
+	OnComplete func(Trace)
+	// MaxPending bounds the partial-trace table (default 65536). Spans
+	// for new traces beyond the bound are counted as lost, not buffered.
+	MaxPending int
+}
+
+// Assembler folds spans into completed traces and latency-breakdown
+// histograms. observe/endBatch run on the drainer goroutine; Stats may
+// be called from anywhere (the /metrics scrape path).
+type Assembler struct {
+	cfg AssemblerConfig
+
+	mu        sync.Mutex
+	partial   map[uint64]*partialTrace
+	rooted    []rootedEntry // finalize queue, appended in sweep order
+	sweep     uint64        // current sweep number
+	started   uint64
+	completed uint64
+	spans     uint64
+	lost      uint64
+}
+
+// rootedEntry queues a rooted trace for finalization after a one-sweep
+// grace period.
+type rootedEntry struct {
+	id    uint64
+	sweep uint64
+}
+
+// NewAssembler builds an assembler.
+func NewAssembler(cfg AssemblerConfig) *Assembler {
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = 65536
+	}
+	return &Assembler{cfg: cfg, partial: make(map[uint64]*partialTrace)}
+}
+
+// observe folds one span. Called by the tracer's drainer in emission-
+// sequence order within a sweep.
+func (a *Assembler) observe(r *SpanRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p := a.partial[r.Trace]
+	if p == nil {
+		if len(a.partial) >= a.cfg.MaxPending {
+			a.lost++
+			return
+		}
+		p = &partialTrace{tr: Trace{ID: r.Trace}}
+		a.partial[r.Trace] = p
+		a.started++
+	}
+	if r.Kind != SpanRoot {
+		a.spans++
+		p.tr.Spans++
+		if r.Remote {
+			p.tr.Remote++
+		}
+	}
+	switch r.Kind {
+	case SpanGate:
+		p.tr.GateNS += r.DurNS
+		p.tr.Tenant = r.Tenant
+	case SpanWAL:
+		p.tr.WALNS += r.DurNS
+		if p.tr.Tenant == "" {
+			p.tr.Tenant = r.Tenant
+		}
+	case SpanQueue:
+		p.tr.QueueNS += r.DurNS
+		if h := a.cfg.BoltQueueWait[r.Bolt]; h != nil {
+			h.Observe(float64(r.DurNS))
+		}
+	case SpanService:
+		p.tr.ServiceNS += r.DurNS
+		if h := a.cfg.BoltService[r.Bolt]; h != nil {
+			h.Observe(float64(r.DurNS))
+		}
+	case SpanShuttle:
+		p.tr.ShuttleNS += r.DurNS
+	case SpanRoot:
+		p.tr.StartNS = r.StartNS
+		p.tr.SojournNS = r.DurNS
+		if !p.rooted {
+			p.rooted = true
+			a.rooted = append(a.rooted, rootedEntry{id: r.Trace, sweep: a.sweep})
+		}
+	}
+}
+
+// endBatch marks a sweep boundary and finalizes every trace whose rooting
+// sweep has had one full sweep of grace after it: a segment emitted on
+// another shard just before the root may be collected one sweep after it,
+// and that straggler sweep has now passed.
+func (a *Assembler) endBatch() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sweep++
+	if a.sweep >= 1 {
+		a.finalizeBeforeLocked(a.sweep - 1)
+	}
+}
+
+// finalizeAll flushes the grace period: every rooted trace finalizes now.
+// The tracer calls this on Close, after the final sweep.
+func (a *Assembler) finalizeAll() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.finalizeBeforeLocked(a.sweep + 1)
+}
+
+// finalizeBeforeLocked finalizes queued roots from sweeps < bound.
+func (a *Assembler) finalizeBeforeLocked(bound uint64) {
+	n := 0
+	for n < len(a.rooted) && a.rooted[n].sweep < bound {
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	for _, e := range a.rooted[:n] {
+		p := a.partial[e.id]
+		if p == nil {
+			continue
+		}
+		delete(a.partial, e.id)
+		a.completed++
+		if h := a.cfg.QueueWait; h != nil {
+			h.Observe(float64(p.tr.QueueNS))
+		}
+		if h := a.cfg.Service; h != nil {
+			h.Observe(float64(p.tr.ServiceNS))
+		}
+		if h := a.cfg.Shuttle; h != nil {
+			h.Observe(float64(p.tr.ShuttleNS))
+		}
+		if a.cfg.OnComplete != nil {
+			a.cfg.OnComplete(p.tr)
+		}
+	}
+	a.rooted = a.rooted[:copy(a.rooted, a.rooted[n:])]
+}
+
+// AssembleStats is a point-in-time account of trace assembly.
+type AssembleStats struct {
+	Started   uint64 // distinct trace ids seen
+	Completed uint64 // traces finalized (root span arrived)
+	Spans     uint64 // segment spans folded (root spans excluded)
+	Lost      uint64 // spans refused because the partial table was full
+	Pending   int    // traces still waiting for their root span
+}
+
+// Stats reports assembly counters. Safe for concurrent use with the
+// drainer.
+func (a *Assembler) Stats() AssembleStats {
+	if a == nil {
+		return AssembleStats{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AssembleStats{
+		Started:   a.started,
+		Completed: a.completed,
+		Spans:     a.spans,
+		Lost:      a.lost,
+		Pending:   len(a.partial),
+	}
+}

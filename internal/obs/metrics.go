@@ -113,6 +113,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels string)
 // observations, so wiring is optional.
 type Histogram struct {
 	bounds  []float64 // ascending upper bounds, +Inf implicit
+	les     []string  // pre-rendered le label values, one per bound
 	labels  string
 	buckets []atomic.Uint64 // non-cumulative per-bound counts
 	inf     atomic.Uint64   // observations above the last bound
@@ -120,10 +121,18 @@ type Histogram struct {
 	sum     atomic.Uint64 // float64 bits, CAS-updated
 }
 
-// newHistogram builds a histogram for the given bounds.
+// newHistogram builds a histogram for the given bounds. The le label
+// strings are rendered once here, not per scrape: a bound never changes
+// after registration, and formatting them in appendTo was the dominant
+// allocation of the whole /metrics render.
 func newHistogram(bounds []float64, labels string) *Histogram {
+	les := make([]string, len(bounds))
+	for i, b := range bounds {
+		les[i] = strconv.FormatFloat(b, 'g', -1, 64)
+	}
 	return &Histogram{
 		bounds:  bounds,
+		les:     les,
 		labels:  labels,
 		buckets: make([]atomic.Uint64, len(bounds)),
 	}
@@ -210,10 +219,9 @@ func (r *Registry) Write(buf []byte) []byte {
 // appendTo writes one histogram series: cumulative buckets, sum, count.
 func (h *Histogram) appendTo(buf []byte, name string) []byte {
 	cum := uint64(0)
-	for i, b := range h.bounds {
+	for i := range h.bounds {
 		cum += h.buckets[i].Load()
-		le := strconv.FormatFloat(b, 'g', -1, 64)
-		buf = appendSample(buf, name, "_bucket", h.labels, le, float64(cum))
+		buf = appendSample(buf, name, "_bucket", h.labels, h.les[i], float64(cum))
 	}
 	cum += h.inf.Load()
 	buf = appendSample(buf, name, "_bucket", h.labels, "+Inf", float64(cum))

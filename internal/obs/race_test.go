@@ -91,3 +91,96 @@ func TestConcurrentDecidersDrainerScrapeKnob(t *testing.T) {
 		t.Fatalf("histogram count %d, want %d", got, deciders*perG)
 	}
 }
+
+// TestConcurrentTracerEmitAssembleScrapeKnob is the tracer's counterpart
+// workout: many executors emitting spans, the drainer sweeping into the
+// assembler and a sink, /metrics scraping tracer and assembler stats, and
+// the sampling knob flipping — all at once. Every emitter finishes its
+// roots with a root span, so after Close the assembler must balance:
+// nothing pending, everything started completed, all spans accounted.
+func TestConcurrentTracerEmitAssembleScrapeKnob(t *testing.T) {
+	var sinkBuf bytes.Buffer
+	asm := NewAssembler(AssemblerConfig{})
+	tr := NewTracer(TracerConfig{
+		Shards: 8, ShardCapacity: 1 << 16,
+		Sink: NewWriterSink(&sinkBuf), Assembler: asm,
+		FlushEvery: 100 * time.Microsecond,
+	})
+	reg := NewRegistry()
+	reg.Func("drs_trace_spans_total", "Spans emitted.", Counter, "",
+		func() float64 { return float64(tr.Stats().Spans) })
+	reg.Func("drs_trace_pending", "Traces pending.", Gauge, "",
+		func() float64 { return float64(asm.Stats().Pending) })
+
+	const (
+		emitters = 8
+		perG     = 500
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perG; i++ {
+				id := uint64(g*perG + i + 1)
+				tr.SampleTrace(id)
+				tr.EmitSpan(&SpanRecord{Trace: id, Kind: SpanQueue, Bolt: "b", DurNS: 5})
+				tr.EmitSpan(&SpanRecord{Trace: id, Kind: SpanService, Bolt: "b", DurNS: 7})
+				tr.EmitSpan(&SpanRecord{Trace: id, Kind: SpanRoot, DurNS: 12})
+			}
+		}(g)
+	}
+	// Scraper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		var buf []byte
+		for i := 0; i < 200; i++ {
+			buf = reg.Write(buf[:0])
+		}
+	}()
+	// Knob flipper.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 500; i++ {
+			tr.SetSample(1 + (i*37)%1000)
+		}
+	}()
+	close(start)
+	wg.Wait()
+	if err := tr.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	const total = emitters * perG
+	st := tr.Stats()
+	if st.Spans != 3*total {
+		t.Fatalf("spans %d, want %d", st.Spans, 3*total)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d spans with oversized rings, want 0", st.Dropped)
+	}
+	ast := asm.Stats()
+	if ast.Started != total || ast.Completed != total || ast.Pending != 0 || ast.Lost != 0 {
+		t.Fatalf("assembler did not balance: %+v", ast)
+	}
+	// Everything that reached the sink parses.
+	lines := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(sinkBuf.Bytes()), []byte{'\n'}) {
+		if len(line) == 0 {
+			continue
+		}
+		if _, err := ParseSpan(line); err != nil {
+			t.Fatalf("sink line does not parse: %q: %v", line, err)
+		}
+		lines++
+	}
+	if lines != 3*total {
+		t.Fatalf("sink got %d span lines, want %d", lines, 3*total)
+	}
+}

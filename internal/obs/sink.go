@@ -18,12 +18,13 @@ type Sink interface {
 	Close() error
 }
 
-// FileSink writes decision-log batches to decision-NNNNNN.ndjson files in
-// a directory, rotating to a new file once the current one passes
+// FileSink writes NDJSON batches to <prefix>-NNNNNN.ndjson files in a
+// directory, rotating to a new file once the current one passes
 // MaxBytes. Rotation keeps individual files tail-able and lets operators
 // ship or prune closed segments; records are never split across files.
 type FileSink struct {
 	dir      string
+	prefix   string
 	maxBytes int64
 
 	mu      sync.Mutex
@@ -33,16 +34,23 @@ type FileSink struct {
 	err     error // first write error; sticky, reported by Close
 }
 
-// NewFileSink opens a rotating NDJSON sink in dir, creating it if
-// needed. maxBytes <= 0 defaults to 64 MiB per file.
+// NewFileSink opens a rotating decision-NNNNNN.ndjson sink in dir,
+// creating it if needed. maxBytes <= 0 defaults to 64 MiB per file.
 func NewFileSink(dir string, maxBytes int64) (*FileSink, error) {
+	return NewFileSinkNamed(dir, "decision", maxBytes)
+}
+
+// NewFileSinkNamed opens a rotating <prefix>-NNNNNN.ndjson sink in dir —
+// the decision log and the trace stream share one directory without
+// colliding segment names.
+func NewFileSinkNamed(dir, prefix string, maxBytes int64) (*FileSink, error) {
 	if maxBytes <= 0 {
 		maxBytes = 64 << 20
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("obs: file sink: %w", err)
 	}
-	s := &FileSink{dir: dir, maxBytes: maxBytes}
+	s := &FileSink{dir: dir, prefix: prefix, maxBytes: maxBytes}
 	if err := s.rotateLocked(); err != nil {
 		return nil, err
 	}
@@ -59,7 +67,7 @@ func (s *FileSink) rotateLocked() error {
 		s.f = nil
 	}
 	for {
-		name := filepath.Join(s.dir, fmt.Sprintf("decision-%06d.ndjson", s.index))
+		name := filepath.Join(s.dir, fmt.Sprintf("%s-%06d.ndjson", s.prefix, s.index))
 		s.index++
 		f, err := os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if os.IsExist(err) {

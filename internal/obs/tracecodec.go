@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// The trace wire format mirrors the decision log's: one JSON object per
+// span, one span per line (NDJSON), canonical encoding (fixed field
+// order, zero-valued optional fields omitted, shortest round-tripping
+// numbers) and strict decoding (unknown fields, trailing data and
+// unknown span kinds are errors).
+
+// AppendSpan appends the canonical JSON encoding of r to dst and returns
+// the extended buffer. It allocates only when dst needs to grow, so the
+// drainer reusing one buffer encodes at zero steady-state allocations.
+func AppendSpan(dst []byte, r *SpanRecord) []byte {
+	dst = append(dst, `{"seq":`...)
+	dst = strconv.AppendUint(dst, r.Seq, 10)
+	dst = append(dst, `,"trace":`...)
+	dst = strconv.AppendUint(dst, r.Trace, 10)
+	dst = append(dst, `,"kind":`...)
+	dst = appendJSONString(dst, r.Kind.String())
+	if r.Bolt != "" {
+		dst = append(dst, `,"bolt":`...)
+		dst = appendJSONString(dst, r.Bolt)
+	}
+	if r.Tenant != "" {
+		dst = append(dst, `,"tenant":`...)
+		dst = appendJSONString(dst, r.Tenant)
+	}
+	if r.Task != 0 {
+		dst = append(dst, `,"task":`...)
+		dst = strconv.AppendInt(dst, int64(r.Task), 10)
+	}
+	if r.Remote {
+		dst = append(dst, `,"remote":true`...)
+	}
+	if r.StartNS != 0 {
+		dst = append(dst, `,"start":`...)
+		dst = strconv.AppendInt(dst, r.StartNS, 10)
+	}
+	if r.DurNS != 0 {
+		dst = append(dst, `,"dur":`...)
+		dst = strconv.AppendInt(dst, r.DurNS, 10)
+	}
+	return append(dst, '}')
+}
+
+// wireSpan is the decode shadow of SpanRecord: same fields, JSON tags
+// matching the canonical encoder, kind as its wire name.
+type wireSpan struct {
+	Seq     uint64 `json:"seq"`
+	Trace   uint64 `json:"trace"`
+	Kind    string `json:"kind"`
+	Bolt    string `json:"bolt"`
+	Tenant  string `json:"tenant"`
+	Task    int    `json:"task"`
+	Remote  bool   `json:"remote"`
+	StartNS int64  `json:"start"`
+	DurNS   int64  `json:"dur"`
+}
+
+// ParseSpan decodes one canonical JSON span line. Unknown fields,
+// malformed JSON, trailing data and unknown span kind names are errors;
+// a successful parse re-encodes (AppendSpan) to a stable canonical form.
+func ParseSpan(line []byte) (SpanRecord, error) {
+	var w wireSpan
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&w); err != nil {
+		return SpanRecord{}, fmt.Errorf("obs: parse span: %w", err)
+	}
+	var extra json.RawMessage
+	if err := dec.Decode(&extra); err != io.EOF {
+		return SpanRecord{}, fmt.Errorf("obs: parse span: trailing data after object")
+	}
+	kind, ok := SpanKindFromString(w.Kind)
+	if !ok {
+		return SpanRecord{}, fmt.Errorf("obs: parse span: unknown kind %q", w.Kind)
+	}
+	return SpanRecord{
+		Seq: w.Seq, Trace: w.Trace, Kind: kind,
+		Bolt: w.Bolt, Tenant: w.Tenant, Task: w.Task,
+		Remote: w.Remote, StartNS: w.StartNS, DurNS: w.DurNS,
+	}, nil
+}

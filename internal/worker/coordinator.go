@@ -380,12 +380,15 @@ func (s *Shuttle) readLoop(lease time.Duration) {
 			s.mu.Unlock()
 			if done != nil {
 				done(engine.RemoteResult{
-					Emitted:      res.Emitted,
-					Served:       res.Served,
-					Sampled:      res.Sampled,
-					BusyNanos:    res.BusyNanos,
-					BusySqMicros: res.BusySqMicros,
-					Errors:       res.Errors,
+					Emitted:        res.Emitted,
+					Served:         res.Served,
+					Sampled:        res.Sampled,
+					BusyNanos:      res.BusyNanos,
+					BusySqMicros:   res.BusySqMicros,
+					Errors:         res.Errors,
+					TraceIdx:       res.Traced,
+					TraceWaitNS:    res.WaitNS,
+					TraceServiceNS: res.ServiceNS,
 				}, nil)
 			}
 		default:

@@ -26,6 +26,7 @@ import (
 	"hash/crc32"
 	"io"
 	"math"
+	"time"
 
 	"github.com/drs-repro/drs/internal/engine"
 )
@@ -100,8 +101,13 @@ type batchMsg struct {
 	// Bolt names the destination bolt.
 	Bolt string
 	// Items are the tuples; Task selects the bolt task (its state) on the
-	// worker.
+	// worker. Traced flags ride the frame's trace block — the ascending
+	// item indices the serve side wants measured individually.
 	Items []engine.RemoteItem
+	// arrived is stamped by the worker's read loop right after decode —
+	// not wire data. Traced items measure their worker-side queue wait
+	// from it: the time from frame arrival to their Process start.
+	arrived time.Time
 }
 
 // resultMsg is the worker's answer to one batch.
@@ -114,6 +120,13 @@ type resultMsg struct {
 	// Served, Sampled, BusyNanos, BusySqMicros and Errors are the
 	// executor-probe aggregates measured on the worker.
 	Served, Sampled, BusyNanos, BusySqMicros, Errors int64
+	// Traced lists, ascending, the batch indices of items the worker timed
+	// individually (the batch frame's trace block); WaitNS and ServiceNS
+	// align with it — queue wait from batch arrival to Process start, and
+	// the Process duration, both on the worker's clock. The trace block is
+	// always encoded (possibly empty), so every frame stays canonical.
+	Traced            []uint32
+	WaitNS, ServiceNS []int64
 }
 
 // writeFrame frames payload (which must start at buf[8:] — use the
@@ -194,6 +207,20 @@ func appendBatchFrame(buf []byte, seq uint64, bolt string, items []engine.Remote
 			return nil, err
 		}
 	}
+	// Trace block: the ascending indices of Traced items. Always present
+	// (count may be zero) so the encoding stays canonical.
+	nTraced := 0
+	for _, it := range items {
+		if it.Traced {
+			nTraced++
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(nTraced))
+	for i, it := range items {
+		if it.Traced {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(i))
+		}
+	}
 	return finishFrame(buf)
 }
 
@@ -216,6 +243,18 @@ func appendResultFrame(buf []byte, res *resultMsg) ([]byte, error) {
 	}
 	for _, v := range [...]int64{res.Served, res.Sampled, res.BusyNanos, res.BusySqMicros, res.Errors} {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	// Trace block, always present: per traced item its batch index plus
+	// the worker-measured wait and service durations.
+	if len(res.WaitNS) != len(res.Traced) || len(res.ServiceNS) != len(res.Traced) {
+		return nil, fmt.Errorf("worker: trace block misaligned: %d idx, %d wait, %d service",
+			len(res.Traced), len(res.WaitNS), len(res.ServiceNS))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(res.Traced)))
+	for i, idx := range res.Traced {
+		buf = binary.BigEndian.AppendUint32(buf, idx)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(res.WaitNS[i]))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(res.ServiceNS[i]))
 	}
 	return finishFrame(buf)
 }
@@ -423,6 +462,21 @@ func decodeBatch(payload []byte, m *batchMsg) error {
 		task := int(c.u32())
 		m.Items = append(m.Items, engine.RemoteItem{Task: task, Values: c.decodeValues()})
 	}
+	// Trace block: strictly ascending in-range indices, or the frame is
+	// rejected — a forged block can never mark items out of order.
+	nt := int(c.u32())
+	if nt > c.remaining()/4 {
+		return errTruncated
+	}
+	prev := -1
+	for i := 0; i < nt && c.err == nil; i++ {
+		idx := int(c.u32())
+		if idx <= prev || idx >= len(m.Items) {
+			return fmt.Errorf("worker: trace index %d out of order or range", idx)
+		}
+		prev = idx
+		m.Items[idx].Traced = true
+	}
 	return c.done()
 }
 
@@ -460,6 +514,25 @@ func decodeResult(payload []byte, m *resultMsg) error {
 	m.BusyNanos = int64(c.u64())
 	m.BusySqMicros = int64(c.u64())
 	m.Errors = int64(c.u64())
+	// Trace block: 20 bytes per entry, strictly ascending in-range indices.
+	nt := int(c.u32())
+	if nt > c.remaining()/20 {
+		return errTruncated
+	}
+	m.Traced = m.Traced[:0]
+	m.WaitNS = m.WaitNS[:0]
+	m.ServiceNS = m.ServiceNS[:0]
+	prev := -1
+	for i := 0; i < nt && c.err == nil; i++ {
+		idx := int(c.u32())
+		if idx <= prev || idx >= n {
+			return fmt.Errorf("worker: trace index %d out of order or range", idx)
+		}
+		prev = idx
+		m.Traced = append(m.Traced, uint32(idx))
+		m.WaitNS = append(m.WaitNS, int64(c.u64()))
+		m.ServiceNS = append(m.ServiceNS, int64(c.u64()))
+	}
 	return c.done()
 }
 

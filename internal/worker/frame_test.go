@@ -217,6 +217,160 @@ func TestFrameTampering(t *testing.T) {
 	})
 }
 
+// testBatchTraced is testBatch with the first and last items flagged for
+// individual timing — the trace block carries {0, 2}.
+func testBatchTraced() batchMsg {
+	b := testBatch()
+	b.Items[0].Traced = true
+	b.Items[2].Traced = true
+	return b
+}
+
+// TestBatchRoundTripTraced checks the trace block round-trips: traced
+// flags survive encode/decode and the re-encoding stays canonical.
+func TestBatchRoundTripTraced(t *testing.T) {
+	in := testBatchTraced()
+	frame, err := appendBatchFrame(nil, in.Seq, in.Bolt, in.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out batchMsg
+	if err := decodeBatch(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+	again, err := appendBatchFrame(nil, out.Seq, out.Bolt, out.Items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame, again) {
+		t.Fatal("re-encoding is not canonical")
+	}
+}
+
+// TestResultRoundTripTraced checks the result trace block: per-item wait
+// and service durations align with their indices across the wire.
+func TestResultRoundTripTraced(t *testing.T) {
+	in := testResult()
+	in.Traced = []uint32{0, 2}
+	in.WaitNS = []int64{1500, 90}
+	in.ServiceNS = []int64{42000, 7}
+	frame, err := appendResultFrame(nil, &in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out resultMsg
+	if err := decodeResult(payload, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+	}
+}
+
+// TestTraceBlockTampering forges the trace blocks: out-of-range and
+// out-of-order indices, forged counts and misaligned encode inputs must
+// all be rejected.
+func TestTraceBlockTampering(t *testing.T) {
+	t.Run("batch forged trace count", func(t *testing.T) {
+		in := testBatch()
+		frame, err := appendBatchFrame(nil, in.Seq, in.Bolt, in.Items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The trace count is the final u32 of the payload (zero traced).
+		forged := append([]byte(nil), payload...)
+		off := len(forged) - 4
+		forged[off], forged[off+1], forged[off+2], forged[off+3] = 0x7F, 0xFF, 0xFF, 0xFF
+		var m batchMsg
+		if err := decodeBatch(forged, &m); err == nil {
+			t.Fatal("forged trace count decoded cleanly")
+		}
+	})
+	t.Run("batch trace index out of range", func(t *testing.T) {
+		in := testBatchTraced()
+		frame, err := appendBatchFrame(nil, in.Seq, in.Bolt, in.Items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The last u32 is the second traced index (2); point it past the
+		// item count.
+		forged := append([]byte(nil), payload...)
+		forged[len(forged)-1] = 9
+		var m batchMsg
+		if err := decodeBatch(forged, &m); err == nil {
+			t.Fatal("out-of-range trace index decoded cleanly")
+		}
+	})
+	t.Run("batch trace index out of order", func(t *testing.T) {
+		in := testBatchTraced()
+		frame, err := appendBatchFrame(nil, in.Seq, in.Bolt, in.Items)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Rewrite the trace block {0, 2} as {2, 0}: same bytes, bad order.
+		forged := append([]byte(nil), payload...)
+		forged[len(forged)-5], forged[len(forged)-1] = 2, 0
+		var m batchMsg
+		if err := decodeBatch(forged, &m); err == nil {
+			t.Fatal("out-of-order trace indices decoded cleanly")
+		}
+	})
+	t.Run("result misaligned trace block refuses to encode", func(t *testing.T) {
+		res := testResult()
+		res.Traced = []uint32{0}
+		res.WaitNS = []int64{1, 2} // one extra
+		res.ServiceNS = []int64{3}
+		if _, err := appendResultFrame(nil, &res); err == nil {
+			t.Fatal("misaligned trace block encoded cleanly")
+		}
+	})
+	t.Run("result trace index out of order", func(t *testing.T) {
+		res := testResult()
+		res.Traced = []uint32{0, 2}
+		res.WaitNS = []int64{1, 2}
+		res.ServiceNS = []int64{3, 4}
+		frame, err := appendResultFrame(nil, &res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload, err := readFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each trace entry is 20 bytes: swap the two entry indices.
+		forged := append([]byte(nil), payload...)
+		first, second := len(forged)-40, len(forged)-20
+		forged[first+3], forged[second+3] = 2, 0
+		var m resultMsg
+		if err := decodeResult(forged, &m); err == nil {
+			t.Fatal("out-of-order result trace indices decoded cleanly")
+		}
+	})
+}
+
 // TestUnsupportedValueType checks that an un-serializable payload is an
 // encode error, not a panic or a silent drop.
 func TestUnsupportedValueType(t *testing.T) {

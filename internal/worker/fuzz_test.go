@@ -30,6 +30,19 @@ func FuzzWorkerFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
+	bt := testBatchTraced()
+	tracedBatchFrame, err := appendBatchFrame(nil, bt.Seq, bt.Bolt, bt.Items)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rt := testResult()
+	rt.Traced = []uint32{0, 2}
+	rt.WaitNS = []int64{1500, 90}
+	rt.ServiceNS = []int64{42000, 7}
+	tracedResultFrame, err := appendResultFrame(nil, &rt)
+	if err != nil {
+		f.Fatal(err)
+	}
 	helloFrame, err := appendJSONFrame(nil, kindHello, helloMsg{Worker: "w0", Pid: 1})
 	if err != nil {
 		f.Fatal(err)
@@ -44,6 +57,8 @@ func FuzzWorkerFrame(f *testing.F) {
 	}
 	f.Add(batchFrame)
 	f.Add(resultFrame)
+	f.Add(tracedBatchFrame)
+	f.Add(tracedResultFrame)
 	f.Add(helloFrame)
 	f.Add(welcomeFrame)
 	f.Add(hbFrame)

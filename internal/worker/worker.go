@@ -211,6 +211,7 @@ func (w *Worker) readLoop() error {
 				putBatchMsg(m)
 				return fmt.Errorf("worker: bad batch frame: %w", err)
 			}
+			m.arrived = time.Now()
 			h, err := w.boltRunner(m.Bolt)
 			if err != nil {
 				putBatchMsg(m)
@@ -272,7 +273,10 @@ func (w *Worker) runBolt(h *hostedBolt) {
 		res.Served = int64(len(m.Items))
 		res.Sampled = int64(len(m.Items))
 		res.BusyNanos, res.BusySqMicros, res.Errors = 0, 0, 0
-		for _, it := range m.Items {
+		res.Traced = res.Traced[:0]
+		res.WaitNS = res.WaitNS[:0]
+		res.ServiceNS = res.ServiceNS[:0]
+		for i, it := range m.Items {
 			inst, ok := h.instances[it.Task]
 			if !ok {
 				inst = h.factory(it.Task)
@@ -287,6 +291,13 @@ func (w *Worker) runBolt(h *hostedBolt) {
 			res.BusySqMicros += us * us
 			if err != nil {
 				res.Errors++
+			}
+			if it.Traced {
+				// Wait and service on the worker's own clock: durations
+				// only, so serve-side stitching is clock-skew-free.
+				res.Traced = append(res.Traced, uint32(i))
+				res.WaitNS = append(res.WaitNS, int64(start.Sub(m.arrived)))
+				res.ServiceNS = append(res.ServiceNS, int64(d))
 			}
 			res.Emitted = append(res.Emitted, append([]engine.Values(nil), emits...))
 		}

@@ -21,8 +21,14 @@
 # per-record append at batch 64 (BenchmarkWALAppend — the durable admit
 # ACK path), the decision log's emit/encode paths (BenchmarkDecisionLog)
 # with "Logged" twins of the tick/arbitration/admit benchmarks pricing
-# observability on vs off, and a full /metrics render over a serve-sized
-# registry (BenchmarkMetricsScrape).
+# observability on vs off, the per-tuple tracer's copy-in/sampling/encode
+# hot paths (BenchmarkTraceSpan) with "Traced" twins pricing tracing on
+# the engine and admit paths, and a full /metrics render over a
+# serve-sized registry (BenchmarkMetricsScrape).
+#
+# Rows are grouped so a benchmark's Logged/Traced twins sit directly
+# under their base row regardless of run order — diffing a trajectory
+# point against its predecessor keeps every on/off pair adjacent.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,7 +41,7 @@ if [ -z "$PR" ]; then
 fi
 BENCHTIME="${2:-2s}"
 OUT="BENCH_${PR}.json"
-PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard|BenchmarkWALAppend|BenchmarkDecisionLog|BenchmarkMetricsScrape'
+PATTERN='BenchmarkEngineThroughput|BenchmarkIngest|BenchmarkSimThroughput|BenchmarkFig9VLD$|BenchmarkSupervisorTick|BenchmarkSchedulerArbitration|BenchmarkSchedulerFailover|BenchmarkBucketShard|BenchmarkWALAppend|BenchmarkDecisionLog|BenchmarkTraceSpan|BenchmarkMetricsScrape'
 
 RAW="$(go test -run '^$' -bench "$PATTERN" -benchmem -benchtime "$BENCHTIME" .)"
 echo "$RAW"
@@ -51,13 +57,26 @@ echo "$RAW" | awk -v out="$OUT" '
         if ($(i+1) == "B/op") bop = $i
         if ($(i+1) == "allocs/op") allocs = $i
     }
-    rows[++n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
-                        name, iters, nsop, bop, allocs)
+    # Group twins with their base: the group key strips the Logged/Traced
+    # twin suffixes, groups keep first-appearance order, rows keep run
+    # order within a group (the base always runs before its twins).
+    base = name
+    sub(/Logged$/, "", base); sub(/Traced$/, "", base)
+    sub(/-logged$/, "", base); sub(/-traced$/, "", base)
+    if (!(base in gidx)) gidx[base] = ++groups
+    gi = gidx[base]
+    rows[gi, ++gn[gi]] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+                                 name, iters, nsop, bop, allocs)
+    total++
 }
 END {
     printf "{\n  \"benchmarks\": [\n" > out
-    for (i = 1; i <= n; i++)
-        printf "%s%s\n", rows[i], (i < n ? "," : "") >> out
+    k = 0
+    for (i = 1; i <= groups; i++)
+        for (j = 1; j <= gn[i]; j++) {
+            k++
+            printf "%s%s\n", rows[i, j], (k < total ? "," : "") >> out
+        }
     printf "  ]\n}\n" >> out
 }
 '
